@@ -1,0 +1,100 @@
+"""ABL-SQRT -- ablation of the square root in the density function.
+
+Section 3.5 defines ``d(i) = sqrt(#messages ...)``. The square root damps
+heavy bursts so they cannot dominate the correlation. This ablation
+injects a large unrelated burst (a batch job) into the downstream edge's
+traffic and compares delay estimation with the paper's sqrt density
+against raw linear counts: with linear counts the burst swings the
+correlation and degrades or displaces the spike; with sqrt the true delay
+survives.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.render import render_comparison_table
+from repro.core.correlation import cross_correlate
+from repro.core.spikes import detect_spikes, strongest_spike
+from repro.core.timeseries import DensityTimeSeries, build_density_series
+
+from conftest import write_result
+
+TAU = 1e-3
+OMEGA = 50
+TRUE_DELAY = 0.060
+DURATION = 60.0
+LENGTH = int(DURATION / TAU) + 1000
+MAX_LAG = 500
+
+
+def linearized(series: DensityTimeSeries) -> DensityTimeSeries:
+    """Undo the square root: raw boxcar counts as the signal."""
+    return DensityTimeSeries(
+        series.indices.copy(), series.values ** 2,
+        series.start, series.length, series.quantum,
+    )
+
+
+@pytest.fixture(scope="module")
+def traffic():
+    rng = np.random.default_rng(5)
+    arrivals = np.sort(rng.uniform(0, DURATION, 600))
+    downstream = arrivals + TRUE_DELAY + rng.uniform(-0.004, 0.004, arrivals.size)
+    # The confounder: an unrelated 3000-message burst hits the downstream
+    # edge over ~200 ms (a batch job, a replication push...).
+    burst = rng.uniform(20.0, 20.2, 3000)
+    downstream_all = np.concatenate([downstream, burst])
+    ref = build_density_series(arrivals, TAU, OMEGA, 0, LENGTH)
+    sig = build_density_series(downstream_all, TAU, OMEGA, 0, LENGTH)
+    return ref, sig
+
+
+def estimate(ref, sig):
+    corr = cross_correlate(ref, sig, max_lag=MAX_LAG)
+    spike = strongest_spike(
+        detect_spikes(corr, sigma=3.0, resolution_quanta=OMEGA)
+    )
+    return corr, spike
+
+
+def test_ablation_sqrt_density(benchmark, traffic):
+    ref, sig = traffic
+
+    corr_sqrt, spike_sqrt = estimate(ref, sig)
+    corr_lin, spike_lin = estimate(linearized(ref), linearized(sig))
+
+    def describe(spike, corr):
+        if spike is None:
+            return ["none", "-", f"{corr.values.max():.3f}"]
+        return [f"{spike.lag} ms", f"{spike.height:.3f}", f"{corr.values.max():.3f}"]
+
+    table = render_comparison_table(
+        ["density", "strongest spike", "height", "corr max"],
+        [
+            ["sqrt (paper)"] + describe(spike_sqrt, corr_sqrt),
+            ["linear counts"] + describe(spike_lin, corr_lin),
+        ],
+        title=f"Ablation -- sqrt density vs linear counts under a 3000-message "
+              f"burst (true delay {TRUE_DELAY*1e3:.0f} ms)",
+    )
+    write_result("ablation_density.txt", table)
+
+    benchmark(estimate, ref, sig)
+
+    # The paper's sqrt density localizes the true delay...
+    assert spike_sqrt is not None
+    assert spike_sqrt.lag == pytest.approx(TRUE_DELAY / TAU, abs=8)
+    # ...and resists the burst better than linear counts: either the
+    # linear variant loses the spike entirely, or its correlation floor is
+    # dominated by the burst (weaker contrast at the true delay).
+    sqrt_contrast = spike_sqrt.height / max(
+        1e-9, corr_sqrt.mean() + 3 * corr_sqrt.std()
+    )
+    if spike_lin is None or abs(spike_lin.lag - TRUE_DELAY / TAU) > 8:
+        lin_ok = False
+    else:
+        lin_contrast = spike_lin.height / max(
+            1e-9, corr_lin.mean() + 3 * corr_lin.std()
+        )
+        lin_ok = lin_contrast >= sqrt_contrast
+    assert not lin_ok, "linear counts unexpectedly beat the sqrt density"

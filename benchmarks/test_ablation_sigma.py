@@ -1,0 +1,104 @@
+"""ABL-SIGMA -- ablation of the spike threshold (Section 3.3).
+
+The paper fixes the detection threshold at ``mean + 3 * std``. This
+ablation sweeps the sigma multiplier on a controlled scenario -- one true
+causal edge, many unrelated edges -- and measures the trade-off the 3
+encodes: lower sigma admits false edges on unrelated traffic; higher
+sigma starts losing the true (diluted) spike. The measured operating
+band containing sigma = 3 validates the paper's choice.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.render import render_comparison_table
+from repro.core.correlation import cross_correlate
+from repro.core.spikes import detect_spikes
+from repro.core.timeseries import build_density_series
+
+from conftest import write_result
+
+TAU = 1e-3
+OMEGA = 20
+TRUE_DELAY = 0.050
+DURATION = 60.0
+LENGTH = int(DURATION / TAU) + 1000
+MAX_LAG = 1500
+UNRELATED_EDGES = 30
+
+SIGMAS = [1.0, 2.0, 3.0, 4.0, 6.0, 10.0]
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    rng = np.random.default_rng(9)
+    arrivals = np.sort(rng.uniform(0, DURATION, 500))
+    ref = build_density_series(arrivals, TAU, OMEGA, 0, LENGTH)
+    # The true downstream edge carries only 1/4 of the class's signal
+    # (shared with other classes), plus jitter: a weak-but-real spike.
+    carried = arrivals[rng.random(arrivals.size) < 0.25]
+    mixed = np.concatenate([
+        carried + TRUE_DELAY + rng.uniform(-0.003, 0.003, carried.size),
+        np.sort(rng.uniform(0, DURATION, 1500)),  # other classes' traffic
+    ])
+    true_edge = build_density_series(mixed, TAU, OMEGA, 0, LENGTH)
+    unrelated = [
+        build_density_series(
+            np.sort(rng.uniform(0, DURATION, 600)), TAU, OMEGA, 0, LENGTH
+        )
+        for _ in range(UNRELATED_EDGES)
+    ]
+    return ref, true_edge, unrelated
+
+
+def test_ablation_spike_sigma(benchmark, scenario):
+    ref, true_edge, unrelated = scenario
+    true_corr = cross_correlate(ref, true_edge, max_lag=MAX_LAG)
+    unrelated_corrs = [
+        cross_correlate(ref, sig, max_lag=MAX_LAG) for sig in unrelated
+    ]
+
+    rows = []
+    outcome = {}
+    for sigma in SIGMAS:
+        for floor in (0.0, 0.10):
+            spikes = detect_spikes(true_corr, sigma=sigma,
+                                   resolution_quanta=OMEGA, min_height=floor)
+            hit = any(abs(s.lag * TAU - TRUE_DELAY) < 0.010 for s in spikes)
+            false_edges = sum(
+                1
+                for corr in unrelated_corrs
+                if detect_spikes(corr, sigma=sigma,
+                                 resolution_quanta=OMEGA, min_height=floor)
+            )
+            outcome[(sigma, floor)] = (hit, false_edges)
+        hit_bare, false_bare = outcome[(sigma, 0.0)]
+        hit_floor, false_floor = outcome[(sigma, 0.10)]
+        rows.append([
+            f"{sigma:.0f}",
+            "yes" if hit_bare else "NO",
+            f"{false_bare}/{UNRELATED_EDGES}",
+            "yes" if hit_floor else "NO",
+            f"{false_floor}/{UNRELATED_EDGES}",
+        ])
+    table = render_comparison_table(
+        ["sigma", "true found (bare)", "false (bare)",
+         "true found (+0.1 floor)", "false (+0.1 floor)"],
+        rows,
+        title="Ablation -- spike threshold sigma (diluted true spike vs "
+              f"{UNRELATED_EDGES} unrelated edges)",
+    )
+    write_result("ablation_sigma.txt", table)
+
+    benchmark(detect_spikes, true_corr, 3.0, OMEGA)
+
+    # The paper's bare sigma = 3 finds the true edge but admits false
+    # positives on unrelated traffic...
+    assert outcome[(3.0, 0.0)][0]
+    assert outcome[(3.0, 0.0)][1] > 0
+    # ...which the absolute floor removes without losing the true edge
+    # (the tuned configs' min_spike_height = 0.10).
+    assert outcome[(3.0, 0.10)] == (True, 0)
+    # sigma = 1 floods with false edges; very high sigma loses the spike.
+    assert outcome[(1.0, 0.0)][1] > UNRELATED_EDGES // 2
+    assert not outcome[(10.0, 0.0)][0]

@@ -1,0 +1,97 @@
+"""CPLX -- Section 3.7 complexity analysis, verified empirically.
+
+The paper derives per-analysis costs:
+
+* direct bounded: O(E * (T_u/tau) * (dW/(k*r))/tau) -- linear in the lag
+  bound and in the (compressed) series length;
+* FFT: O(E * (W/tau) log (W/tau)) -- independent of T_u.
+
+This bench sweeps both the lag bound and the series length on synthetic
+signals and checks the predicted scaling directions for every kernel.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.render import render_comparison_table
+from repro.core.correlation import (
+    correlate_fft,
+    correlate_rle,
+    correlate_sparse,
+)
+from repro.core.rle import rle_encode
+from repro.core.timeseries import DensityTimeSeries
+
+from conftest import write_result
+
+
+def bursty_signal(n, rng, burst_rate=0.01, burst_len=20):
+    """Sparse bursty series: bursts of equal values between quiet zones."""
+    dense = np.zeros(n)
+    starts = np.flatnonzero(rng.random(n) < burst_rate)
+    for s in starts:
+        dense[s : s + burst_len] = float(rng.integers(1, 4))
+    return DensityTimeSeries.from_dense(dense, 0, 1e-3)
+
+
+def timed(fn, *args):
+    started = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - started
+
+
+@pytest.fixture(scope="module")
+def signals():
+    rng = np.random.default_rng(0)
+    return {n: (bursty_signal(n, rng), bursty_signal(n, rng)) for n in
+            (50_000, 100_000, 200_000, 400_000)}
+
+
+def test_scaling_in_series_length(benchmark, signals):
+    rows = []
+    times = {}
+    max_lag = 1000
+    for n, (x, y) in signals.items():
+        t_sparse = timed(correlate_sparse, x, y, max_lag)
+        t_rle = timed(correlate_rle, rle_encode(x), rle_encode(y), max_lag)
+        t_fft = timed(correlate_fft, x, y, max_lag)
+        times[n] = (t_sparse, t_rle, t_fft)
+        rows.append([str(n), f"{t_sparse*1e3:.1f}", f"{t_rle*1e3:.1f}", f"{t_fft*1e3:.1f}"])
+    table = render_comparison_table(
+        ["n (quanta)", "burst (ms)", "RLE (ms)", "FFT (ms)"],
+        rows,
+        title="Section 3.7 -- correlation cost vs series length (T_u fixed)",
+    )
+
+    # Lag-bound sweep at fixed n: direct methods grow with T_u; FFT does not.
+    x, y = signals[200_000]
+    xr, yr = rle_encode(x), rle_encode(y)
+    lag_rows = []
+    lag_times = {}
+    for d in (500, 1000, 2000, 4000):
+        t_sparse = timed(correlate_sparse, x, y, d)
+        t_rle = timed(correlate_rle, xr, yr, d)
+        t_fft = timed(correlate_fft, x, y, d)
+        lag_times[d] = (t_sparse, t_rle, t_fft)
+        lag_rows.append([str(d), f"{t_sparse*1e3:.1f}", f"{t_rle*1e3:.1f}", f"{t_fft*1e3:.1f}"])
+    lag_table = render_comparison_table(
+        ["T_u (quanta)", "burst (ms)", "RLE (ms)", "FFT (ms)"],
+        lag_rows,
+        title="correlation cost vs lag bound (n = 200k quanta)",
+    )
+    write_result("complexity_scaling.txt", table + "\n\n" + lag_table)
+
+    benchmark(correlate_rle, xr, yr, 1000)
+
+    # Linear-in-n for the direct kernels (allow generous constants).
+    n_small, n_big = 50_000, 400_000
+    assert times[n_big][0] > 3.0 * times[n_small][0]  # sparse grows
+    assert times[n_big][0] < 32.0 * times[n_small][0]  # ...but ~linearly
+    # Direct kernels grow with the lag bound; FFT is insensitive to it.
+    assert lag_times[4000][0] > 2.0 * lag_times[500][0]
+    assert lag_times[4000][2] < 3.0 * lag_times[500][2]
+    # RLE is the cheapest direct kernel everywhere.
+    for d, (t_sparse, t_rle, _) in lag_times.items():
+        assert t_rle < t_sparse

@@ -1,0 +1,79 @@
+"""FIG10 -- Figure 10: time-series length under each compression.
+
+For the connection between the web server and one of the Tomcat servers
+(the paper's chosen edge), compare across window sizes:
+
+* ``total packets``   -- raw captured packets in the window,
+* ``no compression``  -- the dense series bound ``W / tau``,
+* ``burst``           -- stored samples after dropping zero entries,
+* ``RLE``             -- stored (t, c, n) run tuples.
+
+Expected shape: all grow linearly in W; RLE is an order of magnitude
+below burst, which is well below the dense bound; RLE is also smaller
+than the raw packet count.
+"""
+
+import bisect
+
+import pytest
+
+from repro.analysis.render import render_comparison_table
+from repro.core.rle import rle_encode
+from repro.core.correlation import _as_sparse
+from repro.tracing.wire import wire_sizes
+
+from conftest import write_result
+from test_fig9_analysis_time import BASE, HORIZON, RATE, WINDOWS, trace  # noqa: F401
+
+EDGE = ("WS", "TS1")
+
+
+def test_fig10_trace_size(benchmark, trace):  # noqa: F811
+    rows = []
+    series_by_window = {}
+    for w in WINDOWS:
+        cfg = BASE.with_window(w, refresh_interval=60.0)
+        window = trace.collector.window(cfg, end_time=HORIZON - 2.0)
+        stamps = trace.collector.edge_timestamps(*EDGE)
+        lo = bisect.bisect_left(stamps, window.start_time)
+        hi = bisect.bisect_left(stamps, window.end_time)
+        packets = hi - lo
+
+        sparse = _as_sparse(window.edge_series(*EDGE))
+        rle = rle_encode(sparse)
+        wire = wire_sizes(rle, message_count=packets)
+        series_by_window[w] = (packets, cfg.window_quanta, sparse.nnz, rle.num_runs)
+        rows.append([
+            f"{w:.0f}",
+            str(packets),
+            str(cfg.window_quanta),
+            str(sparse.nnz),
+            str(rle.num_runs),
+            str(wire["rle_wire"]),
+            str(wire["raw_timestamps"]),
+        ])
+
+    table = render_comparison_table(
+        ["W (s)", "total packets", "no compression (W/tau)", "burst entries",
+         "RLE runs", "RLE wire bytes", "raw-timestamp bytes"],
+        rows,
+        title=f"Figure 10 -- time-series length for edge {EDGE[0]}->{EDGE[1]}",
+    )
+    write_result("fig10_trace_size.txt", table)
+
+    # Benchmark the RLE encode step itself at the largest window.
+    cfg = BASE.with_window(WINDOWS[-1], refresh_interval=60.0)
+    big = _as_sparse(
+        trace.collector.window(cfg, end_time=HORIZON - 2.0).edge_series(*EDGE)
+    )
+    benchmark(rle_encode, big)
+
+    for w, (packets, bound, nnz, runs) in series_by_window.items():
+        assert runs < nnz < bound          # each optimization shrinks
+        assert runs < packets              # RLE beats raw timestamps
+    # Linear growth in W, and RLE an order of magnitude under the bound.
+    small = series_by_window[WINDOWS[0]]
+    big_counts = series_by_window[WINDOWS[-1]]
+    ratio = WINDOWS[-1] / WINDOWS[0]
+    assert big_counts[2] == pytest.approx(small[2] * ratio, rel=0.5)
+    assert big_counts[3] * 10 <= big_counts[1]

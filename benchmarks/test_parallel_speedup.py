@@ -1,0 +1,88 @@
+"""SCALE -- Section 3.7's scalability note, measured.
+
+"The pathmap algorithm can easily be made more scalable by parallely
+computing the service graph of each client nodes (i.e., parallelizing the
+inner loop of ServiceRoot). The results reported in this paper use a
+single central analyser."
+
+This bench builds a topology with eight independent service classes and
+compares single-threaded analysis against the thread-pooled inner loop
+(numpy kernels release the GIL). Identical results are asserted; the
+speedup is reported.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.render import render_comparison_table
+from repro.config import PathmapConfig
+from repro.core.pathmap import compute_service_graphs
+from repro.simulation.distributions import Erlang
+from repro.simulation.nodes import StaticRouter
+from repro.simulation.topology import Topology
+
+from conftest import write_result
+
+CFG = PathmapConfig(
+    window=120.0,
+    refresh_interval=60.0,
+    quantum=1e-3,
+    sampling_window=50e-3,
+    max_transaction_delay=2.0,
+    min_spike_height=0.10,
+)
+CLASSES = 8
+
+
+@pytest.fixture(scope="module")
+def many_class_window():
+    topo = Topology(seed=33)
+    topo.add_service_node("DB", Erlang(0.010, k=8), workers=32)
+    for i in range(CLASSES):
+        ap = f"AP{i}"
+        ws = f"WS{i}"
+        topo.add_service_node(ap, Erlang(0.006 + 0.002 * i, k=8), workers=8,
+                              router=StaticRouter({}, default="DB"))
+        topo.add_service_node(ws, Erlang(0.003, k=8), workers=8,
+                              router=StaticRouter({}, default=ap))
+        client = topo.add_client(f"C{i}", f"class-{i}", front_end=ws)
+        topo.open_workload(client, rate=8.0)
+    topo.run_until(125.0)
+    return topo.collector.window(CFG, end_time=123.0)
+
+
+def test_parallel_serviceroot(benchmark, many_class_window):
+    window = many_class_window
+
+    started = time.perf_counter()
+    serial = compute_service_graphs(window, CFG, method="rle", workers=1)
+    serial_time = time.perf_counter() - started
+
+    # Fresh window so the series cache does not favour the second run.
+    started = time.perf_counter()
+    parallel = compute_service_graphs(window, CFG, method="rle", workers=4)
+    parallel_time = time.perf_counter() - started
+
+    table = render_comparison_table(
+        ["configuration", "time (s)", "graphs", "edges"],
+        [
+            ["1 worker", f"{serial_time:.2f}", str(serial.stats.graphs),
+             str(serial.stats.edges_discovered)],
+            ["4 workers", f"{parallel_time:.2f}", str(parallel.stats.graphs),
+             str(parallel.stats.edges_discovered)],
+        ],
+        title=f"Section 3.7 -- parallel ServiceRoot over {CLASSES} service classes",
+    )
+    write_result("parallel_speedup.txt", table)
+
+    benchmark(compute_service_graphs, window, CFG, "rle", 4)
+
+    # Identical output regardless of parallelism.
+    assert set(serial.graphs) == set(parallel.graphs)
+    assert len(serial.graphs) == CLASSES
+    for key, graph in serial.graphs.items():
+        assert parallel.graphs[key].edge_set() == graph.edge_set()
+    # The pool must not be slower than serial by more than scheduling
+    # noise (true speedup depends on the host's cores).
+    assert parallel_time < serial_time * 1.5

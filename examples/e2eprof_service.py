@@ -1,0 +1,89 @@
+"""E2EProf as a pluggable service (paper Section 5, long-term vision).
+
+"In the long term, we plan to deploy E2EProf as a basic service,
+'pluggable' into any distributed system. When applications or services
+subscribe to its interfaces, they henceforth, will receive real-time
+information about their service paths and systems 'health' in general."
+
+This example wires the full management plane onto the engine's
+subscription API -- an SLA monitor, a change detector, an anomaly scorer
+and a latency monitor all consume the same refresh stream -- then drives
+the system through a mid-run degradation and prints each subscriber's
+view of the incident.
+
+Run:  python examples/e2eprof_service.py
+"""
+
+from repro import ChangeDetector, E2EProfEngine, PathmapConfig, build_rubis
+from repro.analysis.reportgen import report_text
+from repro.core.anomaly import AnomalyDetector
+from repro.management.monitor import LatencyMonitor
+from repro.management.sla import SLA, SLAMonitor
+
+CONFIG = PathmapConfig(
+    window=30.0,
+    refresh_interval=30.0,
+    quantum=1e-3,
+    sampling_window=50e-3,
+    max_transaction_delay=2.0,
+    min_spike_height=0.10,
+)
+FAULT_AT = 120.0
+HORIZON = 300.0
+
+
+def main() -> None:
+    rubis = build_rubis(dispatch="affinity", seed=21, request_rate=10.0,
+                        config=CONFIG)
+    engine = E2EProfEngine(CONFIG)
+    engine.attach(rubis.topology)
+
+    # Four independent subscribers on one refresh stream.
+    changes = ChangeDetector(absolute_threshold=0.010, relative_threshold=0.2,
+                             baseline_refreshes=2)
+    anomalies = AnomalyDetector(min_std=0.002, warmup=2)
+    latencies = LatencyMonitor()
+    slas = SLAMonitor([SLA("bidding", max_latency=0.060)])
+
+    changes.subscribe_to(engine)
+    anomalies.subscribe_to(engine)
+    latencies.subscribe_to(engine)
+
+    def sla_check(now, result):
+        lats = rubis.clients["bidding"].latencies_between(now - CONFIG.window, now)
+        for status in slas.evaluate({"bidding": lats}):
+            if not status.met:
+                print(f"  [SLA] t={now:.0f}s bidding mean "
+                      f"{status.measured*1e3:.1f} ms exceeds "
+                      f"{status.sla.max_latency*1e3:.0f} ms target")
+
+    engine.subscribe(sla_check)
+
+    # The incident: EJB1 degrades by 40 ms at t=120.
+    rubis.topology.sim.schedule_at(
+        FAULT_AT, lambda: rubis.ejbs["EJB1"].set_extra_delay(lambda now: 0.040)
+    )
+    print(f"running {HORIZON:.0f}s with a 40 ms EJB1 degradation at "
+          f"t={FAULT_AT:.0f}s...\n")
+    rubis.run_until(HORIZON + 5)
+
+    print("\nchange detector:")
+    for event in changes.events()[:5]:
+        print(f"  t={event.time:.0f}s {event.edge[0]}->{event.edge[1]}: "
+              f"{event.previous*1e3:.1f} -> {event.current*1e3:.1f} ms")
+
+    print("\nanomaly scorer (active alarms):")
+    for class_key, edge in anomalies.active_alarms():
+        state = anomalies.state(class_key, edge)
+        print(f"  {edge[0]}->{edge[1]} score {state.last_score:+.1f}")
+
+    key = ("C1", "WS")
+    print("\nbidding end-to-end latency per refresh (ms):",
+          [f"{lat*1e3:.0f}" for _, lat in latencies.latency_series(key)])
+
+    print("\nfinal diagnosis report:\n")
+    print(report_text(engine.latest_result))
+
+
+if __name__ == "__main__":
+    main()

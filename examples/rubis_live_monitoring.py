@@ -1,0 +1,82 @@
+"""Online monitoring: track a degrading server in real time (Figure 7).
+
+The online E2EProf engine refreshes the service graphs every minute from
+RLE blocks streamed by per-node tracers. A fault is injected into EJB2
+(its request processing slows by 15 ms every 3 minutes); the change
+detector flags the affected edges while the healthy branch stays quiet.
+
+Run:  python examples/rubis_live_monitoring.py
+"""
+
+import numpy as np
+
+from repro import ChangeDetector, E2EProfEngine, PathmapConfig, build_rubis
+from repro.apps.faults import staircase_delay
+
+CONFIG = PathmapConfig(
+    window=60.0,
+    refresh_interval=60.0,
+    quantum=1e-3,
+    sampling_window=50e-3,
+    max_transaction_delay=2.0,
+    min_spike_height=0.10,
+)
+
+
+def main() -> None:
+    rubis = build_rubis(dispatch="round_robin", seed=11, request_rate=10.0,
+                        config=CONFIG)
+    # The fault: EJB2 slows by 15 ms every 3 minutes, starting at t=120 s.
+    rubis.ejbs["EJB2"].set_extra_delay(
+        staircase_delay(step=0.015, interval=180.0, start=120.0)
+    )
+
+    engine = E2EProfEngine(CONFIG)
+    engine.attach(rubis.topology)
+    detector = ChangeDetector(absolute_threshold=0.008, relative_threshold=0.15)
+    detector.subscribe_to(engine)
+
+    def narrate(now, result):
+        graph = result.graph_for("C1")
+        ejb2 = graph.node_delay("EJB2")
+        ejb1 = graph.node_delay("EJB1")
+        fresh = [e for e in detector.events() if e.time == now]
+        flags = ", ".join(f"{e.edge[0]}->{e.edge[1]}" for e in fresh) or "-"
+        print(f"t={now:5.0f}s  EJB1={_ms(ejb1)}  EJB2={_ms(ejb2)}  changes: {flags}")
+
+    engine.subscribe(narrate)
+
+    print("online analysis, one line per refresh (dW = 60 s):")
+    rubis.run_until(12 * 60.0 + 5)
+
+    times, delays = detector.delay_series(("C1", "WS"), ("EJB2", "DS"))
+    print("\nEJB2 cumulative-delay history (ms):",
+          np.round(np.asarray(delays) * 1e3, 1).tolist())
+    print(f"{len(detector.events())} change events recorded; all on the EJB2 branch:",
+          sorted({e.edge for e in detector.events()}))
+
+    # Render the Figure 7 plot as an SVG you can open in a browser.
+    import tempfile
+
+    from repro.analysis.svg import render_series_svg
+
+    _, healthy = detector.delay_series(("C1", "WS"), ("EJB1", "DS"))
+    n = min(len(delays), len(healthy))
+    chart = render_series_svg(
+        list(times[:n]),
+        {"EJB2 branch (faulty)": list(delays[:n]),
+         "EJB1 branch (healthy)": list(healthy[:n])},
+        title="Figure 7 -- per-branch cumulative delay",
+    )
+    out = tempfile.NamedTemporaryFile(suffix=".svg", delete=False, mode="w")
+    out.write(chart)
+    out.close()
+    print(f"\nFigure 7 chart written to {out.name}")
+
+
+def _ms(value):
+    return "  n/a " if value is None else f"{value * 1e3:5.1f}ms"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy shim so `pip install -e .` works offline (no `wheel` package).
+
+All real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

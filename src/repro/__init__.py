@@ -1,0 +1,99 @@
+"""repro -- reproduction of *E2EProf: Automated End-to-End Performance
+Management for Enterprise Systems* (Agarwala, Alegre, Schwan,
+Mehalingham; DSN 2007).
+
+The package has four layers:
+
+* :mod:`repro.core` -- the paper's contribution: density time series,
+  bounded/sparse/RLE/FFT cross-correlation, spike detection, the pathmap
+  path-discovery algorithm, the incremental online engine, change
+  detection, clock-skew estimation and bottleneck attribution.
+* :mod:`repro.tracing` -- the non-intrusive tracing substrate: per-node
+  tracers, the central collector, access-log adapters and trace storage.
+* :mod:`repro.simulation` -- the testbed substitute: a deterministic
+  discrete-event simulator of multi-tier enterprise systems.
+* :mod:`repro.apps` / :mod:`repro.management` / :mod:`repro.baselines` --
+  the paper's two case studies (RUBiS, Delta Revenue Pipeline), SLA-aware
+  path selection, and the Aguilera et al. baselines.
+
+Quickstart::
+
+    from repro import build_rubis, compute_service_graphs
+
+    rubis = build_rubis(dispatch="affinity", seed=7)
+    rubis.run_until(185.0)
+    result = compute_service_graphs(rubis.window(end_time=183.0), rubis.config)
+    print(result.graph_for("C1"))
+"""
+
+from repro.config import DELTA_CONFIG, PathmapConfig, RUBIS_CONFIG
+from repro.core.bottleneck import BottleneckReport, find_bottlenecks
+from repro.core.change_detection import ChangeDetector, ChangeEvent
+from repro.core.clock_skew import SkewEstimate, estimate_clock_skew
+from repro.core.correlation import CorrelationSeries, cross_correlate
+from repro.core.engine import E2EProfEngine
+from repro.core.pathmap import Pathmap, PathmapResult, TraceWindow, compute_service_graphs
+from repro.core.rle import RunLengthSeries, rle_decode, rle_encode
+from repro.core.service_graph import ServiceEdge, ServiceGraph, ServicePath
+from repro.core.spikes import Spike, detect_spikes
+from repro.core.timeseries import DensityTimeSeries, build_density_series
+from repro.errors import (
+    AnalysisError,
+    ConfigError,
+    CorrelationError,
+    E2EProfError,
+    SeriesError,
+    SimulationError,
+    TopologyError,
+    TraceError,
+)
+from repro.apps.delta import build_delta
+from repro.apps.rubis import build_rubis
+from repro.simulation.topology import Topology
+from repro.tracing.collector import TraceCollector
+from repro.tracing.records import AccessLogRecord, CaptureRecord
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessLogRecord",
+    "AnalysisError",
+    "BottleneckReport",
+    "CaptureRecord",
+    "ChangeDetector",
+    "ChangeEvent",
+    "ConfigError",
+    "CorrelationError",
+    "CorrelationSeries",
+    "DELTA_CONFIG",
+    "DensityTimeSeries",
+    "E2EProfEngine",
+    "E2EProfError",
+    "Pathmap",
+    "PathmapConfig",
+    "PathmapResult",
+    "RUBIS_CONFIG",
+    "RunLengthSeries",
+    "SeriesError",
+    "ServiceEdge",
+    "ServiceGraph",
+    "ServicePath",
+    "SimulationError",
+    "SkewEstimate",
+    "Spike",
+    "Topology",
+    "TopologyError",
+    "TraceCollector",
+    "TraceError",
+    "TraceWindow",
+    "build_delta",
+    "build_density_series",
+    "build_rubis",
+    "compute_service_graphs",
+    "cross_correlate",
+    "detect_spikes",
+    "estimate_clock_skew",
+    "find_bottlenecks",
+    "rle_decode",
+    "rle_encode",
+]

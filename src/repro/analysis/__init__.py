@@ -1,0 +1,14 @@
+"""Rendering and ground-truth comparison of analysis results."""
+
+from repro.analysis.compare import (
+    DelayErrors,
+    EdgeSetComparison,
+    compare_edge_delays,
+    compare_edge_sets,
+    compare_node_delays,
+)
+from repro.analysis.diff import EdgeDelta, GraphDiff, diff_graphs
+from repro.analysis.graph_export import adjacency, to_edge_list, to_networkx
+from repro.analysis.reportgen import report_json, report_text, summarize_graph, summarize_result
+from repro.analysis.svg import render_svg, write_svg
+from repro.analysis.render import render_ascii, render_comparison_table, render_dot

@@ -1,0 +1,139 @@
+"""Comparison of pathmap output against ground truth (Section 4.1.1).
+
+The paper validates E2EProf by comparing its computed per-server delays
+and end-to-end latencies with instrumented measurements ("The difference
+of the processing delays computed at each server is within 10%"). This
+module provides the same comparison against the simulator's exact ground
+truth: edge-set precision/recall, per-edge delay errors, and per-node
+processing-delay errors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Set, Tuple
+
+import numpy as np
+
+from repro.core.service_graph import NodeId, ServiceGraph
+from repro.simulation.groundtruth import GroundTruth
+
+EdgeKey = Tuple[NodeId, NodeId]
+
+
+@dataclasses.dataclass(frozen=True)
+class EdgeSetComparison:
+    """Discovered vs true edge sets for one service class."""
+
+    true_edges: Set[EdgeKey]
+    found_edges: Set[EdgeKey]
+
+    @property
+    def missing(self) -> Set[EdgeKey]:
+        return self.true_edges - self.found_edges
+
+    @property
+    def spurious(self) -> Set[EdgeKey]:
+        return self.found_edges - self.true_edges
+
+    @property
+    def precision(self) -> float:
+        if not self.found_edges:
+            return 1.0 if not self.true_edges else 0.0
+        return len(self.found_edges & self.true_edges) / len(self.found_edges)
+
+    @property
+    def recall(self) -> float:
+        if not self.true_edges:
+            return 1.0
+        return len(self.found_edges & self.true_edges) / len(self.true_edges)
+
+    @property
+    def exact(self) -> bool:
+        return self.true_edges == self.found_edges
+
+
+def compare_edge_sets(
+    graph: ServiceGraph,
+    truth: GroundTruth,
+    service_class: str,
+    min_requests: int = 1,
+) -> EdgeSetComparison:
+    """Compare the discovered edges against the edges requests truly took.
+
+    ``min_requests`` filters true edges traversed fewer times than that
+    (transient stragglers below pathmap's statistical floor).
+    """
+    true_edges = {
+        edge
+        for edge, count in truth.traversed_edges(service_class).items()
+        if count >= min_requests
+    }
+    return EdgeSetComparison(true_edges=true_edges, found_edges=graph.edge_set())
+
+
+@dataclasses.dataclass(frozen=True)
+class DelayErrors:
+    """Per-edge relative errors of pathmap's cumulative delay labels."""
+
+    per_edge: Dict[EdgeKey, float]
+
+    @property
+    def max_relative_error(self) -> float:
+        if not self.per_edge:
+            return 0.0
+        return max(abs(v) for v in self.per_edge.values())
+
+    @property
+    def mean_relative_error(self) -> float:
+        if not self.per_edge:
+            return 0.0
+        return float(np.mean([abs(v) for v in self.per_edge.values()]))
+
+
+def compare_edge_delays(
+    graph: ServiceGraph,
+    truth: GroundTruth,
+    service_class: str,
+    since: float = 0.0,
+    until: float = float("inf"),
+    skip_client_edges: bool = True,
+) -> DelayErrors:
+    """Relative error of each discovered edge's smallest delay label
+    against the true mean cumulative delay on that edge."""
+    errors: Dict[EdgeKey, float] = {}
+    for edge in graph.edges:
+        key = (edge.src, edge.dst)
+        if skip_client_edges and edge.src == graph.client:
+            continue
+        true_mean = truth.mean_edge_delay(service_class, key, since=since, until=until)
+        if math.isnan(true_mean):
+            continue
+        if true_mean <= 0:
+            continue
+        closest = min(edge.delays, key=lambda d: abs(d - true_mean))
+        errors[key] = (closest - true_mean) / true_mean
+    return DelayErrors(errors)
+
+
+def compare_node_delays(
+    graph: ServiceGraph,
+    expected: Dict[NodeId, float],
+    tolerance: float = 0.10,
+) -> Dict[NodeId, Tuple[float, float, bool]]:
+    """Compare pathmap's per-node computation delays against expected
+    values (e.g. configured service-time means).
+
+    Returns ``{node: (measured, expected, within_tolerance)}`` for nodes
+    present in both.
+    """
+    out: Dict[NodeId, Tuple[float, float, bool]] = {}
+    measured = graph.node_delays()
+    for node, expected_delay in expected.items():
+        if node not in measured or expected_delay <= 0:
+            continue
+        got = measured[node]
+        ok = abs(got - expected_delay) / expected_delay <= tolerance
+        out[node] = (got, expected_delay, ok)
+    return out

@@ -1,0 +1,131 @@
+"""Diffing two service graphs (incident forensics).
+
+E2EProf's purpose is noticing that *now* differs from *before* ("to
+recognize and analyze performance problems when they occur -- online").
+The change/anomaly detectors do that streamingly; this module does it
+comparatively: given two analyses of the same class (a healthy baseline
+and an incident window, or pre/post deploy), produce the structural and
+delay differences an operator would paste into an incident report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.service_graph import NodeId, ServiceGraph
+from repro.errors import AnalysisError
+
+EdgeKey = Tuple[NodeId, NodeId]
+
+
+@dataclasses.dataclass(frozen=True)
+class EdgeDelta:
+    """Delay movement of one edge present in both graphs."""
+
+    edge: EdgeKey
+    before: float
+    after: float
+
+    @property
+    def change(self) -> float:
+        return self.after - self.before
+
+    @property
+    def relative(self) -> float:
+        if self.before == 0.0:
+            return float("inf") if self.after else 0.0
+        return self.change / self.before
+
+
+@dataclasses.dataclass
+class GraphDiff:
+    """Differences between a baseline and a comparison graph."""
+
+    client: NodeId
+    added_edges: Set[EdgeKey]
+    removed_edges: Set[EdgeKey]
+    deltas: List[EdgeDelta]
+    node_deltas: Dict[NodeId, Tuple[Optional[float], Optional[float]]]
+
+    @property
+    def unchanged(self) -> bool:
+        return (
+            not self.added_edges
+            and not self.removed_edges
+            and all(abs(d.change) < 1e-12 for d in self.deltas)
+        )
+
+    def significant_deltas(
+        self, absolute: float = 0.005, relative: float = 0.25
+    ) -> List[EdgeDelta]:
+        """Edges whose delay moved by both thresholds, biggest first."""
+        out = [
+            d for d in self.deltas
+            if abs(d.change) >= absolute
+            and (d.before == 0 or abs(d.change) / d.before >= relative)
+        ]
+        return sorted(out, key=lambda d: -abs(d.change))
+
+    def suspect_nodes(self, absolute: float = 0.005) -> List[NodeId]:
+        """Nodes whose computation delay moved by >= ``absolute``,
+        biggest movement first -- the diff's bottom line."""
+        movements = []
+        for node, (before, after) in self.node_deltas.items():
+            if before is None or after is None:
+                continue
+            if abs(after - before) >= absolute:
+                movements.append((abs(after - before), node))
+        return [node for _, node in sorted(movements, reverse=True)]
+
+    def summary(self) -> str:
+        """Readable one-paragraph incident summary."""
+        lines = [f"diff for service class of {self.client}:"]
+        if self.unchanged:
+            lines.append("  no structural or delay changes")
+            return "\n".join(lines)
+        for edge in sorted(self.removed_edges):
+            lines.append(f"  edge disappeared: {edge[0]}->{edge[1]}")
+        for edge in sorted(self.added_edges):
+            lines.append(f"  edge appeared:    {edge[0]}->{edge[1]}")
+        for delta in self.significant_deltas():
+            lines.append(
+                f"  {delta.edge[0]}->{delta.edge[1]}: "
+                f"{delta.before * 1e3:.1f} -> {delta.after * 1e3:.1f} ms "
+                f"({delta.change * 1e3:+.1f})"
+            )
+        suspects = self.suspect_nodes()
+        if suspects:
+            lines.append(f"  suspect node(s): {', '.join(suspects)}")
+        return "\n".join(lines)
+
+
+def diff_graphs(before: ServiceGraph, after: ServiceGraph) -> GraphDiff:
+    """Diff two graphs of the same service class."""
+    if before.client != after.client:
+        raise AnalysisError(
+            f"cannot diff different classes: {before.client!r} vs {after.client!r}"
+        )
+    before_edges = before.edge_set()
+    after_edges = after.edge_set()
+    deltas = [
+        EdgeDelta(
+            edge=edge,
+            before=before.edge(*edge).min_delay,
+            after=after.edge(*edge).min_delay,
+        )
+        for edge in sorted(before_edges & after_edges)
+    ]
+    node_deltas: Dict[NodeId, Tuple[Optional[float], Optional[float]]] = {}
+    for node in before.nodes | after.nodes:
+        b = before.node_delay(node) if node in before else None
+        a = after.node_delay(node) if node in after else None
+        if b is not None or a is not None:
+            node_deltas[node] = (b, a)
+    return GraphDiff(
+        client=before.client,
+        added_edges=after_edges - before_edges,
+        removed_edges=before_edges - after_edges,
+        deltas=deltas,
+        node_deltas=node_deltas,
+    )

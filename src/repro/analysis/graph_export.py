@@ -1,0 +1,62 @@
+"""Interchange exports of service graphs (networkx, edge lists).
+
+Downstream users live in the Python graph ecosystem; a
+:class:`networkx.DiGraph` view lets them run centrality, dominator, or
+flow analyses on pathmap output directly. networkx is an *optional*
+dependency: importing this module without it raises a clear error only
+when the conversion is actually requested.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.service_graph import NodeId, ServiceGraph
+from repro.errors import AnalysisError
+
+
+def to_networkx(graph: ServiceGraph):
+    """Convert to a :class:`networkx.DiGraph`.
+
+    Node attributes: ``role`` ("client" / "root" / "service") and
+    ``delay`` (the node's computation delay where defined). Edge
+    attributes: ``delays`` (all spike labels) and ``delay`` (minimum).
+    """
+    try:
+        import networkx as nx
+    except ImportError as exc:  # pragma: no cover - depends on environment
+        raise AnalysisError(
+            "networkx is required for to_networkx(); pip install networkx"
+        ) from exc
+
+    out = nx.DiGraph(client=graph.client, root=graph.root)
+    node_delays = graph.node_delays()
+    for node in graph.nodes:
+        if node == graph.client:
+            role = "client"
+        elif node == graph.root:
+            role = "root"
+        else:
+            role = "service"
+        attrs = {"role": role}
+        if node in node_delays:
+            attrs["delay"] = node_delays[node]
+        out.add_node(node, **attrs)
+    for edge in graph.edges:
+        out.add_edge(
+            edge.src, edge.dst, delays=list(edge.delays), delay=edge.min_delay
+        )
+    return out
+
+
+def to_edge_list(graph: ServiceGraph) -> List[Tuple[NodeId, NodeId, float]]:
+    """Flat ``(src, dst, min_delay)`` triples, sorted by delay."""
+    return sorted(
+        ((e.src, e.dst, e.min_delay) for e in graph.edges),
+        key=lambda item: item[2],
+    )
+
+
+def adjacency(graph: ServiceGraph) -> Dict[NodeId, List[NodeId]]:
+    """Successor lists for every node (simple dict form)."""
+    return {node: graph.successors(node) for node in sorted(graph.nodes)}

@@ -1,0 +1,103 @@
+"""Service-graph rendering (paper Figures 5, 6; Section 5 future work:
+"We are also building visualization interfaces that would highlight
+interesting performance behaviors of service paths.").
+
+Two renderers:
+
+* :func:`render_ascii` -- the paper's figure style in text: one line per
+  causal path, nodes joined by delay-labelled arrows, bottleneck nodes
+  marked (the figures' grey boxes become ``*NODE*``).
+* :func:`render_dot` -- Graphviz DOT output for real visualization.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.core.bottleneck import find_bottlenecks
+from repro.core.service_graph import ServiceGraph
+
+
+def _format_delay(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1e3:.1f}ms"
+
+
+def render_ascii(
+    graph: ServiceGraph,
+    mark_bottlenecks: bool = True,
+    bottleneck_share: float = 0.30,
+    max_paths: int = 20,
+) -> str:
+    """Render a service graph as delay-labelled arrow chains.
+
+    Bottleneck nodes (per :func:`repro.core.bottleneck.find_bottlenecks`)
+    are wrapped in asterisks, standing in for the paper's grey boxes.
+    """
+    grey = set()
+    if mark_bottlenecks:
+        grey = set(find_bottlenecks(graph, bottleneck_share).bottlenecks)
+
+    def label(node: str) -> str:
+        return f"*{node}*" if node in grey else node
+
+    lines = [f"service class of {graph.client} (root {graph.root}):"]
+    for path in graph.paths(max_paths=max_paths):
+        parts = [label(path.nodes[0])]
+        for node, delay in zip(path.nodes[1:], path.cumulative_delays):
+            parts.append(f"-[{_format_delay(delay)}]-> {label(node)}")
+        lines.append("  " + " ".join(parts))
+    delays = graph.node_delays()
+    if delays:
+        attribution = ", ".join(
+            f"{label(node)}={_format_delay(delay)}"
+            for node, delay in sorted(delays.items(), key=lambda kv: -kv[1])
+        )
+        lines.append(f"  node delays: {attribution}")
+    return "\n".join(lines)
+
+
+def render_dot(
+    graph: ServiceGraph,
+    mark_bottlenecks: bool = True,
+    bottleneck_share: float = 0.30,
+) -> str:
+    """Render a service graph as Graphviz DOT (grey = bottleneck)."""
+    grey = set()
+    if mark_bottlenecks:
+        grey = set(find_bottlenecks(graph, bottleneck_share).bottlenecks)
+    lines = ["digraph servicegraph {", "  rankdir=LR;"]
+    for node in sorted(graph.nodes):
+        attrs = ['shape=box']
+        if node in grey:
+            attrs.append('style=filled')
+            attrs.append('fillcolor=grey')
+        if node == graph.client:
+            attrs.append('shape=ellipse')
+        lines.append(f'  "{node}" [{", ".join(attrs)}];')
+    for edge in sorted(graph.edges, key=lambda e: (e.src, e.dst)):
+        label = ", ".join(_format_delay(d) for d in edge.delays)
+        lines.append(f'  "{edge.src}" -> "{edge.dst}" [label="{label}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def render_comparison_table(
+    headers: List[str], rows: Iterable[List[str]], title: Optional[str] = None
+) -> str:
+    """Plain-text table used by the benchmark harnesses' output."""
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: List[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(headers))
+    lines.append(fmt(["-" * w for w in widths]))
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

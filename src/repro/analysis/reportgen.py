@@ -1,0 +1,145 @@
+"""Structured diagnosis reports from pathmap output.
+
+Turns a :class:`~repro.core.pathmap.PathmapResult` into the report a
+system administrator would want after an incident: per-class paths,
+per-node delay attribution, bottlenecks, and end-to-end latencies -- as a
+plain dict (JSON-ready) and as readable text. This is the automation the
+paper promises in Section 1: "E2EProf can be used to automate performance
+diagnosis, thereby reducing such maintenance costs."
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.core.bottleneck import find_bottlenecks
+from repro.core.pathmap import PathmapResult
+from repro.core.service_graph import ServiceGraph
+from repro.errors import AnalysisError
+from repro.management.monitor import server_side_latency
+
+
+def summarize_graph(graph: ServiceGraph, bottleneck_share: float = 0.30) -> Dict:
+    """JSON-ready summary of one service class's graph."""
+    report = find_bottlenecks(graph, threshold_share=bottleneck_share)
+    paths = graph.paths()
+    try:
+        latency = server_side_latency(graph)
+    except AnalysisError:
+        latency = None
+    return {
+        "client": graph.client,
+        "root": graph.root,
+        "end_to_end_latency": latency,
+        "paths": [
+            {
+                "nodes": list(path.nodes),
+                "cumulative_delays": list(path.cumulative_delays),
+                "total_delay": path.total_delay,
+            }
+            for path in paths
+        ],
+        "node_delays": dict(sorted(report.node_delays.items())),
+        "bottlenecks": list(report.bottlenecks),
+        "edges": [
+            {"src": e.src, "dst": e.dst, "delays": list(e.delays)}
+            for e in sorted(graph.edges, key=lambda e: e.min_delay)
+        ],
+    }
+
+
+def summarize_result(
+    result: PathmapResult, bottleneck_share: float = 0.30
+) -> Dict:
+    """JSON-ready summary of a whole analysis pass."""
+    return {
+        "classes": {
+            f"{client}@{root}": summarize_graph(graph, bottleneck_share)
+            for (client, root), graph in sorted(result.graphs.items())
+        },
+        "stats": {
+            "graphs": result.stats.graphs,
+            "correlations": result.stats.correlations,
+            "spikes": result.stats.spikes,
+            "edges_discovered": result.stats.edges_discovered,
+            "elapsed_seconds": result.stats.elapsed_seconds,
+        },
+    }
+
+
+def report_text(result: PathmapResult, bottleneck_share: float = 0.30) -> str:
+    """Readable multi-class diagnosis report."""
+    summary = summarize_result(result, bottleneck_share)
+    lines: List[str] = ["E2EProf diagnosis report", "=" * 24]
+    for name, cls in summary["classes"].items():
+        lines.append("")
+        lines.append(f"service class {name}")
+        latency = cls["end_to_end_latency"]
+        if latency is not None:
+            lines.append(f"  end-to-end latency: {latency * 1e3:.1f} ms")
+        for path in cls["paths"]:
+            chain = " -> ".join(path["nodes"])
+            lines.append(f"  path: {chain}  ({path['total_delay'] * 1e3:.1f} ms)")
+        if cls["bottlenecks"]:
+            worst = cls["bottlenecks"][0]
+            share = (
+                cls["node_delays"][worst] / sum(cls["node_delays"].values())
+                if cls["node_delays"]
+                else 0.0
+            )
+            lines.append(f"  bottleneck: {worst} ({share:.0%} of attributed delay)")
+        else:
+            lines.append("  bottleneck: none (delay evenly spread)")
+    stats = summary["stats"]
+    lines.append("")
+    lines.append(
+        f"analysis: {stats['graphs']} classes, {stats['edges_discovered']} causal "
+        f"edges, {stats['correlations']} correlations in "
+        f"{stats['elapsed_seconds']:.2f}s"
+    )
+    return "\n".join(lines)
+
+
+def report_json(result: PathmapResult, indent: Optional[int] = 2) -> str:
+    """The structured summary serialized as JSON."""
+    return json.dumps(summarize_result(result), indent=indent, sort_keys=True)
+
+
+class RefreshJournal:
+    """Subscriber that appends one JSON line per engine refresh to a file.
+
+    The durable record of an online monitoring session: each line is
+    ``{"time": ..., **summarize_result(...)}``, so incidents can be
+    reconstructed after the fact (and the journal is itself an input to
+    offline tooling).
+    """
+
+    def __init__(self, path: str, bottleneck_share: float = 0.30) -> None:
+        self.path = path
+        self.bottleneck_share = bottleneck_share
+        self.entries = 0
+        # Truncate: a journal documents one session.
+        open(path, "w", encoding="utf-8").close()
+
+    def __call__(self, now: float, result: PathmapResult) -> None:
+        record = {"time": now}
+        record.update(summarize_result(result, self.bottleneck_share))
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+        self.entries += 1
+
+    def subscribe_to(self, engine: "object") -> None:
+        engine.subscribe(self)
+
+
+def read_journal(path: str) -> List[Dict]:
+    """Load a refresh journal back into memory."""
+    out: List[Dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out

@@ -1,0 +1,253 @@
+"""Dependency-free SVG rendering of service graphs.
+
+The paper's Section 5: "We are also building visualization interfaces
+that would highlight interesting performance behaviors of service paths."
+This renderer lays the graph out in causal layers (by cumulative delay),
+draws delay-labelled edges, and fills bottleneck nodes grey -- a direct
+visual analogue of the paper's Figures 5 and 6, viewable in any browser.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Tuple
+
+from repro.core.bottleneck import find_bottlenecks
+from repro.core.service_graph import NodeId, ServiceGraph
+
+NODE_WIDTH = 96
+NODE_HEIGHT = 34
+H_GAP = 70
+V_GAP = 46
+MARGIN = 24
+
+
+def _format_delay(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1e3:.1f}ms"
+
+
+def _layer_assignment(graph: ServiceGraph) -> Dict[NodeId, int]:
+    """Causal layering: a node's layer is the hop distance of its first
+    visit along any root-to-leaf path (client = 0)."""
+    layers: Dict[NodeId, int] = {graph.client: 0, graph.root: 1}
+    for path in graph.paths(max_paths=200):
+        for depth, node in enumerate(path.nodes):
+            if node not in layers or depth < layers[node]:
+                layers[node] = depth
+    # Unreached nodes (edge targets never on a simple path) trail behind.
+    worst = max(layers.values(), default=0)
+    for node in graph.nodes:
+        layers.setdefault(node, worst + 1)
+    return layers
+
+
+def _positions(layers: Dict[NodeId, int]) -> Dict[NodeId, Tuple[float, float]]:
+    columns: Dict[int, List[NodeId]] = {}
+    for node, layer in layers.items():
+        columns.setdefault(layer, []).append(node)
+    positions: Dict[NodeId, Tuple[float, float]] = {}
+    for layer, nodes in columns.items():
+        for row, node in enumerate(sorted(nodes)):
+            x = MARGIN + layer * (NODE_WIDTH + H_GAP)
+            y = MARGIN + row * (NODE_HEIGHT + V_GAP)
+            positions[node] = (x, y)
+    return positions
+
+
+def render_svg(
+    graph: ServiceGraph,
+    mark_bottlenecks: bool = True,
+    bottleneck_share: float = 0.30,
+) -> str:
+    """Render one service graph as a standalone SVG document."""
+    grey = set()
+    if mark_bottlenecks:
+        grey = set(find_bottlenecks(graph, bottleneck_share).bottlenecks)
+    layers = _layer_assignment(graph)
+    positions = _positions(layers)
+
+    width = MARGIN * 2 + (max(layers.values(), default=0) + 1) * (NODE_WIDTH + H_GAP)
+    rows = max(
+        (sum(1 for n in layers.values() if n == layer) for layer in set(layers.values())),
+        default=1,
+    )
+    height = MARGIN * 2 + rows * (NODE_HEIGHT + V_GAP) + 20
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace" font-size="11">',
+        '<defs><marker id="arrow" viewBox="0 0 8 8" refX="8" refY="4" '
+        'markerWidth="7" markerHeight="7" orient="auto">'
+        '<path d="M0,0 L8,4 L0,8 z" fill="#444"/></marker></defs>',
+        f'<title>service class of {html.escape(graph.client)}</title>',
+    ]
+
+    # Edges first (under the nodes).
+    for edge in sorted(graph.edges, key=lambda e: (e.src, e.dst)):
+        x1, y1 = positions[edge.src]
+        x2, y2 = positions[edge.dst]
+        forward = layers[edge.src] < layers[edge.dst]
+        sx = x1 + NODE_WIDTH if forward else x1
+        ex = x2 if forward else x2 + NODE_WIDTH
+        sy = y1 + NODE_HEIGHT / 2
+        ey = y2 + NODE_HEIGHT / 2
+        if forward:
+            parts.append(
+                f'<line x1="{sx}" y1="{sy}" x2="{ex}" y2="{ey}" '
+                'stroke="#444" marker-end="url(#arrow)"/>'
+            )
+        else:
+            # Return edge: curve below the layer band.
+            dip = max(sy, ey) + NODE_HEIGHT
+            parts.append(
+                f'<path d="M {sx} {sy} Q {(sx + ex) / 2} {dip} {ex} {ey}" '
+                'fill="none" stroke="#999" stroke-dasharray="4 3" '
+                'marker-end="url(#arrow)"/>'
+            )
+        label = ", ".join(_format_delay(d) for d in edge.delays[:3])
+        lx = (sx + ex) / 2
+        ly = (sy + ey) / 2 - 4 if forward else max(sy, ey) + NODE_HEIGHT / 2 + 6
+        parts.append(
+            f'<text x="{lx}" y="{ly}" text-anchor="middle" '
+            f'fill="#333">{html.escape(label)}</text>'
+        )
+
+    node_delays = graph.node_delays()
+    for node, (x, y) in positions.items():
+        fill = "#d0d0d0" if node in grey else "#ffffff"
+        shape = (
+            f'<ellipse cx="{x + NODE_WIDTH / 2}" cy="{y + NODE_HEIGHT / 2}" '
+            f'rx="{NODE_WIDTH / 2}" ry="{NODE_HEIGHT / 2}" '
+            f'fill="{fill}" stroke="#222"/>'
+            if node == graph.client
+            else f'<rect x="{x}" y="{y}" width="{NODE_WIDTH}" '
+                 f'height="{NODE_HEIGHT}" rx="4" fill="{fill}" stroke="#222"/>'
+        )
+        parts.append(shape)
+        parts.append(
+            f'<text x="{x + NODE_WIDTH / 2}" y="{y + NODE_HEIGHT / 2 - 2}" '
+            f'text-anchor="middle" font-weight="bold">{html.escape(node)}</text>'
+        )
+        if node in node_delays:
+            parts.append(
+                f'<text x="{x + NODE_WIDTH / 2}" y="{y + NODE_HEIGHT / 2 + 11}" '
+                f'text-anchor="middle" fill="#555">'
+                f'{_format_delay(node_delays[node])}</text>'
+            )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def write_svg(graph: ServiceGraph, path: str, **kwargs) -> None:
+    """Render and save to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_svg(graph, **kwargs))
+
+
+#: Categorical line colours for the series chart.
+_SERIES_COLORS = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+                  "#8c564b", "#17becf"]
+
+
+def render_series_svg(
+    times,
+    series: Dict[str, List[float]],
+    title: str = "",
+    y_label: str = "delay (ms)",
+    width: int = 640,
+    height: int = 300,
+    y_scale: float = 1e3,
+) -> str:
+    """Line chart of per-refresh delay series (the Figure 7 plot shape).
+
+    Parameters
+    ----------
+    times:
+        Shared x values (refresh times, seconds).
+    series:
+        ``{label: values}``; each list aligned with ``times`` (shorter
+        series are plotted over their prefix).
+    y_scale:
+        Multiplier applied to y values before plotting (default:
+        seconds -> milliseconds).
+    """
+    times = list(times)
+    if not times or not series:
+        raise ValueError("render_series_svg needs at least one point")
+    pad_l, pad_r, pad_t, pad_b = 56, 16, 28, 36
+    plot_w = width - pad_l - pad_r
+    plot_h = height - pad_t - pad_b
+
+    x_min, x_max = min(times), max(times)
+    x_span = (x_max - x_min) or 1.0
+    all_values = [v * y_scale for vs in series.values() for v in vs]
+    y_min, y_max = 0.0, max(all_values) * 1.1 or 1.0
+
+    def sx(t):
+        return pad_l + (t - x_min) / x_span * plot_w
+
+    def sy(v):
+        return pad_t + plot_h - (v * y_scale - y_min) / (y_max - y_min) * plot_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace" font-size="11">',
+        f'<rect x="{pad_l}" y="{pad_t}" width="{plot_w}" height="{plot_h}" '
+        'fill="none" stroke="#888"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2}" y="16" text-anchor="middle" '
+            f'font-weight="bold">{html.escape(title)}</text>'
+        )
+    # y gridlines + labels.
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        value = y_min + frac * (y_max - y_min)
+        y = pad_t + plot_h - frac * plot_h
+        parts.append(
+            f'<line x1="{pad_l}" y1="{y}" x2="{pad_l + plot_w}" y2="{y}" '
+            'stroke="#ddd"/>'
+        )
+        parts.append(
+            f'<text x="{pad_l - 6}" y="{y + 3}" text-anchor="end">'
+            f'{value:.0f}</text>'
+        )
+    parts.append(
+        f'<text x="{pad_l / 3}" y="{pad_t + plot_h / 2}" text-anchor="middle" '
+        f'transform="rotate(-90 {pad_l / 3} {pad_t + plot_h / 2})">'
+        f'{html.escape(y_label)}</text>'
+    )
+    # x labels at the ends.
+    parts.append(
+        f'<text x="{pad_l}" y="{height - 10}" text-anchor="start">'
+        f'{x_min:.0f}s</text>'
+    )
+    parts.append(
+        f'<text x="{pad_l + plot_w}" y="{height - 10}" text-anchor="end">'
+        f'{x_max:.0f}s</text>'
+    )
+    # series lines + legend.
+    for index, (label, values) in enumerate(sorted(series.items())):
+        color = _SERIES_COLORS[index % len(_SERIES_COLORS)]
+        points = " ".join(
+            f"{sx(t):.1f},{sy(v):.1f}" for t, v in zip(times, values)
+        )
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            'stroke-width="1.5"/>'
+        )
+        ly = pad_t + 12 + index * 14
+        parts.append(
+            f'<line x1="{pad_l + plot_w - 120}" y1="{ly - 4}" '
+            f'x2="{pad_l + plot_w - 100}" y2="{ly - 4}" stroke="{color}" '
+            'stroke-width="2"/>'
+        )
+        parts.append(
+            f'<text x="{pad_l + plot_w - 94}" y="{ly}">'
+            f'{html.escape(label)}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,13 @@
+"""The paper's case-study applications on the simulation substrate."""
+
+from repro.apps.delta import DeltaDeployment, build_delta, inject_batch
+from repro.apps.dispatch import AffinityRouter, LatencyAwareRouter, RoundRobinRouter
+from repro.apps.faults import (
+    RandomPerturbation,
+    apply_perturbations,
+    degrade_link,
+    scheduled_delay,
+    staircase_delay,
+)
+from repro.apps.pubsub import PubSubDeployment, TopicRouter, build_pubsub
+from repro.apps.rubis import RubisDeployment, build_rubis

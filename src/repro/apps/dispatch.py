@@ -1,0 +1,113 @@
+"""Front-end dispatch policies (paper Sections 4.1 and 4.2).
+
+The web server's request scheduler decides which application-server path
+each request takes:
+
+* :class:`AffinityRouter` -- each service class is pinned to one server
+  (Figure 5's setup: bidding -> TS1, comment -> TS2).
+* :class:`RoundRobinRouter` -- requests alternate over the servers
+  regardless of class (Figure 6's setup; each class takes two paths).
+* :class:`LatencyAwareRouter` -- the E2EProf-driven policy of Section 4.2:
+  a priority class is steered to whichever path currently has the lowest
+  measured latency; other classes take the remaining path. The path
+  latencies are updated online from pathmap output by
+  :class:`repro.management.scheduler.PathSelector`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional, Sequence
+
+from repro.errors import TopologyError
+from repro.simulation.nodes import Decision, Forward, Message, Router, ServiceNode
+from repro.tracing.records import NodeId
+
+
+class AffinityRouter(Router):
+    """Pin each service class to one downstream node."""
+
+    def __init__(self, by_class: Dict[str, NodeId]) -> None:
+        if not by_class:
+            raise TopologyError("affinity map must not be empty")
+        self._by_class = dict(by_class)
+
+    def route(self, node: ServiceNode, message: Message) -> Decision:
+        try:
+            target = self._by_class[message.service_class]
+        except KeyError:
+            raise TopologyError(
+                f"no affinity target for class {message.service_class!r}"
+            ) from None
+        return Forward(target)
+
+
+class RoundRobinRouter(Router):
+    """Alternate over downstream nodes, regardless of service class."""
+
+    def __init__(self, targets: Sequence[NodeId]) -> None:
+        if not targets:
+            raise TopologyError("round robin needs at least one target")
+        self.targets = list(targets)
+        self._cycle = itertools.cycle(self.targets)
+
+    def route(self, node: ServiceNode, message: Message) -> Decision:
+        return Forward(next(self._cycle))
+
+
+class RandomChoiceRouter(Router):
+    """Forward each request to one of several targets with fixed
+    probabilities -- cache-hit/miss splits, canary fractions, weighted
+    load balancing.
+
+    ``choices`` maps target node id to weight (normalized internally).
+    """
+
+    def __init__(self, choices: Dict[NodeId, float], rng) -> None:
+        if not choices:
+            raise TopologyError("random choice needs at least one target")
+        if any(w <= 0 for w in choices.values()):
+            raise TopologyError("choice weights must be positive")
+        total = sum(choices.values())
+        self.targets = list(choices)
+        self._weights = [w / total for w in choices.values()]
+        self._rng = rng
+
+    def route(self, node: ServiceNode, message: Message) -> Decision:
+        index = int(self._rng.choice(len(self.targets), p=self._weights))
+        return Forward(self.targets[index])
+
+
+class LatencyAwareRouter(Router):
+    """Steer a priority class to the currently-fastest path.
+
+    The router itself is policy-free: it holds a mutable class->target
+    assignment that an external controller (the E2EProf path selector)
+    updates as new service-path latencies arrive. Until the first update,
+    it behaves like round-robin.
+    """
+
+    def __init__(self, targets: Sequence[NodeId]) -> None:
+        if len(targets) < 2:
+            raise TopologyError("latency-aware routing needs >= 2 targets")
+        self.targets = list(targets)
+        self._assignment: Dict[str, NodeId] = {}
+        self._fallback = RoundRobinRouter(targets)
+        self.reassignments = 0
+
+    def assign(self, service_class: str, target: NodeId) -> None:
+        """Pin a class to a target (called by the path selector)."""
+        if target not in self.targets:
+            raise TopologyError(f"{target!r} is not one of {self.targets}")
+        if self._assignment.get(service_class) != target:
+            self.reassignments += 1
+        self._assignment[service_class] = target
+
+    def assignment(self, service_class: str) -> Optional[NodeId]:
+        return self._assignment.get(service_class)
+
+    def route(self, node: ServiceNode, message: Message) -> Decision:
+        target = self._assignment.get(message.service_class)
+        if target is None:
+            return self._fallback.route(node, message)
+        return Forward(target)

@@ -1,0 +1,149 @@
+"""Fault and perturbation injection (paper Sections 4.1.2 and 4.2).
+
+The paper's change-detection and SLA experiments perturb servers with
+artificial delays:
+
+* Figure 7: "artificially introducing some amount of delay in the bid
+  request processing and increasing it after every 3 minutes" -- a
+  staircase, :func:`staircase_delay`.
+* Table 1: "artificial delay experienced by the two EJB servers, which
+  changes once per minute. These delays are randomly chosen, ranging from
+  0 to 100 milliseconds" -- :class:`RandomPerturbation`.
+
+These produce ``DelayFunction`` callables to plug into
+:meth:`repro.simulation.nodes.ServiceNode.set_extra_delay`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.simulation.nodes import DelayFunction, ServiceNode
+
+
+def staircase_delay(
+    step: float, interval: float, start: float = 0.0, max_delay: Optional[float] = None
+) -> DelayFunction:
+    """Delay that increases by ``step`` seconds every ``interval`` seconds.
+
+    At time ``t`` the injected delay is ``step * (1 + (t - start) //
+    interval)`` (the first step applies immediately at ``start``), capped
+    at ``max_delay`` if given. Before ``start`` the delay is zero.
+    """
+    if step < 0:
+        raise SimulationError(f"step must be non-negative, got {step}")
+    if interval <= 0:
+        raise SimulationError(f"interval must be positive, got {interval}")
+
+    def delay(now: float) -> float:
+        if now < start:
+            return 0.0
+        value = step * (1 + int((now - start) // interval))
+        if max_delay is not None:
+            value = min(value, max_delay)
+        return value
+
+    return delay
+
+
+def scheduled_delay(schedule: Sequence[Tuple[float, float]]) -> DelayFunction:
+    """Piecewise-constant delay from ``(start_time, delay)`` breakpoints.
+
+    The delay at time ``t`` is that of the last breakpoint at or before
+    ``t`` (zero before the first breakpoint). Breakpoints must be sorted.
+    """
+    if not schedule:
+        raise SimulationError("schedule must not be empty")
+    times = [t for t, _ in schedule]
+    if any(b < a for a, b in zip(times, times[1:])):
+        raise SimulationError("schedule breakpoints must be sorted")
+    if any(d < 0 for _, d in schedule):
+        raise SimulationError("delays must be non-negative")
+
+    def delay(now: float) -> float:
+        value = 0.0
+        for start_time, amount in schedule:
+            if now >= start_time:
+                value = amount
+            else:
+                break
+        return value
+
+    return delay
+
+
+class RandomPerturbation:
+    """Random piecewise-constant delay, re-drawn every ``interval`` seconds.
+
+    Used by the Table 1 experiment: delays uniform in ``[low, high]``,
+    changing once per minute, independently per perturbed node. The drawn
+    schedule is recorded so experiments can report ground truth.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        low: float = 0.0,
+        high: float = 0.100,
+        interval: float = 60.0,
+    ) -> None:
+        if not 0 <= low <= high:
+            raise SimulationError(f"need 0 <= low <= high, got [{low}, {high}]")
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive, got {interval}")
+        self.rng = rng
+        self.low = low
+        self.high = high
+        self.interval = interval
+        self._drawn: List[float] = []
+
+    def _value_for_epoch(self, epoch: int) -> float:
+        while len(self._drawn) <= epoch:
+            self._drawn.append(float(self.rng.uniform(self.low, self.high)))
+        return self._drawn[epoch]
+
+    def __call__(self, now: float) -> float:
+        if now < 0:
+            return 0.0
+        return self._value_for_epoch(int(now // self.interval))
+
+    def drawn_schedule(self) -> List[float]:
+        """Delays drawn so far, one per elapsed interval."""
+        return list(self._drawn)
+
+
+def apply_perturbations(
+    nodes: Sequence[ServiceNode],
+    rng: np.random.Generator,
+    low: float = 0.0,
+    high: float = 0.100,
+    interval: float = 60.0,
+) -> List[RandomPerturbation]:
+    """Attach an independent random perturbation to each node (Table 1)."""
+    perturbations = []
+    for node in nodes:
+        perturbation = RandomPerturbation(rng, low=low, high=high, interval=interval)
+        node.set_extra_delay(perturbation)
+        perturbations.append(perturbation)
+    return perturbations
+
+
+def degrade_link(node: ServiceNode, factor: float) -> DelayFunction:
+    """Make a node's effective service time ``factor`` times its mean --
+    models the Delta case's "slow database server connection".
+
+    Returns the delay function that was installed (constant extra delay of
+    ``(factor - 1) * mean``).
+    """
+    if factor < 1:
+        raise SimulationError(f"degradation factor must be >= 1, got {factor}")
+    extra = (factor - 1.0) * node.service_time.mean()
+
+    def delay(now: float) -> float:
+        return extra
+
+    node.set_extra_delay(delay)
+    return delay

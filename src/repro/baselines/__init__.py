@@ -1,0 +1,4 @@
+"""Baseline algorithms from Aguilera et al. (SOSP 2003)."""
+
+from repro.baselines.convolution import ConvolutionAnalyzer
+from repro.baselines.nesting import NestingResult, PathPattern, nesting_analysis

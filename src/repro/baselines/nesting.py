@@ -1,0 +1,204 @@
+"""The nesting algorithm of Aguilera et al. (SOSP 2003) as a baseline.
+
+"While their nesting algorithm assumes 'RPC-style' (call-returns)
+communication, their convolution algorithm is more general..." (paper
+Section 2). The nesting algorithm is cheap and per-request exact, but only
+works when every message is half of a call/return pair -- which holds for
+the request-response flows of the RUBiS simulator, so it makes a good
+accuracy cross-check for pathmap there (and fails, as expected, on
+unidirectional pipelines like Delta's).
+
+Implementation (following the published algorithm's structure):
+
+1. **Pairing**: a message ``A -> B`` opens a call; the earliest later
+   message ``B -> A`` returns it (FIFO per node pair).
+2. **Nesting**: a call ``B -> C`` is a child of the call ``A -> B`` whose
+   execution interval ``[t_call, t_return]`` most tightly encloses it
+   (latest-starting enclosing parent heuristic).
+3. **Aggregation**: root calls (from untraced clients) are walked
+   depth-first; identical node sequences are merged into path patterns
+   with counts and average per-hop latencies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.tracing.records import CaptureRecord, NodeId
+
+
+@dataclasses.dataclass
+class Call:
+    """One matched call/return pair."""
+
+    caller: NodeId
+    callee: NodeId
+    call_time: float
+    return_time: float
+    parent: Optional["Call"] = None
+    children: List["Call"] = dataclasses.field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return self.return_time - self.call_time
+
+    def encloses(self, other: "Call") -> bool:
+        return self.call_time <= other.call_time and other.return_time <= self.return_time
+
+
+@dataclasses.dataclass(frozen=True)
+class PathPattern:
+    """An aggregated causal path: node sequence, frequency, mean delays.
+
+    ``mean_delays[k]`` is the average time from the root call to the call
+    into ``nodes[k+1]`` (cumulative, like pathmap's edge labels).
+    """
+
+    nodes: Tuple[NodeId, ...]
+    count: int
+    mean_delays: Tuple[float, ...]
+
+    @property
+    def total_delay(self) -> float:
+        return self.mean_delays[-1] if self.mean_delays else 0.0
+
+
+class NestingResult:
+    """Aggregated output of the nesting analysis."""
+
+    def __init__(self, patterns: List[PathPattern], calls: int, unmatched: int) -> None:
+        self._patterns = sorted(patterns, key=lambda p: -p.count)
+        self.total_calls = calls
+        self.unmatched_messages = unmatched
+
+    def patterns(self) -> List[PathPattern]:
+        return list(self._patterns)
+
+    def pattern_for(self, nodes: Sequence[NodeId]) -> PathPattern:
+        wanted = tuple(nodes)
+        for pattern in self._patterns:
+            if pattern.nodes == wanted:
+                return pattern
+        raise AnalysisError(f"no path pattern {wanted}")
+
+    def node_sequences(self) -> List[Tuple[NodeId, ...]]:
+        return [p.nodes for p in self._patterns]
+
+
+def _match_calls(messages: List[Tuple[float, NodeId, NodeId]]) -> Tuple[List[Call], int]:
+    """FIFO call/return pairing per (caller, callee) node pair."""
+    open_calls: Dict[Tuple[NodeId, NodeId], List[Call]] = {}
+    calls: List[Call] = []
+    unmatched_returns = 0
+    for timestamp, src, dst in messages:
+        # Does this message return the oldest open call dst -> src?
+        pending = open_calls.get((dst, src))
+        if pending:
+            call = pending.pop(0)
+            call.return_time = timestamp
+            calls.append(call)
+            continue
+        # Otherwise it opens a call src -> dst.
+        call = Call(caller=src, callee=dst, call_time=timestamp, return_time=np.inf)
+        open_calls.setdefault((src, dst), []).append(call)
+    still_open = sum(len(v) for v in open_calls.values())
+    return calls, still_open + unmatched_returns
+
+
+def _nest(calls: List[Call]) -> List[Call]:
+    """Attach each call to its tightest enclosing parent; return roots."""
+    # Candidate parents of a call B -> C are calls X -> B whose interval
+    # encloses it; pick the latest-starting one.
+    by_callee: Dict[NodeId, List[Call]] = {}
+    for call in calls:
+        by_callee.setdefault(call.callee, []).append(call)
+    for lst in by_callee.values():
+        lst.sort(key=lambda c: c.call_time)
+
+    roots: List[Call] = []
+    for call in sorted(calls, key=lambda c: c.call_time):
+        candidates = by_callee.get(call.caller, [])
+        parent: Optional[Call] = None
+        for cand in candidates:
+            if cand.call_time > call.call_time:
+                break
+            if cand is not call and cand.encloses(call):
+                if parent is None or cand.call_time >= parent.call_time:
+                    parent = cand
+        if parent is None:
+            roots.append(call)
+        else:
+            call.parent = parent
+            parent.children.append(call)
+    return roots
+
+
+def _collect_paths(root: Call) -> List[Tuple[Tuple[NodeId, ...], Tuple[float, ...]]]:
+    """All root-to-leaf node sequences with cumulative call delays."""
+    results: List[Tuple[Tuple[NodeId, ...], Tuple[float, ...]]] = []
+
+    def walk(call: Call, nodes: Tuple[NodeId, ...], delays: Tuple[float, ...]) -> None:
+        if not call.children:
+            results.append((nodes, delays))
+            return
+        for child in sorted(call.children, key=lambda c: c.call_time):
+            walk(
+                child,
+                nodes + (child.callee,),
+                delays + (child.call_time - root.call_time,),
+            )
+
+    walk(root, (root.caller, root.callee), (0.0,))
+    return results
+
+
+def nesting_analysis(
+    records: Iterable[CaptureRecord],
+    client_nodes: Optional[Iterable[NodeId]] = None,
+) -> NestingResult:
+    """Run the nesting algorithm over delivery-side capture records.
+
+    Parameters
+    ----------
+    records:
+        Capture records; only one observation per message should be
+        passed (e.g. destination-side), or duplicates will inflate
+        counts. They need not be sorted.
+    client_nodes:
+        When given, only root calls originating at these nodes are
+        aggregated (matching pathmap's per-client service graphs).
+    """
+    messages = sorted(
+        {(r.timestamp, r.src, r.dst) for r in records},
+    )
+    calls, unmatched = _match_calls(messages)
+    roots = _nest(calls)
+    clients = set(client_nodes) if client_nodes is not None else None
+
+    # Aggregate identical node sequences.
+    sums: Dict[Tuple[NodeId, ...], List] = {}
+    for root in roots:
+        if clients is not None and root.caller not in clients:
+            continue
+        for nodes, delays in _collect_paths(root):
+            entry = sums.get(nodes)
+            if entry is None:
+                sums[nodes] = [1, list(delays)]
+            else:
+                entry[0] += 1
+                for i, d in enumerate(delays):
+                    entry[1][i] += d
+
+    patterns = [
+        PathPattern(
+            nodes=nodes,
+            count=count,
+            mean_delays=tuple(total / count for total in totals),
+        )
+        for nodes, (count, totals) in sums.items()
+    ]
+    return NestingResult(patterns, calls=len(calls), unmatched=unmatched)

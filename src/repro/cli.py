@@ -1,0 +1,335 @@
+"""Command-line interface.
+
+The workflows the paper's operators would run, without writing Python::
+
+    # generate traces from the bundled simulated applications
+    python -m repro simulate-rubis --dispatch affinity --duration 120 -o trace.jsonl
+    python -m repro simulate-delta --queues 5 --duration 3600 -o pipeline.jsonl
+
+    # discover service paths in a trace (packet captures or access logs)
+    python -m repro analyze trace.jsonl --clients C1,C2 --window 60 \
+        --quantum 1e-3 --sampling-window 50e-3 --max-delay 2 --format ascii
+
+    # audit clock skew across one traced edge
+    python -m repro skew trace.jsonl --edge AP:DB --window 60 --quantum 1e-3
+
+Exit status is non-zero on any E2EProfError, with the message on stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.render import render_ascii, render_dot
+from repro.apps.delta import build_delta
+from repro.apps.rubis import build_rubis
+from repro.config import PathmapConfig
+from repro.core.clock_skew import estimate_clock_skew
+from repro.core.pathmap import compute_service_graphs
+from repro.errors import E2EProfError
+from repro.tracing.access_log import access_log_to_captures
+from repro.tracing.collector import TraceCollector
+from repro.tracing.storage import (
+    load_captures,
+    read_access_log_jsonl,
+    write_access_log_jsonl,
+    write_capture_jsonl,
+)
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--window", type=float, default=60.0,
+                        help="sliding window W in seconds (default 60)")
+    parser.add_argument("--quantum", type=float, default=1e-3,
+                        help="time quantum tau in seconds (default 1 ms)")
+    parser.add_argument("--sampling-window", type=float, default=None,
+                        help="density sampling window omega (default 50*tau)")
+    parser.add_argument("--max-delay", type=float, default=2.0,
+                        help="transaction delay bound T_u in seconds (default 2)")
+    parser.add_argument("--spike-sigma", type=float, default=3.0,
+                        help="spike threshold in std deviations (default 3)")
+    parser.add_argument("--min-spike-height", type=float, default=0.0,
+                        help="absolute spike floor (default 0: paper rule)")
+
+
+def _config_from(args: argparse.Namespace) -> PathmapConfig:
+    omega = args.sampling_window
+    if omega is None:
+        omega = 50 * args.quantum
+    return PathmapConfig(
+        window=args.window,
+        refresh_interval=args.window,
+        quantum=args.quantum,
+        sampling_window=omega,
+        max_transaction_delay=args.max_delay,
+        spike_sigma=args.spike_sigma,
+        min_spike_height=args.min_spike_height,
+    )
+
+
+def _load_collector(args: argparse.Namespace) -> TraceCollector:
+    clients = [c for c in (args.clients or "").split(",") if c]
+    collector = TraceCollector(client_nodes=clients)
+    if getattr(args, "access_log", False):
+        records = list(read_access_log_jsonl(args.trace))
+        records.sort(key=lambda r: (r.timestamp, r.server, r.request_id))
+        collector.ingest_many(
+            access_log_to_captures(records, ingress_source=args.ingress)
+        )
+        if not clients:
+            collector.add_client(args.ingress)
+    else:
+        collector.ingest_many(load_captures(args.trace))
+    if not collector.clients:
+        raise E2EProfError(
+            "no client nodes: pass --clients (or --access-log with --ingress)"
+        )
+    return collector
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    collector = _load_collector(args)
+    end = args.end
+    if end is None:
+        end = max(
+            max(collector.edge_timestamps(src, dst))
+            for src, dst in collector.edges()
+        )
+    result = compute_service_graphs(
+        collector.window(config, end_time=end), config, method=args.method
+    )
+    if not result.graphs:
+        print("no service graphs found in the window", file=sys.stderr)
+        return 1
+    if args.format == "report":
+        from repro.analysis.reportgen import report_text
+
+        print(report_text(result))
+    elif args.format == "summary":
+        from repro.analysis.reportgen import summarize_result
+
+        print(json.dumps(summarize_result(result), indent=2, sort_keys=True))
+    elif args.format == "json":
+        payload = {
+            f"{client}@{root}": graph.to_dict()
+            for (client, root), graph in sorted(result.graphs.items())
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        renderer = render_dot if args.format == "dot" else render_ascii
+        for (client, root), graph in sorted(result.graphs.items()):
+            print(renderer(graph))
+            print()
+    print(
+        f"# {result.stats.graphs} graphs, {result.stats.edges_discovered} causal "
+        f"edges, {result.stats.correlations} correlations, "
+        f"{result.stats.elapsed_seconds:.2f}s",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    from repro.analysis.diff import diff_graphs
+
+    config = _config_from(args)
+    collector = _load_collector(args)
+
+    def analysis(end: float):
+        return compute_service_graphs(
+            collector.window(config, end_time=end), config, method=args.method
+        )
+
+    before = analysis(args.before_end)
+    after = analysis(args.after_end)
+    shared = set(before.graphs) & set(after.graphs)
+    if not shared:
+        print("no service class present in both windows", file=sys.stderr)
+        return 1
+    for key in sorted(shared):
+        diff = diff_graphs(before.graphs[key], after.graphs[key])
+        print(diff.summary())
+        print()
+    only_before = set(before.graphs) - shared
+    only_after = set(after.graphs) - shared
+    for client, root in sorted(only_before):
+        print(f"class {client}@{root}: present before, GONE after")
+    for client, root in sorted(only_after):
+        print(f"class {client}@{root}: NEW after")
+    return 0
+
+
+def cmd_render(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.analysis.svg import write_svg
+
+    config = _config_from(args)
+    collector = _load_collector(args)
+    end = args.end
+    if end is None:
+        end = max(
+            max(collector.edge_timestamps(src, dst))
+            for src, dst in collector.edges()
+        )
+    result = compute_service_graphs(
+        collector.window(config, end_time=end), config, method=args.method
+    )
+    if not result.graphs:
+        print("no service graphs found in the window", file=sys.stderr)
+        return 1
+    outdir = pathlib.Path(args.output)
+    outdir.mkdir(parents=True, exist_ok=True)
+    for (client, root), graph in sorted(result.graphs.items()):
+        path = outdir / f"{client}_{root}.svg"
+        write_svg(graph, str(path))
+        print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
+def cmd_skew(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    collector = _load_collector(args)
+    src, _, dst = args.edge.partition(":")
+    if not src or not dst:
+        raise E2EProfError(f"--edge must be SRC:DST, got {args.edge!r}")
+    end = args.end
+    if end is None:
+        end = max(collector.edge_timestamps(src, dst))
+    estimate = estimate_clock_skew(
+        collector, src, dst, config, end_time=end,
+        network_delay=args.network_delay,
+    )
+    print(f"edge {src}->{dst}: skew {estimate.skew*1e3:+.2f} ms "
+          f"(raw lag {estimate.raw_lag*1e3:+.2f} ms, "
+          f"spike height {estimate.spike_height:.2f})")
+    return 0
+
+
+def cmd_simulate_rubis(args: argparse.Namespace) -> int:
+    rubis = build_rubis(dispatch=args.dispatch, seed=args.seed,
+                        request_rate=args.rate)
+    rubis.run_until(args.duration)
+    count = write_capture_jsonl(args.output, rubis.collector.export_records())
+    print(f"wrote {count} capture records to {args.output} "
+          f"(clients: C1, C2)", file=sys.stderr)
+    return 0
+
+
+def cmd_simulate_delta(args: argparse.Namespace) -> int:
+    deployment = build_delta(seed=args.seed, num_queues=args.queues,
+                             events_per_hour=args.events_per_hour,
+                             slow_db_factor=args.slow_db)
+    deployment.run_until(args.duration)
+    count = write_access_log_jsonl(args.output, deployment.sorted_access_log())
+    print(f"wrote {count} access-log records to {args.output} "
+          f"(analyze with --access-log --ingress external)", file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="E2EProf (DSN 2007) reproduction: black-box end-to-end "
+                    "service-path analysis.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="discover service paths in a trace")
+    analyze.add_argument("trace", help="trace file (.jsonl or .csv)")
+    analyze.add_argument("--clients", default="",
+                         help="comma-separated client node ids")
+    analyze.add_argument("--access-log", action="store_true",
+                         help="input is an access log, not packet captures")
+    analyze.add_argument("--ingress", default="external",
+                         help="ingress source name for access logs")
+    analyze.add_argument("--end", type=float, default=None,
+                         help="window end time (default: last capture)")
+    analyze.add_argument("--method", default="auto",
+                         choices=["auto", "dense", "sparse", "rle", "fft"])
+    analyze.add_argument("--format", default="ascii",
+                         choices=["ascii", "dot", "json", "report", "summary"])
+    _add_config_arguments(analyze)
+    analyze.set_defaults(func=cmd_analyze)
+
+    diff = sub.add_parser(
+        "diff", help="compare two analysis windows of one trace"
+    )
+    diff.add_argument("trace", help="trace file (.jsonl or .csv)")
+    diff.add_argument("--before-end", type=float, required=True,
+                      help="end time of the baseline window")
+    diff.add_argument("--after-end", type=float, required=True,
+                      help="end time of the comparison window")
+    diff.add_argument("--clients", default="",
+                      help="comma-separated client node ids")
+    diff.add_argument("--access-log", action="store_true")
+    diff.add_argument("--ingress", default="external")
+    diff.add_argument("--method", default="auto",
+                      choices=["auto", "dense", "sparse", "rle", "fft"])
+    _add_config_arguments(diff)
+    diff.set_defaults(func=cmd_diff)
+
+    render = sub.add_parser("render", help="render service graphs as SVG")
+    render.add_argument("trace", help="trace file (.jsonl or .csv)")
+    render.add_argument("-o", "--output", required=True, help="output directory")
+    render.add_argument("--clients", default="",
+                        help="comma-separated client node ids")
+    render.add_argument("--access-log", action="store_true",
+                        help="input is an access log, not packet captures")
+    render.add_argument("--ingress", default="external",
+                        help="ingress source name for access logs")
+    render.add_argument("--end", type=float, default=None)
+    render.add_argument("--method", default="auto",
+                        choices=["auto", "dense", "sparse", "rle", "fft"])
+    _add_config_arguments(render)
+    render.set_defaults(func=cmd_render)
+
+    skew = sub.add_parser("skew", help="estimate clock skew across an edge")
+    skew.add_argument("trace", help="trace file (.jsonl or .csv)")
+    skew.add_argument("--edge", required=True, help="SRC:DST node pair")
+    skew.add_argument("--clients", default="", help="client node ids")
+    skew.add_argument("--end", type=float, default=None)
+    skew.add_argument("--network-delay", type=float, default=0.0,
+                      help="known one-way link latency to subtract (s)")
+    _add_config_arguments(skew)
+    skew.set_defaults(func=cmd_skew, access_log=False)
+
+    rubis = sub.add_parser("simulate-rubis", help="generate a RUBiS packet trace")
+    rubis.add_argument("-o", "--output", required=True)
+    rubis.add_argument("--dispatch", default="affinity",
+                       choices=["affinity", "round_robin"])
+    rubis.add_argument("--seed", type=int, default=0)
+    rubis.add_argument("--rate", type=float, default=10.0,
+                       help="requests/second per class")
+    rubis.add_argument("--duration", type=float, default=120.0)
+    rubis.set_defaults(func=cmd_simulate_rubis)
+
+    delta = sub.add_parser("simulate-delta",
+                           help="generate a Revenue Pipeline access log")
+    delta.add_argument("-o", "--output", required=True)
+    delta.add_argument("--seed", type=int, default=0)
+    delta.add_argument("--queues", type=int, default=5)
+    delta.add_argument("--events-per-hour", type=float, default=18000.0)
+    delta.add_argument("--slow-db", type=float, default=1.0)
+    delta.add_argument("--duration", type=float, default=3700.0)
+    delta.set_defaults(func=cmd_simulate_delta)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except E2EProfError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,194 @@
+"""Configuration objects for pathmap analysis.
+
+The paper (Section 3) parameterizes the pathmap algorithm by:
+
+* ``W`` -- the length of the sliding window over which analysis is run,
+* ``dW`` -- the service-graph refresh interval (how often the window slides),
+* ``tau`` -- the *time quantum*, the smallest delay of interest; the time
+  series has one sample per quantum,
+* ``omega`` -- the *rectangular sampling window* used by the density
+  function; an integral multiple of ``tau`` (the paper recommends
+  ``omega = 50 * tau``),
+* ``T_u`` -- an upper bound on the end-to-end transaction delay, which caps
+  the lag range of the cross-correlation.
+
+All times in this package are floats in **seconds**. Quantum indices are
+integers (``i`` in the paper's ``d(i)``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.errors import ConfigError
+
+#: Default ratio ``omega / tau`` recommended by the paper (Section 3.5):
+#: "For the systems we have analyzed, omega = 50 * tau gave the best set of
+#: results."
+DEFAULT_OMEGA_QUANTA = 50
+
+#: Spike threshold used in Section 3.3: local maxima exceeding
+#: ``mean + 3 * std``.
+DEFAULT_SPIKE_SIGMA = 3.0
+
+
+def _is_multiple(value: float, base: float, rel_tol: float = 1e-6) -> bool:
+    """Return True when ``value`` is an integral multiple of ``base``."""
+    if base <= 0:
+        return False
+    ratio = value / base
+    return math.isclose(ratio, round(ratio), rel_tol=rel_tol, abs_tol=rel_tol)
+
+
+@dataclasses.dataclass(frozen=True)
+class PathmapConfig:
+    """Parameters of the pathmap algorithm (paper Sections 3.3-3.5).
+
+    The defaults mirror the RUBiS configuration used in Section 4.1:
+    ``W = 3 min``, ``dW = 1 min``, ``tau = 1 ms``, ``omega = 50 ms`` and
+    ``T_u = 1 min``.
+    """
+
+    #: Sliding window length ``W`` in seconds.
+    window: float = 180.0
+    #: Refresh interval ``dW`` in seconds. The service graph is recomputed
+    #: every ``refresh_interval`` seconds from the most recent ``window``
+    #: seconds of trace.
+    refresh_interval: float = 60.0
+    #: Time quantum ``tau`` in seconds (resolution of the analysis).
+    quantum: float = 1e-3
+    #: Rectangular sampling window ``omega`` in seconds. Must be an integral
+    #: multiple of ``quantum``.
+    sampling_window: float = 50e-3
+    #: Upper bound ``T_u`` on the transaction delay, in seconds. Correlation
+    #: lags are only evaluated in ``[0, T_u]``.
+    max_transaction_delay: float = 60.0
+    #: Spike detection threshold, in standard deviations above the mean of
+    #: the correlation series.
+    spike_sigma: float = DEFAULT_SPIKE_SIGMA
+    #: Resolution window in seconds: among spikes closer than this, only the
+    #: tallest is kept. Defaults to ``sampling_window`` when None.
+    resolution_window: float | None = None
+    #: Minimum number of samples two series must overlap on for their
+    #: correlation to be considered statistically meaningful.
+    min_overlap_samples: int = 8
+    #: Absolute floor on spike heights (normalized correlation value).
+    #: The paper's mean + 3*sigma rule alone admits occasional chance
+    #: alignments on causally unrelated edges (~0.05 high); a small floor
+    #: removes them without touching real spikes (typically > 0.3).
+    #: 0.0 keeps the paper's exact rule.
+    min_spike_height: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.quantum <= 0:
+            raise ConfigError(f"quantum must be positive, got {self.quantum}")
+        if self.window <= 0:
+            raise ConfigError(f"window must be positive, got {self.window}")
+        if self.refresh_interval <= 0:
+            raise ConfigError(
+                f"refresh_interval must be positive, got {self.refresh_interval}"
+            )
+        if self.refresh_interval > self.window:
+            raise ConfigError(
+                "refresh_interval must not exceed window "
+                f"({self.refresh_interval} > {self.window})"
+            )
+        if self.sampling_window < self.quantum:
+            raise ConfigError(
+                "sampling_window must be at least one quantum "
+                f"({self.sampling_window} < {self.quantum})"
+            )
+        if not _is_multiple(self.sampling_window, self.quantum):
+            raise ConfigError(
+                "sampling_window must be an integral multiple of quantum "
+                f"(omega={self.sampling_window}, tau={self.quantum})"
+            )
+        if self.max_transaction_delay <= 0:
+            raise ConfigError(
+                "max_transaction_delay must be positive, got "
+                f"{self.max_transaction_delay}"
+            )
+        if self.spike_sigma <= 0:
+            raise ConfigError(f"spike_sigma must be positive, got {self.spike_sigma}")
+        if self.resolution_window is not None and self.resolution_window < 0:
+            raise ConfigError(
+                f"resolution_window must be non-negative, got {self.resolution_window}"
+            )
+        if self.min_overlap_samples < 1:
+            raise ConfigError(
+                f"min_overlap_samples must be >= 1, got {self.min_overlap_samples}"
+            )
+        if not 0.0 <= self.min_spike_height < 1.0:
+            raise ConfigError(
+                f"min_spike_height must be in [0, 1), got {self.min_spike_height}"
+            )
+
+    # -- derived quantities, all in quanta ---------------------------------
+
+    @property
+    def window_quanta(self) -> int:
+        """Number of quanta in the sliding window (``W / tau``)."""
+        return max(1, round(self.window / self.quantum))
+
+    @property
+    def refresh_quanta(self) -> int:
+        """Number of quanta in the refresh interval (``dW / tau``)."""
+        return max(1, round(self.refresh_interval / self.quantum))
+
+    @property
+    def sampling_quanta(self) -> int:
+        """Width of the rectangular sampling window in quanta (``omega / tau``)."""
+        return max(1, round(self.sampling_window / self.quantum))
+
+    @property
+    def max_lag_quanta(self) -> int:
+        """Largest correlation lag evaluated, in quanta (``T_u / tau``).
+
+        Capped at ``window_quanta - 1``: lags beyond the window have no
+        overlap at all.
+        """
+        lag = round(self.max_transaction_delay / self.quantum)
+        return max(1, min(lag, self.window_quanta - 1))
+
+    @property
+    def resolution_quanta(self) -> int:
+        """Spike resolution window in quanta.
+
+        Defaults to the sampling window width: the density function already
+        smears each message over ``omega``, so spikes closer than ``omega``
+        are not distinguishable.
+        """
+        if self.resolution_window is None:
+            return self.sampling_quanta
+        return max(1, round(self.resolution_window / self.quantum))
+
+    def with_window(self, window: float, refresh_interval: float | None = None) -> "PathmapConfig":
+        """Return a copy with a different sliding window (and optionally dW)."""
+        return dataclasses.replace(
+            self,
+            window=window,
+            refresh_interval=(
+                refresh_interval if refresh_interval is not None else min(self.refresh_interval, window)
+            ),
+        )
+
+
+#: Configuration used for the RUBiS experiments in Section 4.1.
+RUBIS_CONFIG = PathmapConfig(
+    window=180.0,
+    refresh_interval=60.0,
+    quantum=1e-3,
+    sampling_window=50e-3,
+    max_transaction_delay=60.0,
+)
+
+#: Configuration used for the Delta Revenue Pipeline analysis in Section 4.3
+#: (W = 1 hour, tau = 1 s, omega = 50 s).
+DELTA_CONFIG = PathmapConfig(
+    window=3600.0,
+    refresh_interval=600.0,
+    quantum=1.0,
+    sampling_window=50.0,
+    max_transaction_delay=1800.0,
+)

@@ -1,0 +1,197 @@
+"""Anomaly scoring on per-edge delay streams (paper Sections 1, 3.1).
+
+"...it is possible to dynamically identify the bottlenecks present in
+selected servers or services and to detect the abnormal or unusual
+performance behaviors indicative of potential problems or overloads."
+
+:class:`ChangeDetector` (Figure 7) flags *step* changes against a short
+trailing baseline. :class:`AnomalyDetector` complements it for the
+always-on monitoring case: every edge's delay stream is tracked with an
+exponentially weighted moving average and variance (EWMA/EWMV); each new
+sample gets a z-score against that long-memory baseline, and edges whose
+score stays above threshold enter an ``alarm`` state until they recover.
+This matches operator practice: a one-refresh blip is noise, a sustained
+deviation is a page.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.pathmap import PathmapResult
+from repro.core.service_graph import NodeId
+from repro.errors import AnalysisError
+
+EdgeKey = Tuple[NodeId, NodeId]
+ClassKey = Tuple[NodeId, NodeId]
+
+OK = "ok"
+WARNING = "warning"
+ALARM = "alarm"
+
+
+@dataclasses.dataclass
+class EdgeState:
+    """EWMA baseline and alarm state of one edge's delay stream."""
+
+    mean: float
+    variance: float
+    samples: int = 1
+    status: str = OK
+    consecutive_deviations: int = 0
+    last_score: float = 0.0
+
+    def std(self) -> float:
+        return math.sqrt(max(self.variance, 0.0))
+
+
+@dataclasses.dataclass(frozen=True)
+class Anomaly:
+    """One raised (or escalated) anomaly."""
+
+    time: float
+    class_key: ClassKey
+    edge: EdgeKey
+    observed: float
+    baseline: float
+    score: float
+    status: str
+
+
+class AnomalyDetector:
+    """EWMA/z-score anomaly detection over pathmap refreshes.
+
+    Parameters
+    ----------
+    alpha:
+        EWMA smoothing factor in (0, 1]; smaller = longer memory.
+    warn_score / alarm_score:
+        z-score thresholds for the warning and alarm states.
+    alarm_after:
+        Consecutive deviating refreshes required to escalate from warning
+        to alarm (debouncing).
+    min_std:
+        Floor on the baseline standard deviation (seconds), so a perfectly
+        quiet history doesn't turn measurement quantization into alarms.
+    warmup:
+        Refreshes per edge before scoring starts (baseline formation).
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.25,
+        warn_score: float = 3.0,
+        alarm_score: float = 5.0,
+        alarm_after: int = 2,
+        min_std: float = 0.002,
+        warmup: int = 3,
+    ) -> None:
+        if not 0 < alpha <= 1:
+            raise AnalysisError(f"alpha must be in (0, 1], got {alpha}")
+        if warn_score <= 0 or alarm_score < warn_score:
+            raise AnalysisError(
+                "need 0 < warn_score <= alarm_score, got "
+                f"{warn_score}/{alarm_score}"
+            )
+        if alarm_after < 1:
+            raise AnalysisError(f"alarm_after must be >= 1, got {alarm_after}")
+        if warmup < 1:
+            raise AnalysisError(f"warmup must be >= 1, got {warmup}")
+        self.alpha = alpha
+        self.warn_score = warn_score
+        self.alarm_score = alarm_score
+        self.alarm_after = alarm_after
+        self.min_std = min_std
+        self.warmup = warmup
+        self._states: Dict[Tuple[ClassKey, EdgeKey], EdgeState] = {}
+        self._anomalies: List[Anomaly] = []
+
+    # -- feeding -----------------------------------------------------------------
+
+    def record(self, time: float, result: PathmapResult) -> List[Anomaly]:
+        """Ingest one refresh; returns anomalies raised by it."""
+        raised: List[Anomaly] = []
+        for class_key, graph in result.graphs.items():
+            for edge in graph.edges:
+                key = (class_key, (edge.src, edge.dst))
+                anomaly = self._observe(time, key, edge.min_delay)
+                if anomaly is not None:
+                    raised.append(anomaly)
+        self._anomalies.extend(raised)
+        return raised
+
+    def subscribe_to(self, engine: "object") -> None:
+        engine.subscribe(lambda now, result: self.record(now, result))
+
+    def _observe(
+        self, time: float, key: Tuple[ClassKey, EdgeKey], delay: float
+    ) -> Optional[Anomaly]:
+        state = self._states.get(key)
+        if state is None:
+            self._states[key] = EdgeState(mean=delay, variance=0.0)
+            return None
+
+        score = 0.0
+        anomalous = False
+        if state.samples >= self.warmup:
+            std = max(state.std(), self.min_std)
+            score = (delay - state.mean) / std
+            anomalous = abs(score) >= self.warn_score
+        state.last_score = score
+
+        if anomalous:
+            state.consecutive_deviations += 1
+            escalate = (
+                abs(score) >= self.alarm_score
+                or state.consecutive_deviations >= self.alarm_after
+            )
+            new_status = ALARM if escalate else WARNING
+        else:
+            state.consecutive_deviations = 0
+            new_status = OK
+
+        raised: Optional[Anomaly] = None
+        if anomalous and (new_status != state.status or new_status == ALARM):
+            raised = Anomaly(
+                time=time,
+                class_key=key[0],
+                edge=key[1],
+                observed=delay,
+                baseline=state.mean,
+                score=score,
+                status=new_status,
+            )
+        state.status = new_status
+
+        # Baseline absorbs normal drift but not anomalous samples (a
+        # poisoned baseline would mask a sustained fault).
+        if not anomalous:
+            delta = delay - state.mean
+            state.mean += self.alpha * delta
+            state.variance = (1 - self.alpha) * (
+                state.variance + self.alpha * delta * delta
+            )
+        state.samples += 1
+        return raised
+
+    # -- queries --------------------------------------------------------------------
+
+    def status(self, class_key: ClassKey, edge: EdgeKey) -> str:
+        state = self._states.get((class_key, edge))
+        return state.status if state is not None else OK
+
+    def state(self, class_key: ClassKey, edge: EdgeKey) -> Optional[EdgeState]:
+        return self._states.get((class_key, edge))
+
+    def anomalies(self) -> List[Anomaly]:
+        return list(self._anomalies)
+
+    def active_alarms(self) -> List[Tuple[ClassKey, EdgeKey]]:
+        return sorted(
+            key for key, state in self._states.items() if state.status == ALARM
+        )
+
+    def healthy(self) -> bool:
+        return all(state.status == OK for state in self._states.values())

@@ -1,0 +1,156 @@
+"""Per-edge performance change detection (paper Section 4.1.2).
+
+"One of the goals of online service path analysis is to detect changes in
+path performance. We are interested not only in cumulative end-to-end
+delays, but also in fluctuations in per-edge performance."
+
+:class:`ChangeDetector` subscribes to the online engine (or is fed
+:class:`~repro.core.pathmap.PathmapResult` objects directly), keeps a
+history of every edge's delay per refresh, and flags refreshes where an
+edge's delay deviates from its trailing baseline -- the capability behind
+Figure 7, where the staircase delay injected at EJB2 is tracked edge by
+edge while other edges stay flat.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.pathmap import PathmapResult
+from repro.core.service_graph import NodeId
+from repro.errors import AnalysisError
+
+EdgeKey = Tuple[NodeId, NodeId]
+ClassKey = Tuple[NodeId, NodeId]  # (client, root)
+
+
+@dataclasses.dataclass(frozen=True)
+class DelaySample:
+    """One edge's delay at one refresh."""
+
+    time: float
+    delay: float
+
+
+@dataclasses.dataclass(frozen=True)
+class ChangeEvent:
+    """A detected per-edge performance change."""
+
+    time: float
+    class_key: ClassKey
+    edge: EdgeKey
+    previous: float
+    current: float
+
+    @property
+    def magnitude(self) -> float:
+        """Absolute delay change in seconds."""
+        return self.current - self.previous
+
+    @property
+    def relative(self) -> float:
+        """Relative change against the previous baseline."""
+        if self.previous == 0.0:
+            return float("inf") if self.current else 0.0
+        return (self.current - self.previous) / self.previous
+
+
+class ChangeDetector:
+    """Tracks per-edge delays across refreshes and flags shifts.
+
+    Parameters
+    ----------
+    absolute_threshold:
+        Minimum absolute delay change (seconds) to report.
+    relative_threshold:
+        Minimum relative change against the trailing baseline to report.
+        Both thresholds must be exceeded.
+    baseline_refreshes:
+        How many previous refreshes form the trailing baseline (their mean
+        delay is the reference).
+    """
+
+    def __init__(
+        self,
+        absolute_threshold: float = 0.005,
+        relative_threshold: float = 0.25,
+        baseline_refreshes: int = 3,
+    ) -> None:
+        if baseline_refreshes < 1:
+            raise AnalysisError(
+                f"baseline_refreshes must be >= 1, got {baseline_refreshes}"
+            )
+        self.absolute_threshold = absolute_threshold
+        self.relative_threshold = relative_threshold
+        self.baseline_refreshes = baseline_refreshes
+        self._history: Dict[Tuple[ClassKey, EdgeKey], List[DelaySample]] = {}
+        self._events: List[ChangeEvent] = []
+
+    # -- feeding -------------------------------------------------------------------
+
+    def record(self, time: float, result: PathmapResult) -> List[ChangeEvent]:
+        """Ingest one refresh; returns the change events it triggered."""
+        fresh: List[ChangeEvent] = []
+        for class_key, graph in result.graphs.items():
+            for edge in graph.edges:
+                key = (class_key, (edge.src, edge.dst))
+                history = self._history.setdefault(key, [])
+                current = edge.min_delay
+                event = self._check(time, class_key, (edge.src, edge.dst), history, current)
+                if event is not None:
+                    fresh.append(event)
+                history.append(DelaySample(time, current))
+        self._events.extend(fresh)
+        return fresh
+
+    def subscribe_to(self, engine: "object") -> None:
+        """Convenience: hook into an :class:`E2EProfEngine`."""
+        engine.subscribe(lambda now, result: self.record(now, result))
+
+    def _check(
+        self,
+        time: float,
+        class_key: ClassKey,
+        edge: EdgeKey,
+        history: List[DelaySample],
+        current: float,
+    ) -> Optional[ChangeEvent]:
+        if len(history) < self.baseline_refreshes:
+            return None
+        baseline = float(
+            np.mean([s.delay for s in history[-self.baseline_refreshes :]])
+        )
+        change = abs(current - baseline)
+        if change < self.absolute_threshold:
+            return None
+        if baseline > 0 and change / baseline < self.relative_threshold:
+            return None
+        return ChangeEvent(time, class_key, edge, baseline, current)
+
+    # -- queries ----------------------------------------------------------------------
+
+    def history(self, class_key: ClassKey, edge: EdgeKey) -> List[DelaySample]:
+        """All recorded samples of one edge's delay, in refresh order."""
+        return list(self._history.get((class_key, edge), []))
+
+    def delay_series(
+        self, class_key: ClassKey, edge: EdgeKey
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(times, delays) arrays for plotting (the Figure 7 curve)."""
+        samples = self.history(class_key, edge)
+        return (
+            np.array([s.time for s in samples]),
+            np.array([s.delay for s in samples]),
+        )
+
+    def events(self) -> List[ChangeEvent]:
+        return list(self._events)
+
+    def events_for(self, edge: EdgeKey) -> List[ChangeEvent]:
+        return [e for e in self._events if e.edge == edge]
+
+    def tracked_edges(self) -> List[Tuple[ClassKey, EdgeKey]]:
+        return sorted(self._history)

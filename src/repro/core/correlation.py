@@ -1,0 +1,440 @@
+"""Cross-correlation of density time series (paper Section 3.4).
+
+All variants in this module compute the *same* mathematical quantity so
+that they can be tested against each other and swapped freely:
+
+Given two series ``x`` and ``y`` over a common window of ``n`` quanta, with
+full-window means ``mx, my`` and population standard deviations ``sx, sy``,
+the normalized cross-correlation at non-negative lag ``d`` is::
+
+    num(d)  = sum_{i=0}^{n-1-d} (x[i] - mx) * (y[i+d] - my)
+    corr(d) = num(d) / (n * sx * sy)
+
+This is the paper's Eq. 1 with two standard, documented simplifications
+that the paper itself relies on: means and variances are taken over the
+full window (valid because the lag bound ``T_u`` is much smaller than the
+window ``W``), and only non-negative lags up to ``max_lag`` are evaluated
+(the paper's first optimization).
+
+Four interchangeable implementations are provided:
+
+``correlate_dense``
+    Reference implementation, O(n * max_lag) over dense arrays.
+``correlate_sparse``
+    The paper's *burst compression* optimization: iterates only over pairs
+    of non-zero samples whose lag is within bound; mean cross-terms are
+    corrected analytically.
+``correlate_rle``
+    The paper's *RLE* optimization: each pair of runs contributes a
+    trapezoid to the lag axis, accumulated in O(1) per pair with the
+    second-difference (double cumulative sum) trick.
+``correlate_fft``
+    The ``O(n log n)`` FFT method of Eq. 2 (the Aguilera et al. convolution
+    approach), used as the baseline in Figure 9.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.rle import RunLengthSeries, rle_encode
+from repro.core.timeseries import DensityTimeSeries, aligned_windows
+from repro.errors import CorrelationError, SeriesError
+
+SeriesLike = Union[DensityTimeSeries, RunLengthSeries]
+
+
+@dataclasses.dataclass(frozen=True)
+class CorrelationSeries:
+    """Normalized cross-correlation evaluated at lags ``0..max_lag``.
+
+    Attributes
+    ----------
+    values:
+        ``corr(d)`` for ``d = 0..max_lag`` (index == lag in quanta).
+    quantum:
+        Quantum duration in seconds; ``lag_seconds`` converts lags.
+    n:
+        Length (in quanta) of the common window the correlation was
+        computed over.
+    degenerate:
+        True when one input had zero variance (e.g. a silent edge); the
+        values are then all zero and carry no causal information.
+    """
+
+    values: np.ndarray
+    quantum: float
+    n: int
+    degenerate: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "values", np.asarray(self.values, dtype=np.float64)
+        )
+
+    @property
+    def max_lag(self) -> int:
+        return int(self.values.size - 1)
+
+    @property
+    def lags(self) -> np.ndarray:
+        return np.arange(self.values.size, dtype=np.int64)
+
+    def lag_seconds(self) -> np.ndarray:
+        """Lag axis converted to seconds."""
+        return self.lags * self.quantum
+
+    def mean(self) -> float:
+        return float(self.values.mean()) if self.values.size else 0.0
+
+    def std(self) -> float:
+        return float(self.values.std()) if self.values.size else 0.0
+
+
+def _as_sparse(series: SeriesLike) -> DensityTimeSeries:
+    if isinstance(series, RunLengthSeries):
+        return series.to_sparse()
+    return series
+
+
+def _as_rle(series: SeriesLike) -> RunLengthSeries:
+    if isinstance(series, DensityTimeSeries):
+        return rle_encode(series)
+    return series
+
+
+def _effective_max_lag(n: int, max_lag: Optional[int]) -> int:
+    if n <= 0:
+        raise CorrelationError("cannot correlate over an empty window")
+    if max_lag is None:
+        return n - 1
+    if max_lag < 0:
+        raise CorrelationError(f"max_lag must be non-negative, got {max_lag}")
+    return min(max_lag, n - 1)
+
+
+def _normalize(
+    lag_products: np.ndarray,
+    x_prefix_mass: np.ndarray,
+    y_suffix_mass: np.ndarray,
+    n: int,
+    mx: float,
+    my: float,
+    sx: float,
+    sy: float,
+    quantum: float,
+) -> CorrelationSeries:
+    """Apply mean corrections and normalization shared by all variants.
+
+    ``lag_products[d]`` is ``sum_i x[i] * y[i+d]``; ``x_prefix_mass[d]`` is
+    ``sum_{i=0}^{n-1-d} x[i]`` and ``y_suffix_mass[d]`` is
+    ``sum_{i=d}^{n-1} y[i]``.
+    """
+    lags = np.arange(lag_products.size, dtype=np.float64)
+    num = lag_products - mx * y_suffix_mass - my * x_prefix_mass + (n - lags) * mx * my
+    denom = n * sx * sy
+    if denom <= 0.0 or not np.isfinite(denom):
+        return CorrelationSeries(
+            np.zeros_like(lag_products), quantum, n, degenerate=True
+        )
+    return CorrelationSeries(num / denom, quantum, n)
+
+
+# ---------------------------------------------------------------------------
+# Dense reference implementation
+# ---------------------------------------------------------------------------
+
+
+def correlate_dense(
+    x: SeriesLike, y: SeriesLike, max_lag: Optional[int] = None
+) -> CorrelationSeries:
+    """Reference O(n * max_lag) implementation over dense arrays."""
+    xs, ys = aligned_windows(_as_sparse(x), _as_sparse(y))
+    n = xs.length
+    d_max = _effective_max_lag(n, max_lag)
+    xd = xs.to_dense()
+    yd = ys.to_dense()
+    mx, my = xd.mean(), yd.mean()
+    sx, sy = xd.std(), yd.std()
+    values = np.empty(d_max + 1, dtype=np.float64)
+    xc = xd - mx
+    yc = yd - my
+    denom = n * sx * sy
+    if denom <= 0.0 or not np.isfinite(denom):
+        return CorrelationSeries(np.zeros(d_max + 1), xs.quantum, n, degenerate=True)
+    for d in range(d_max + 1):
+        values[d] = np.dot(xc[: n - d], yc[d:]) / denom
+    return CorrelationSeries(values, xs.quantum, n)
+
+
+# ---------------------------------------------------------------------------
+# Sparse (burst-compressed) implementation
+# ---------------------------------------------------------------------------
+
+#: Upper bound on the number of (x, y) sample pairs materialized per chunk,
+#: to bound peak memory on pathological inputs.
+_PAIR_CHUNK = 1 << 20
+
+
+def sparse_lag_products(
+    x: DensityTimeSeries, y: DensityTimeSeries, max_lag: int
+) -> np.ndarray:
+    """Raw lag products ``S[d] = sum x[i] * y[j]`` over pairs with
+    ``j - i = d`` for ``d = 0..max_lag``, using **absolute** indices.
+
+    The two series need not share a window; this is the primitive the
+    incremental correlator uses for cross-block products.
+    """
+    if max_lag < 0:
+        raise CorrelationError(f"max_lag must be non-negative, got {max_lag}")
+    out = np.zeros(max_lag + 1, dtype=np.float64)
+    if x.nnz == 0 or y.nnz == 0:
+        return out
+    xi, xv = x.indices, x.values
+    yi, yv = y.indices, y.values
+    lo = np.searchsorted(yi, xi, side="left")
+    hi = np.searchsorted(yi, xi + max_lag, side="right")
+    pair_counts = hi - lo
+    total_pairs = int(pair_counts.sum())
+    if total_pairs == 0:
+        return out
+
+    # Process x entries in chunks bounded by _PAIR_CHUNK materialized pairs.
+    cum_pairs = np.concatenate([[0], np.cumsum(pair_counts)])
+    start = 0
+    while start < xi.size:
+        stop = int(
+            np.searchsorted(cum_pairs, cum_pairs[start] + _PAIR_CHUNK, side="left")
+        )
+        stop = min(max(stop, start + 1), xi.size)
+        counts = pair_counts[start:stop]
+        chunk_total = int(counts.sum())
+        if chunk_total > 0:
+            # Expand (x index, y range) pairs for this chunk without a
+            # Python loop: reps[k] repeats the x row, offsets walks each
+            # row's y range lo[k]..hi[k]-1.
+            rows = np.repeat(np.arange(start, stop), counts)
+            local = np.arange(chunk_total) - np.repeat(
+                cum_pairs[start:stop] - cum_pairs[start], counts
+            )
+            offsets = lo[rows] + local
+            lags = yi[offsets] - xi[rows]
+            weights = xv[rows] * yv[offsets]
+            out += np.bincount(lags, weights=weights, minlength=max_lag + 1)[
+                : max_lag + 1
+            ]
+        start = stop
+    return out
+
+
+def _sparse_prefix_mass(series: DensityTimeSeries, lengths: np.ndarray) -> np.ndarray:
+    """Mass of the first ``lengths[k]`` quanta of the window, vectorized."""
+    if series.nnz == 0:
+        return np.zeros(lengths.size, dtype=np.float64)
+    csum = np.concatenate([[0.0], np.cumsum(series.values)])
+    pos = np.searchsorted(series.indices, series.start + lengths, side="left")
+    return csum[pos]
+
+
+def correlate_sparse(
+    x: SeriesLike, y: SeriesLike, max_lag: Optional[int] = None
+) -> CorrelationSeries:
+    """Burst-compressed correlation: only non-zero sample pairs are touched."""
+    xs, ys = aligned_windows(_as_sparse(x), _as_sparse(y))
+    n = xs.length
+    d_max = _effective_max_lag(n, max_lag)
+    lag_products = sparse_lag_products(xs, ys, d_max)
+    lags = np.arange(d_max + 1, dtype=np.int64)
+    x_prefix = _sparse_prefix_mass(xs, n - lags)
+    y_suffix = ys.total() - _sparse_prefix_mass(ys, lags)
+    return _normalize(
+        lag_products, x_prefix, y_suffix, n, xs.mean(), ys.mean(), xs.std(), ys.std(), xs.quantum
+    )
+
+
+# ---------------------------------------------------------------------------
+# RLE implementation
+# ---------------------------------------------------------------------------
+
+
+def rle_lag_products(
+    x: RunLengthSeries, y: RunLengthSeries, max_lag: int
+) -> np.ndarray:
+    """Raw lag products over run pairs via the second-difference trick.
+
+    Each pair of runs ``(a, b)`` contributes ``a.value * b.value *
+    overlap(d)`` where ``overlap`` is a trapezoid on the lag axis; the
+    trapezoid is the double cumulative sum of four impulses, so each pair
+    costs O(1) scatter work regardless of run lengths (the paper's
+    "correlation of overlapping sequences ... computed in a single step").
+
+    Works on absolute indices; the series need not share a window.
+    """
+    if max_lag < 0:
+        raise CorrelationError(f"max_lag must be non-negative, got {max_lag}")
+    if x.num_runs == 0 or y.num_runs == 0:
+        return np.zeros(max_lag + 1, dtype=np.float64)
+
+    xs_, xc, xv = x.starts, x.counts, x.values
+    ys_, yc, yv = y.starts, y.counts, y.values
+    x_ends = xs_ + xc
+    y_ends = ys_ + yc
+
+    # For x-run k, the candidate y-runs are those whose lag range
+    # [y.start - x.end + 1, y.end - 1 - x.start] intersects [0, max_lag]:
+    #   y.end > x.start          (lag range reaches >= 0)
+    #   y.start <= x.end - 1 + max_lag
+    lo = np.searchsorted(y_ends, xs_, side="right")
+    hi = np.searchsorted(ys_, x_ends + max_lag, side="left")
+    counts = np.maximum(hi - lo, 0)
+    total = int(counts.sum())
+    offset = int(xc.max() + yc.max())
+    size = max_lag + offset + 2
+    diff2 = np.zeros(size + 1, dtype=np.float64)
+    if total == 0:
+        return np.zeros(max_lag + 1, dtype=np.float64)
+
+    cum = np.concatenate([[0], np.cumsum(counts)])
+    reps = np.repeat(np.arange(xs_.size), counts)
+    local = np.arange(total) - np.repeat(cum[:-1], counts)
+    cols = lo[reps] + local
+    w = xv[reps] * yv[cols]
+    # First lag at which the pair overlaps: d0 = y.start - (x.end - 1).
+    d0 = ys_[cols] - (x_ends[reps] - 1) + offset
+    ca = xc[reps]
+    cb = yc[cols]
+    top = size  # clip: impulses beyond the slice cannot affect it
+
+    np.add.at(diff2, np.minimum(d0, top), w)
+    np.add.at(diff2, np.minimum(d0 + ca, top), -w)
+    np.add.at(diff2, np.minimum(d0 + cb, top), -w)
+    np.add.at(diff2, np.minimum(d0 + ca + cb, top), w)
+
+    ramp = np.cumsum(np.cumsum(diff2))
+    return ramp[offset : offset + max_lag + 1]
+
+
+def _rle_prefix_mass(series: RunLengthSeries, lengths: np.ndarray) -> np.ndarray:
+    """Mass of the first ``lengths[k]`` quanta of the window, vectorized."""
+    if series.num_runs == 0:
+        return np.zeros(lengths.size, dtype=np.float64)
+    run_mass = series.counts * series.values
+    csum = np.concatenate([[0.0], np.cumsum(run_mass)])
+    cutoff = series.start + lengths  # exclusive absolute bound
+    # Runs entirely before the cutoff contribute fully...
+    full = np.searchsorted(series.starts + series.counts, cutoff, side="right")
+    mass = csum[full]
+    # ...plus the partial run straddling the cutoff, if any.
+    part = np.searchsorted(series.starts, cutoff, side="left") - 1
+    straddle = (part >= 0) & (part >= full)
+    if np.any(straddle):
+        p = part[straddle]
+        overlap = np.minimum(cutoff[straddle], series.starts[p] + series.counts[p]) - series.starts[p]
+        overlap = np.maximum(overlap, 0)
+        mass = mass.astype(np.float64)
+        mass[straddle] += overlap * series.values[p]
+    return mass
+
+
+def correlate_rle(
+    x: SeriesLike, y: SeriesLike, max_lag: Optional[int] = None
+) -> CorrelationSeries:
+    """RLE correlation: O(run pairs) instead of O(sample pairs)."""
+    xr = _as_rle(x)
+    yr = _as_rle(y)
+    if xr.quantum != yr.quantum:
+        raise SeriesError(f"quantum mismatch: {xr.quantum} vs {yr.quantum}")
+    start = max(xr.start, yr.start)
+    end = min(xr.end, yr.end)
+    if end <= start:
+        raise SeriesError("series windows do not overlap")
+    xr = xr.restricted(start, end - start)
+    yr = yr.restricted(start, end - start)
+    n = xr.length
+    d_max = _effective_max_lag(n, max_lag)
+    lag_products = rle_lag_products(xr, yr, d_max)
+    lags = np.arange(d_max + 1, dtype=np.int64)
+    x_prefix = _rle_prefix_mass(xr, n - lags)
+    y_suffix = yr.total() - _rle_prefix_mass(yr, lags)
+    return _normalize(
+        lag_products, x_prefix, y_suffix, n, xr.mean(), yr.mean(), xr.std(), yr.std(), xr.quantum
+    )
+
+
+# ---------------------------------------------------------------------------
+# FFT implementation (Eq. 2 / convolution baseline)
+# ---------------------------------------------------------------------------
+
+
+def fft_lag_products(xd: np.ndarray, yd: np.ndarray, max_lag: int) -> np.ndarray:
+    """Raw lag products via FFT (zero-padded, i.e. linear correlation)."""
+    n = xd.size
+    size = 1
+    while size < 2 * n:
+        size <<= 1
+    fx = np.fft.rfft(xd, size)
+    fy = np.fft.rfft(yd, size)
+    prod = np.fft.irfft(np.conj(fx) * fy, size)
+    return prod[: max_lag + 1]
+
+
+def correlate_fft(
+    x: SeriesLike, y: SeriesLike, max_lag: Optional[int] = None
+) -> CorrelationSeries:
+    """FFT-based correlation (the paper's Eq. 2; baseline in Figure 9).
+
+    Unlike the direct variants, FFT inherently computes the full lag range;
+    ``max_lag`` only truncates the returned slice.
+    """
+    xs, ys = aligned_windows(_as_sparse(x), _as_sparse(y))
+    n = xs.length
+    d_max = _effective_max_lag(n, max_lag)
+    xd = xs.to_dense()
+    yd = ys.to_dense()
+    lag_products = fft_lag_products(xd, yd, d_max)
+    lags = np.arange(d_max + 1, dtype=np.int64)
+    x_prefix = _sparse_prefix_mass(xs, n - lags)
+    y_suffix = ys.total() - _sparse_prefix_mass(ys, lags)
+    return _normalize(
+        lag_products, x_prefix, y_suffix, n, xs.mean(), ys.mean(), xs.std(), ys.std(), xs.quantum
+    )
+
+
+# ---------------------------------------------------------------------------
+# Dispatcher
+# ---------------------------------------------------------------------------
+
+_METHODS = {
+    "dense": correlate_dense,
+    "sparse": correlate_sparse,
+    "rle": correlate_rle,
+    "fft": correlate_fft,
+}
+
+
+def cross_correlate(
+    x: SeriesLike,
+    y: SeriesLike,
+    max_lag: Optional[int] = None,
+    method: str = "auto",
+) -> CorrelationSeries:
+    """Compute the normalized cross-correlation with the chosen ``method``.
+
+    ``method="auto"`` picks RLE when both inputs are already run-length
+    encoded (the streamed wire format), sparse otherwise.
+    """
+    if method == "auto":
+        if isinstance(x, RunLengthSeries) and isinstance(y, RunLengthSeries):
+            method = "rle"
+        else:
+            method = "sparse"
+    try:
+        impl = _METHODS[method]
+    except KeyError:
+        raise CorrelationError(
+            f"unknown correlation method {method!r}; choose from {sorted(_METHODS)}"
+        ) from None
+    return impl(x, y, max_lag)

@@ -1,0 +1,266 @@
+"""The online E2EProf engine (paper Sections 3.3-3.6).
+
+This is the analyzer node: every refresh interval ``dW`` it pulls one
+RLE-encoded block per edge from the per-node tracers (the streamed wire
+format of Section 3.6), feeds the blocks into cached
+:class:`~repro.core.incremental.IncrementalCorrelator` instances -- one
+per (service class, edge) pair -- and re-runs the pathmap DFS using those
+cached correlations. Only the newest ``dW`` of trace is ever correlated,
+which is what makes the per-refresh cost constant in ``W`` (the flat
+'incremental' curve of Figure 9).
+
+Subscribers receive every fresh :class:`~repro.core.pathmap.PathmapResult`
+-- the paper's long-term vision of E2EProf as "a basic service,
+'pluggable' into any distributed system" whose subscribers "receive
+real-time information about their service paths".
+
+Block timing: blocks are flushed one sampling window behind real time so
+every message contributing to a block's boxcar has already been observed;
+the analysis therefore lags reality by ``omega`` (50 ms at RUBiS
+settings), which is negligible against ``dW``.
+"""
+
+from __future__ import annotations
+
+import collections
+import time
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
+
+from repro.config import PathmapConfig
+from repro.core.correlation import CorrelationSeries, SeriesLike
+from repro.core.incremental import IncrementalCorrelator
+from repro.core.pathmap import Pathmap, PathmapResult, TraceWindow
+from repro.core.rle import RunLengthSeries
+from repro.core.timeseries import DensityTimeSeries
+from repro.errors import AnalysisError
+from repro.simulation.des import PeriodicTask
+from repro.simulation.topology import Topology
+from repro.tracing.records import NodeId
+from repro.tracing.wire import decode_block, encode_block
+
+EdgeKey = Tuple[NodeId, NodeId]
+RefKey = Tuple[NodeId, NodeId]
+Subscriber = Callable[[float, PathmapResult], None]
+
+
+class E2EProfEngine:
+    """Online sliding-window service-path analysis over streamed blocks."""
+
+    def __init__(
+        self,
+        config: PathmapConfig,
+        clients: Optional[Set[NodeId]] = None,
+        wire_fidelity: bool = False,
+    ) -> None:
+        self.config = config
+        self._clients: Set[NodeId] = set(clients or ())
+        #: When True, every streamed block is round-tripped through the
+        #: binary wire format (tracing.wire) before analysis -- proving
+        #: the bytes actually sent over the network carry everything the
+        #: analysis needs (values pass through float32).
+        self.wire_fidelity = wire_fidelity
+        self.wire_bytes_received = 0
+        self._num_blocks = max(1, round(config.window / config.refresh_interval))
+        self._block_quanta = config.refresh_quanta
+        # Aligned per-edge block history (destination-side, RLE).
+        self._blocks: Dict[EdgeKey, Deque[RunLengthSeries]] = {}
+        self._refreshes = 0
+        self._base_quantum: Optional[int] = None
+        self._correlators: Dict[Tuple[RefKey, EdgeKey], IncrementalCorrelator] = {}
+        self._subscribers: List[Subscriber] = []
+        self._pathmap = Pathmap(config, correlation_provider=self._provide_correlation)
+        self.latest_result: Optional[PathmapResult] = None
+        self.latest_refresh_time: Optional[float] = None
+        #: Wall-clock seconds the most recent refresh took (block ingest +
+        #: incremental correlator updates + pathmap DFS). The Figure 9
+        #: 'incremental' curve measures exactly this.
+        self.last_refresh_seconds: float = 0.0
+        self._topology: Optional[Topology] = None
+        self._task: Optional[PeriodicTask] = None
+
+    # -- wiring ---------------------------------------------------------------------
+
+    def subscribe(self, callback: Subscriber) -> None:
+        """Receive ``(time, PathmapResult)`` after every refresh."""
+        self._subscribers.append(callback)
+
+    def attach(self, topology: Topology, start_at: Optional[float] = None) -> None:
+        """Drive refreshes from a simulated topology's clock.
+
+        The first refresh fires one ``dW`` after ``start_at`` (default:
+        attach time) and every ``dW`` thereafter.
+        """
+        if self._topology is not None:
+            raise AnalysisError("engine is already attached")
+        self._topology = topology
+        self._clients |= topology.collector.clients
+        begin = start_at if start_at is not None else topology.sim.now
+        tau = self.config.quantum
+        # Anchor block boundaries one sampling window behind the wall
+        # clock so flushed blocks are complete (see module docstring).
+        self._base_quantum = int(round(begin / tau)) - self.config.sampling_quanta
+        self._task = PeriodicTask(
+            topology.sim,
+            self.config.refresh_interval,
+            self._on_tick,
+            start_at=begin + self.config.refresh_interval,
+        )
+
+    def detach(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+        self._topology = None
+
+    # -- refresh ------------------------------------------------------------------------
+
+    def _on_tick(self, now: float) -> None:
+        self.refresh(now)
+
+    def refresh(self, now: float) -> PathmapResult:
+        """Pull one block per edge, update correlators, recompute graphs."""
+        started = time.perf_counter()
+        if self._topology is None:
+            raise AnalysisError("engine is not attached to a topology")
+        if self._base_quantum is None:
+            raise AnalysisError("engine was never attached")
+        # Clients may be added while running (new service classes).
+        self._clients |= self._topology.collector.clients
+        block_start = self._base_quantum + self._refreshes * self._block_quanta
+
+        fresh: Dict[EdgeKey, RunLengthSeries] = {}
+        for node_id, tracer in self._topology.fabric.tracers.items():
+            for edge, block in tracer.flush_block(
+                self.config, block_start, self._block_quanta
+            ).items():
+                src, dst = edge
+                # Destination-side capture wins (Algorithm 1); source-side
+                # only for edges into untraced clients.
+                if node_id == dst or (dst in self._clients and node_id == src):
+                    if self.wire_fidelity:
+                        payload = encode_block(block)
+                        self.wire_bytes_received += len(payload)
+                        block = decode_block(payload)
+                    fresh[edge] = block
+
+        self._refreshes += 1
+        self._store_blocks(fresh, block_start)
+        self._append_to_correlators()
+
+        window = _EngineWindow(self)
+        result = self._pathmap.analyze(window)
+        self.latest_result = result
+        self.latest_refresh_time = now
+        self.last_refresh_seconds = time.perf_counter() - started
+        for subscriber in self._subscribers:
+            subscriber(now, result)
+        return result
+
+    def _store_blocks(self, fresh: Dict[EdgeKey, RunLengthSeries], block_start: int) -> None:
+        tau = self.config.quantum
+        empty = RunLengthSeries.empty(block_start, self._block_quanta, tau)
+        for edge in set(self._blocks) | set(fresh):
+            deque_ = self._blocks.get(edge)
+            if deque_ is None:
+                # Newly seen edge: backfill silence so every deque is
+                # aligned on the same block boundaries.
+                deque_ = collections.deque(maxlen=self._num_blocks)
+                backfill = min(self._refreshes - 1, self._num_blocks)
+                for k in range(backfill, 0, -1):
+                    start = block_start - k * self._block_quanta
+                    deque_.append(
+                        RunLengthSeries.empty(start, self._block_quanta, tau)
+                    )
+                self._blocks[edge] = deque_
+            deque_.append(fresh.get(edge, empty))
+
+    def _append_to_correlators(self) -> None:
+        for (ref_edge, edge), correlator in self._correlators.items():
+            ref_block = self._blocks[ref_edge][-1]
+            edge_block = self._blocks[edge][-1]
+            correlator.append(ref_block, edge_block)
+
+    # -- correlation provider (plugged into pathmap) ----------------------------------------
+
+    def _provide_correlation(
+        self,
+        reference: SeriesLike,
+        signal: SeriesLike,
+        ref_key: RefKey,
+        edge_key: EdgeKey,
+    ) -> CorrelationSeries:
+        correlator = self._correlators.get((ref_key, edge_key))
+        if correlator is None:
+            correlator = self._create_correlator(ref_key, edge_key)
+        return correlator.correlation()
+
+    def _create_correlator(self, ref_key: RefKey, edge_key: EdgeKey) -> IncrementalCorrelator:
+        ref_blocks = self._blocks.get(ref_key)
+        edge_blocks = self._blocks.get(edge_key)
+        if ref_blocks is None or edge_blocks is None:
+            raise AnalysisError(
+                f"no block history for correlator {ref_key} x {edge_key}"
+            )
+        correlator = IncrementalCorrelator(
+            max_lag=self.config.max_lag_quanta,
+            num_blocks=self._num_blocks,
+            quantum=self.config.quantum,
+        )
+        for ref_block, edge_block in zip(ref_blocks, edge_blocks):
+            correlator.append(ref_block, edge_block)
+        self._correlators[(ref_key, edge_key)] = correlator
+        return correlator
+
+    # -- window state queried by the pathmap DFS ----------------------------------------------
+
+    def _active_edges(self) -> Set[EdgeKey]:
+        return {
+            edge
+            for edge, blocks in self._blocks.items()
+            if any(block.num_runs for block in blocks)
+        }
+
+    def _edge_series(self, edge: EdgeKey) -> DensityTimeSeries:
+        blocks = self._blocks.get(edge)
+        if not blocks:
+            raise AnalysisError(f"no blocks for edge {edge}")
+        series = blocks[0].to_sparse()
+        for block in list(blocks)[1:]:
+            series = series.concatenated(block.to_sparse())
+        return series
+
+    @property
+    def correlator_count(self) -> int:
+        return len(self._correlators)
+
+
+class _EngineWindow(TraceWindow):
+    """TraceWindow view over the engine's current block history."""
+
+    def __init__(self, engine: E2EProfEngine) -> None:
+        self._engine = engine
+        self._active = engine._active_edges()
+        self._clients = engine._clients
+
+    def front_end_nodes(self) -> List[NodeId]:
+        return sorted(
+            {
+                dst
+                for (src, dst) in self._active
+                if src in self._clients and dst not in self._clients
+            }
+        )
+
+    def clients_of(self, node: NodeId) -> List[NodeId]:
+        return sorted(
+            src for (src, dst) in self._active if dst == node and src in self._clients
+        )
+
+    def destinations_of(self, node: NodeId) -> List[NodeId]:
+        return sorted(dst for (src, dst) in self._active if src == node)
+
+    def is_client(self, node: NodeId) -> bool:
+        return node in self._clients
+
+    def edge_series(self, src: NodeId, dst: NodeId) -> DensityTimeSeries:
+        return self._engine._edge_series((src, dst))

@@ -1,0 +1,276 @@
+"""Incremental cross-correlation over a sliding window (paper Section 3.4).
+
+The paper's second optimization: "direct cross-correlation is incremental
+... it can be computed over only the newly appended trace of size dW."
+
+The sliding window of ``W = m * dW`` is kept as a deque of ``m`` blocks of
+``dW`` worth of quanta each. For each ordered pair of blocks whose quanta
+can be at most ``max_lag`` apart, the raw lag-product vector
+``S[d] = sum x[i] * y[i + d]`` is computed once and cached. Appending a new
+block therefore only computes the pair products that involve the new block
+(a constant amount of work per refresh, which is why the 'incremental'
+curve in Figure 9 is flat in ``W``), and evicting the oldest block
+subtracts its cached vectors.
+
+The result is *exactly* equal (to floating-point accumulation error) to
+running :func:`repro.core.correlation.correlate_sparse` over the full
+concatenated window, which is the invariant the test suite checks.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Deque, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.correlation import (
+    CorrelationSeries,
+    _normalize,
+    _sparse_prefix_mass,
+    rle_lag_products,
+    sparse_lag_products,
+)
+from repro.core.rle import RunLengthSeries
+from repro.core.timeseries import DensityTimeSeries
+from repro.errors import CorrelationError, SeriesError
+
+Block = Union[DensityTimeSeries, RunLengthSeries]
+
+
+def _pair_products(x: Block, y: Block, max_lag: int) -> np.ndarray:
+    """Raw lag products between two blocks, picking the right kernel."""
+    if isinstance(x, RunLengthSeries) and isinstance(y, RunLengthSeries):
+        return rle_lag_products(x, y, max_lag)
+    xs = x.to_sparse() if isinstance(x, RunLengthSeries) else x
+    ys = y.to_sparse() if isinstance(y, RunLengthSeries) else y
+    return sparse_lag_products(xs, ys, max_lag)
+
+
+class IncrementalCorrelator:
+    """Maintains ``corr(x, y)`` over a sliding window of blocks.
+
+    Parameters
+    ----------
+    max_lag:
+        Lag bound in quanta (``T_u / tau``).
+    num_blocks:
+        ``m = W / dW`` -- how many refresh intervals make up the window.
+    quantum:
+        Quantum duration in seconds.
+
+    Usage::
+
+        corr = IncrementalCorrelator(max_lag=60_000, num_blocks=3, quantum=1e-3)
+        for x_block, y_block in stream:   # each spanning dW quanta
+            corr.append(x_block, y_block)
+            series = corr.correlation()
+    """
+
+    def __init__(self, max_lag: int, num_blocks: int, quantum: float) -> None:
+        if max_lag < 0:
+            raise CorrelationError(f"max_lag must be non-negative, got {max_lag}")
+        if num_blocks < 1:
+            raise CorrelationError(f"num_blocks must be >= 1, got {num_blocks}")
+        if quantum <= 0:
+            raise CorrelationError(f"quantum must be positive, got {quantum}")
+        self.max_lag = int(max_lag)
+        self.num_blocks = int(num_blocks)
+        self.quantum = float(quantum)
+        self._x_blocks: Deque[Tuple[int, Block]] = collections.deque()
+        self._y_blocks: Deque[Tuple[int, Block]] = collections.deque()
+        self._next_block_id = 0
+        self._block_quanta: Optional[int] = None
+        # Aggregate lag products over all live block pairs.
+        self._lag_products = np.zeros(self.max_lag + 1, dtype=np.float64)
+        # Cache of per-pair vectors, keyed by (x block id, y block id),
+        # needed to subtract a block's contributions on eviction.
+        self._pair_cache: Dict[Tuple[int, int], np.ndarray] = {}
+        # Running window statistics, maintained on append/evict so that
+        # normalization never needs the full window (what keeps the
+        # per-refresh cost flat in W -- Figure 9's 'incremental' curve).
+        self._x_total = 0.0
+        self._x_energy = 0.0
+        self._y_total = 0.0
+        self._y_energy = 0.0
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    @property
+    def window_start(self) -> Optional[int]:
+        """Absolute quantum index of the start of the current window."""
+        if not self._x_blocks:
+            return None
+        return self._x_blocks[0][1].start
+
+    @property
+    def window_length(self) -> int:
+        """Number of quanta currently in the window."""
+        return sum(block.length for _, block in self._x_blocks)
+
+    @property
+    def block_reach(self) -> int:
+        """How many blocks back a lag of ``max_lag`` can reach."""
+        if self._block_quanta is None:
+            return 0
+        return (self.max_lag + self._block_quanta - 1) // self._block_quanta
+
+    def _validate_block(self, block: Block) -> None:
+        if block.quantum != self.quantum:
+            raise SeriesError(
+                f"block quantum {block.quantum} != correlator quantum {self.quantum}"
+            )
+        if self._block_quanta is None:
+            if block.length < 1:
+                raise SeriesError("blocks must span at least one quantum")
+            self._block_quanta = block.length
+        elif block.length != self._block_quanta:
+            raise SeriesError(
+                f"block length {block.length} != established block length "
+                f"{self._block_quanta}"
+            )
+        if self._x_blocks:
+            expected = self._x_blocks[-1][1].end
+            if block.start != expected:
+                raise SeriesError(
+                    f"blocks must be adjacent: expected start {expected}, got {block.start}"
+                )
+
+    # -- the sliding-window protocol ------------------------------------------
+
+    def append(self, x_block: Block, y_block: Block) -> None:
+        """Slide the window forward by one block (one refresh interval).
+
+        ``x_block`` and ``y_block`` must cover the same quantum range, be
+        adjacent to the previously appended blocks, and all blocks must have
+        equal length.
+        """
+        if (
+            x_block.start != y_block.start
+            or x_block.length != y_block.length
+            or x_block.quantum != y_block.quantum
+        ):
+            raise SeriesError("x and y blocks must cover the same window")
+        self._validate_block(x_block)
+
+        block_id = self._next_block_id
+        self._next_block_id += 1
+
+        # New pairs: (x_p, y_new) for every live x block p within lag reach
+        # (older x blocks cannot reach the new y quanta within max_lag).
+        reach = self.block_reach
+        for p_id, p_block in self._x_blocks:
+            if block_id - p_id > reach:
+                continue
+            vec = _pair_products(p_block, y_block, self.max_lag)
+            self._pair_cache[(p_id, block_id)] = vec
+            self._lag_products += vec
+        # The diagonal pair (x_new, y_new).
+        vec = _pair_products(x_block, y_block, self.max_lag)
+        self._pair_cache[(block_id, block_id)] = vec
+        self._lag_products += vec
+
+        self._x_blocks.append((block_id, x_block))
+        self._y_blocks.append((block_id, y_block))
+        self._x_total += x_block.total()
+        self._x_energy += x_block.energy()
+        self._y_total += y_block.total()
+        self._y_energy += y_block.energy()
+
+        while len(self._x_blocks) > self.num_blocks:
+            self._evict_oldest()
+
+    def _evict_oldest(self) -> None:
+        old_id, old_x = self._x_blocks.popleft()
+        _, old_y = self._y_blocks.popleft()
+        self._x_total -= old_x.total()
+        self._x_energy -= old_x.energy()
+        self._y_total -= old_y.total()
+        self._y_energy -= old_y.energy()
+        # Remove every cached pair involving the evicted block. Because
+        # blocks are evicted in FIFO order, the evicted id is the smallest
+        # live id, so it can only appear as the x side (x_old paired with
+        # same-or-newer y) or as the diagonal.
+        stale = [key for key in self._pair_cache if old_id in key]
+        for key in stale:
+            self._lag_products -= self._pair_cache.pop(key)
+
+    # -- queries ----------------------------------------------------------------
+
+    def _concat(self, blocks: Deque[Tuple[int, Block]]) -> DensityTimeSeries:
+        sparse = [
+            b.to_sparse() if isinstance(b, RunLengthSeries) else b
+            for _, b in blocks
+        ]
+        indices = np.concatenate([s.indices for s in sparse]) if sparse else np.empty(0, np.int64)
+        values = np.concatenate([s.values for s in sparse]) if sparse else np.empty(0, np.float64)
+        start = sparse[0].start if sparse else 0
+        length = sum(s.length for s in sparse)
+        return DensityTimeSeries(indices, values, start, length, self.quantum)
+
+    def window_series(self) -> Tuple[DensityTimeSeries, DensityTimeSeries]:
+        """The full x and y series over the current window (for testing)."""
+        return self._concat(self._x_blocks), self._concat(self._y_blocks)
+
+    def _edge_blocks(
+        self, blocks: Deque[Tuple[int, Block]], quanta_needed: int, newest: bool
+    ) -> DensityTimeSeries:
+        """Concatenate just enough blocks from one end of the window to
+        cover ``quanta_needed`` quanta (head for ``newest=False``)."""
+        picked = []
+        covered = 0
+        source = reversed(blocks) if newest else iter(blocks)
+        for _, block in source:
+            picked.append(block)
+            covered += block.length
+            if covered >= quanta_needed:
+                break
+        if newest:
+            picked.reverse()
+        sparse = [
+            b.to_sparse() if isinstance(b, RunLengthSeries) else b for b in picked
+        ]
+        indices = np.concatenate([s.indices for s in sparse])
+        values = np.concatenate([s.values for s in sparse])
+        return DensityTimeSeries(
+            indices, values, sparse[0].start, covered, self.quantum
+        )
+
+    def correlation(self) -> CorrelationSeries:
+        """Normalized correlation over the current window.
+
+        Equal to ``correlate_sparse(x_window, y_window, max_lag)`` up to
+        floating-point accumulation error. Cost is O(max_lag + head/tail
+        block sizes), independent of the window length.
+        """
+        if not self._x_blocks:
+            raise CorrelationError("no blocks appended yet")
+        n = self.window_length
+        d_max = min(self.max_lag, n - 1)
+        lags = np.arange(d_max + 1, dtype=np.int64)
+
+        # x_prefix(d) = mass of the first n-d quanta of x
+        #             = total_x - mass of the last d quanta (tail blocks).
+        x_tail = self._edge_blocks(self._x_blocks, d_max, newest=True)
+        tail_len = x_tail.length
+        x_last = x_tail.total() - _sparse_prefix_mass(x_tail, tail_len - lags)
+        x_prefix = self._x_total - x_last
+        # y_suffix(d) = total_y - mass of the first d quanta (head blocks).
+        y_head = self._edge_blocks(self._y_blocks, d_max, newest=False)
+        y_suffix = self._y_total - _sparse_prefix_mass(y_head, lags)
+
+        mx = self._x_total / n
+        my = self._y_total / n
+        sx = float(np.sqrt(max(0.0, self._x_energy / n - mx * mx)))
+        sy = float(np.sqrt(max(0.0, self._y_energy / n - my * my)))
+        return _normalize(
+            self._lag_products[: d_max + 1],
+            x_prefix,
+            y_suffix,
+            n,
+            mx,
+            my,
+            sx,
+            sy,
+            self.quantum,
+        )

@@ -1,0 +1,116 @@
+"""Network-vs-processing delay decomposition (paper Sections 1, 3.1, 3.8).
+
+"E2EProf's cross-correlation analyses can capture ... the contributions
+of specific application-level services and network communications to such
+latencies."
+
+When an edge is captured at *both* endpoints (all server-to-server links
+are), correlating the two sides yields a spike at the link's one-way
+latency (plus any clock skew -- Section 3.8's estimator with the roles
+reversed; with NTP-synced clocks the skew term is negligible). Subtracting
+measured link latencies from pathmap's node delays separates computation
+from communication -- the decomposition the paper's figures gloss over
+with "the sum of the computation delay at the source node and of the
+communication delay".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.config import PathmapConfig
+from repro.core.clock_skew import estimate_clock_skew
+from repro.core.service_graph import NodeId, ServiceGraph
+from repro.errors import AnalysisError
+from repro.tracing.collector import TraceCollector
+
+EdgeKey = Tuple[NodeId, NodeId]
+
+
+def estimate_link_latency(
+    collector: TraceCollector,
+    src: NodeId,
+    dst: NodeId,
+    config: PathmapConfig,
+    end_time: float,
+    start_time: Optional[float] = None,
+) -> float:
+    """One-way latency of the link ``src -> dst`` from two-sided captures.
+
+    Assumes synchronized clocks (NTP; Section 3.8): the correlation spike
+    between the source-side and destination-side series of the same
+    packets sits at the network delay. Raises when the edge was captured
+    on one side only (links into clients cannot be measured).
+    """
+    estimate = estimate_clock_skew(
+        collector, src, dst, config,
+        end_time=end_time, start_time=start_time, network_delay=0.0,
+    )
+    if estimate.raw_lag < 0:
+        raise AnalysisError(
+            f"negative apparent latency on {src!r}->{dst!r} "
+            f"({estimate.raw_lag * 1e3:.2f} ms): clocks are skewed; "
+            "estimate and correct the skew first (Section 3.8)"
+        )
+    return estimate.raw_lag
+
+
+def measure_link_latencies(
+    collector: TraceCollector,
+    graph: ServiceGraph,
+    config: PathmapConfig,
+    end_time: float,
+    start_time: Optional[float] = None,
+) -> Dict[EdgeKey, float]:
+    """Link latencies for every measurable edge of a service graph.
+
+    Edges touching the client (captured on one side only) are skipped.
+    """
+    out: Dict[EdgeKey, float] = {}
+    for edge in graph.edges:
+        if edge.src == graph.client or edge.dst == graph.client:
+            continue
+        try:
+            out[(edge.src, edge.dst)] = estimate_link_latency(
+                collector, edge.src, edge.dst, config, end_time, start_time
+            )
+        except AnalysisError:
+            continue  # single-sided or skewed edge: leave unmeasured
+    return out
+
+
+def decompose_node_delays(
+    graph: ServiceGraph,
+    link_latencies: Dict[EdgeKey, float],
+) -> Dict[NodeId, Dict[str, float]]:
+    """Split each node's attributed delay into processing vs network.
+
+    Pathmap's ``node_delay`` is (smallest outgoing cumulative) minus
+    (smallest incoming cumulative): the node's processing **plus** the
+    latency of the outgoing link the spike was measured on. Subtracting
+    the measured link latency isolates processing.
+
+    Returns ``{node: {"total": ..., "network": ..., "processing": ...}}``
+    for nodes whose outgoing link latency is known.
+    """
+    out: Dict[NodeId, Dict[str, float]] = {}
+    for node in graph.nodes:
+        total = graph.node_delay(node)
+        if total is None:
+            continue
+        # The outgoing edge that defined the node delay: smallest cumulative.
+        outgoing = [
+            e for e in graph.edges if e.src == node and e.dst != graph.client
+        ]
+        if not outgoing:
+            continue
+        defining = min(outgoing, key=lambda e: e.min_delay)
+        link = link_latencies.get((defining.src, defining.dst))
+        if link is None:
+            continue
+        out[node] = {
+            "total": total,
+            "network": link,
+            "processing": max(0.0, total - link),
+        }
+    return out

@@ -1,0 +1,253 @@
+"""The pathmap algorithm (paper Section 3.3, Algorithm 1).
+
+Pathmap discovers, for every (front-end node, client node) pair, the
+causal service graph of that client's service class:
+
+1. ``ServiceRoot`` seeds one :class:`~repro.core.service_graph.ServiceGraph`
+   per pair, rooted at the front end, with the implicit client edge.
+2. ``ComputePath`` cross-correlates the class's *reference signal* (the
+   time series of the client's requests arriving at the front end,
+   ``T^{S_i}_{V_c -> S_i}``) against the signal of every edge leaving the
+   current node, observed at the edge's destination. Correlation spikes
+   identify causal edges; spike lags become cumulative delay labels.
+3. Recursion proceeds depth-first into nodes not yet visited for this
+   class (cycles from request-response return paths are unrolled).
+
+The algorithm is black-box: its only input is a :class:`TraceWindow`
+(per-edge message time series for one sliding window), which the tracing
+subsystem assembles from passively captured packet timestamps. No
+application cooperation, source code, or instrumentation is required.
+"""
+
+from __future__ import annotations
+
+import abc
+import concurrent.futures
+import dataclasses
+import time
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.config import PathmapConfig
+from repro.core.correlation import CorrelationSeries, SeriesLike, cross_correlate
+from repro.core.service_graph import NodeId, ServiceGraph
+from repro.core.spikes import Spike, detect_spikes
+from repro.errors import AnalysisError
+
+
+class TraceWindow(abc.ABC):
+    """One sliding window of per-edge traffic signals.
+
+    This is the boundary between the tracing substrate and the analysis:
+    anything that can answer these five queries can be analyzed by
+    pathmap (network packet traces, application access logs, simulated
+    traffic...).
+    """
+
+    @abc.abstractmethod
+    def front_end_nodes(self) -> List[NodeId]:
+        """Service nodes that receive requests directly from clients."""
+
+    @abc.abstractmethod
+    def clients_of(self, node: NodeId) -> List[NodeId]:
+        """Client nodes connected to a front-end node in this window."""
+
+    @abc.abstractmethod
+    def destinations_of(self, node: NodeId) -> List[NodeId]:
+        """Nodes that ``node`` sent at least one message to in this window
+        (may include client nodes, for response edges)."""
+
+    @abc.abstractmethod
+    def edge_series(self, src: NodeId, dst: NodeId) -> SeriesLike:
+        """Density time series of messages ``src -> dst``, timestamped at
+        the destination when the destination is traced, else at the source
+        (client nodes are never traced -- paper Section 3.3)."""
+
+    @abc.abstractmethod
+    def is_client(self, node: NodeId) -> bool:
+        """True when ``node`` is a client node (never recursed into)."""
+
+
+@dataclasses.dataclass
+class PathmapStats:
+    """Work counters for one analysis pass (feeds the Figure 9 benchmark)."""
+
+    correlations: int = 0
+    spikes: int = 0
+    edges_discovered: int = 0
+    graphs: int = 0
+    elapsed_seconds: float = 0.0
+
+
+@dataclasses.dataclass
+class PathmapResult:
+    """All service graphs recovered from one window, plus work stats."""
+
+    graphs: Dict[Tuple[NodeId, NodeId], ServiceGraph]
+    stats: PathmapStats
+
+    def graph_for(self, client: NodeId, root: Optional[NodeId] = None) -> ServiceGraph:
+        """The service graph of one client (and optionally one root)."""
+        matches = [
+            g
+            for (c, r), g in self.graphs.items()
+            if c == client and (root is None or r == root)
+        ]
+        if not matches:
+            raise AnalysisError(f"no service graph for client {client!r}")
+        if len(matches) > 1:
+            raise AnalysisError(
+                f"client {client!r} has {len(matches)} service graphs; "
+                "specify the root"
+            )
+        return matches[0]
+
+
+#: Signature of a pluggable correlation provider: given the reference and
+#: edge signals plus their identifying keys, return a correlation series.
+#: The online engine plugs in a provider backed by incremental correlators.
+CorrelationProvider = Callable[
+    [SeriesLike, SeriesLike, Tuple[NodeId, NodeId], Tuple[NodeId, NodeId]],
+    "CorrelationSeries",
+]
+
+
+class Pathmap:
+    """Configured pathmap analyzer.
+
+    Parameters
+    ----------
+    config:
+        Algorithm parameters (W, dW, tau, omega, T_u, spike threshold).
+    method:
+        Correlation implementation: ``"auto"``, ``"dense"``, ``"sparse"``,
+        ``"rle"`` or ``"fft"`` (see :mod:`repro.core.correlation`).
+    correlation_provider:
+        Optional override for how edge correlations are produced. Receives
+        ``(reference_series, edge_series, (client, root), (src, dst))`` and
+        returns a :class:`~repro.core.correlation.CorrelationSeries`. Used
+        by the online engine to substitute cached incremental correlators.
+    """
+
+    def __init__(
+        self,
+        config: PathmapConfig,
+        method: str = "auto",
+        correlation_provider: Optional[CorrelationProvider] = None,
+    ) -> None:
+        self.config = config
+        self.method = method
+        self._provider = correlation_provider or self._default_provider
+
+    def _default_provider(
+        self,
+        reference: SeriesLike,
+        signal: SeriesLike,
+        ref_key: Tuple[NodeId, NodeId],
+        edge_key: Tuple[NodeId, NodeId],
+    ) -> "CorrelationSeries":
+        return cross_correlate(
+            reference, signal, max_lag=self.config.max_lag_quanta, method=self.method
+        )
+
+    # -- Algorithm 1: ServiceRoot ------------------------------------------------
+
+    def analyze(self, window: TraceWindow, workers: int = 1) -> PathmapResult:
+        """Compute the service graphs of every service class in ``window``.
+
+        ``workers > 1`` parallelizes the inner loop of ServiceRoot across
+        a thread pool -- the paper's Section 3.7 scalability note ("The
+        pathmap algorithm can easily be made more scalable by parallely
+        computing the service graph of each client node"). The numpy
+        correlation kernels release the GIL, so threads give real
+        speedup; results are identical to the serial order.
+        """
+        started = time.perf_counter()
+        stats = PathmapStats()
+        pairs = [
+            (client, root)
+            for root in window.front_end_nodes()
+            for client in window.clients_of(root)
+        ]
+
+        def analyze_pair(pair: Tuple[NodeId, NodeId]) -> Tuple[Tuple[NodeId, NodeId], ServiceGraph, PathmapStats]:
+            client, root = pair
+            graph = ServiceGraph(client, root)
+            local = PathmapStats()
+            reference = window.edge_series(client, root)
+            visited: Set[NodeId] = set()
+            self._compute_path(graph, reference, root, visited, window, local)
+            local.graphs = 1
+            return pair, graph, local
+
+        graphs: Dict[Tuple[NodeId, NodeId], ServiceGraph] = {}
+        if workers > 1 and len(pairs) > 1:
+            with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
+                outcomes = list(pool.map(analyze_pair, pairs))
+        else:
+            outcomes = [analyze_pair(pair) for pair in pairs]
+        for pair, graph, local in outcomes:
+            graphs[pair] = graph
+            stats.correlations += local.correlations
+            stats.spikes += local.spikes
+            stats.edges_discovered += local.edges_discovered
+            stats.graphs += local.graphs
+        stats.elapsed_seconds = time.perf_counter() - started
+        return PathmapResult(graphs, stats)
+
+    # -- Algorithm 1: ComputePath --------------------------------------------------
+
+    def _compute_path(
+        self,
+        graph: ServiceGraph,
+        reference: SeriesLike,
+        node: NodeId,
+        visited: Set[NodeId],
+        window: TraceWindow,
+        stats: PathmapStats,
+    ) -> None:
+        visited.add(node)
+        ref_key = (graph.client, graph.root)
+        for dest in window.destinations_of(node):
+            # Response edges back to client nodes are correlated too (they
+            # expose the end-to-end latency) but never extend the recursion.
+            spikes = self._correlate_edge(
+                reference, window.edge_series(node, dest), ref_key, (node, dest), stats
+            )
+            if not spikes:
+                continue
+            graph.add_edge(node, dest, [s.delay for s in spikes], spikes)
+            stats.edges_discovered += 1
+            if dest not in visited and not window.is_client(dest):
+                self._compute_path(graph, reference, dest, visited, window, stats)
+
+    def _correlate_edge(
+        self,
+        reference: SeriesLike,
+        signal: SeriesLike,
+        ref_key: Tuple[NodeId, NodeId],
+        edge_key: Tuple[NodeId, NodeId],
+        stats: PathmapStats,
+    ) -> List[Spike]:
+        cfg = self.config
+        corr = self._provider(reference, signal, ref_key, edge_key)
+        stats.correlations += 1
+        if corr.n < cfg.min_overlap_samples:
+            return []
+        spikes = detect_spikes(
+            corr,
+            sigma=cfg.spike_sigma,
+            resolution_quanta=cfg.resolution_quanta,
+            min_height=cfg.min_spike_height,
+        )
+        stats.spikes += len(spikes)
+        return spikes
+
+
+def compute_service_graphs(
+    window: TraceWindow,
+    config: PathmapConfig,
+    method: str = "auto",
+    workers: int = 1,
+) -> PathmapResult:
+    """Convenience wrapper: one-shot pathmap analysis of a window."""
+    return Pathmap(config, method=method).analyze(window, workers=workers)

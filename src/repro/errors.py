@@ -1,0 +1,39 @@
+"""Exception hierarchy for the E2EProf reproduction.
+
+All library errors derive from :class:`E2EProfError` so that callers can
+catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class E2EProfError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class ConfigError(E2EProfError):
+    """A configuration value is invalid or inconsistent with another value."""
+
+
+class TraceError(E2EProfError):
+    """A trace record or trace file is malformed."""
+
+
+class SeriesError(E2EProfError):
+    """A time-series operation received incompatible or malformed series."""
+
+
+class CorrelationError(E2EProfError):
+    """Cross-correlation could not be computed (e.g. zero-variance input)."""
+
+
+class TopologyError(E2EProfError):
+    """A simulated topology is malformed (unknown node, duplicate edge...)."""
+
+
+class SimulationError(E2EProfError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class AnalysisError(E2EProfError):
+    """Service-path analysis failed (no front-end, empty window...)."""

@@ -1,0 +1,11 @@
+"""Online performance management on top of E2EProf analysis."""
+
+from repro.management.planning import (
+    UpgradeRecommendation,
+    path_hop_breakdown,
+    plan_for_target,
+    predict_latency,
+)
+from repro.management.monitor import LatencyComparison, LatencyMonitor, compare_with_client, server_side_latency
+from repro.management.scheduler import PathSelector, path_latency_via
+from repro.management.sla import SLA, SLAMonitor, SLAStatus

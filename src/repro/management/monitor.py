@@ -1,0 +1,90 @@
+"""End-to-end latency accounting from pathmap output.
+
+Bridges the analysis and management layers: extracts per-class end-to-end
+latencies (as the enterprise sees them: front-end arrival to response
+dispatch) from service graphs, and windows client-side measurements for
+comparison -- the two quantities the paper contrasts in Section 4.1.1
+("the latency observed at the client is about 16% more than that obtained
+from E2EProf", the difference being the client-side link and stack that
+server-side tracing cannot see).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.pathmap import PathmapResult
+from repro.core.service_graph import NodeId, ServiceGraph
+from repro.errors import AnalysisError
+from repro.simulation.nodes import ClientNode
+
+
+def server_side_latency(graph: ServiceGraph) -> float:
+    """The class's end-to-end latency as E2EProf measures it: the
+    cumulative delay of the response edge back to the client if it was
+    discovered, else the deepest edge of the graph."""
+    response_edges = [e for e in graph.edges if e.dst == graph.client and e.src != graph.client]
+    if response_edges:
+        return max(e.max_delay for e in response_edges)
+    return graph.end_to_end_delay()
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyComparison:
+    """Server-side (E2EProf) vs client-perceived latency for one class."""
+
+    service_class: str
+    e2eprof_latency: float
+    client_latency: float
+    samples: int
+
+    @property
+    def client_overhead(self) -> float:
+        """How much larger the client-perceived latency is, relatively
+        (the paper reports ~16% on its testbed)."""
+        if self.e2eprof_latency <= 0:
+            return 0.0
+        return (self.client_latency - self.e2eprof_latency) / self.e2eprof_latency
+
+
+class LatencyMonitor:
+    """Per-refresh record of per-class end-to-end latency."""
+
+    def __init__(self) -> None:
+        self._series: Dict[Tuple[NodeId, NodeId], List[Tuple[float, float]]] = {}
+
+    def record(self, now: float, result: PathmapResult) -> None:
+        for class_key, graph in result.graphs.items():
+            try:
+                latency = server_side_latency(graph)
+            except AnalysisError:
+                continue
+            self._series.setdefault(class_key, []).append((now, latency))
+
+    def subscribe_to(self, engine: "object") -> None:
+        engine.subscribe(self.record)
+
+    def latency_series(self, class_key: Tuple[NodeId, NodeId]) -> List[Tuple[float, float]]:
+        return list(self._series.get(class_key, []))
+
+    def mean_latency(self, class_key: Tuple[NodeId, NodeId], since: float = 0.0) -> float:
+        samples = [lat for (t, lat) in self._series.get(class_key, []) if t >= since]
+        if not samples:
+            return 0.0
+        return float(np.mean(samples))
+
+
+def compare_with_client(
+    graph: ServiceGraph, client: ClientNode, since: float = 0.0
+) -> LatencyComparison:
+    """Build the Section 4.1.1 comparison for one class."""
+    client_latencies = client.latencies(since=since)
+    return LatencyComparison(
+        service_class=client.service_class,
+        e2eprof_latency=server_side_latency(graph),
+        client_latency=float(np.mean(client_latencies)) if client_latencies else 0.0,
+        samples=len(client_latencies),
+    )

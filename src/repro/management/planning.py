@@ -1,0 +1,129 @@
+"""Capacity planning and what-if latency prediction (paper Section 3.1).
+
+"Therefore, service path analysis can pinpoint the bottleneck components
+in a request path, and it can be used for provisioning, capacity
+planning, enforcing SLAs, performance prediction, etc."
+
+Given a measured service graph, the per-node delay attribution directly
+supports two planning questions:
+
+* :func:`predict_latency` -- what end-to-end latency results from
+  speeding up (or slowing down) selected nodes by given factors?
+* :func:`plan_for_target` -- which single node should be upgraded, and by
+  how much, to bring a path under a latency target?
+
+The prediction model is the service graph itself: a path's latency is the
+sum of its per-hop delays, and scaling a node's computation delay scales
+its contribution to every path through it. This is exact for delay-based
+faults and first-order for queueing (it ignores utilization feedback,
+which is the textbook caveat and is documented on each function).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.core.service_graph import NodeId, ServiceGraph, ServicePath
+from repro.errors import AnalysisError
+
+
+def path_hop_breakdown(path: ServicePath) -> Dict[NodeId, float]:
+    """Per-node delay contributions along one path.
+
+    ``hop_delays()[k]`` is the time between the labels of consecutive
+    edges, attributed to the node the path entered at step ``k`` (its
+    processing plus the next link).
+    """
+    contributions: Dict[NodeId, float] = {}
+    hops = path.hop_delays()
+    # hops[k] is attributed to nodes[k] (the node whose processing +
+    # outgoing link separates edge k-1 from edge k).
+    for node, hop in zip(path.nodes[1:], hops[1:]):
+        contributions[node] = contributions.get(node, 0.0) + hop
+    return contributions
+
+
+def predict_latency(
+    graph: ServiceGraph,
+    speedups: Dict[NodeId, float],
+    path: Optional[ServicePath] = None,
+) -> float:
+    """Predicted end-to-end latency of a path after scaling node delays.
+
+    ``speedups[node] = 2.0`` means the node becomes twice as fast (its
+    attributed delay halves). Nodes absent from ``speedups`` keep their
+    measured delay. First-order model: no queueing feedback.
+    """
+    for node, factor in speedups.items():
+        if factor <= 0:
+            raise AnalysisError(f"speedup for {node!r} must be positive, got {factor}")
+    if path is None:
+        paths = graph.paths()
+        if not paths:
+            raise AnalysisError("graph has no paths to predict over")
+        path = max(paths, key=lambda p: p.total_delay)
+    total = 0.0
+    for node, contribution in path_hop_breakdown(path).items():
+        factor = speedups.get(node, 1.0)
+        total += contribution / factor
+    return total
+
+
+@dataclasses.dataclass(frozen=True)
+class UpgradeRecommendation:
+    """One candidate upgrade, with its predicted effect."""
+
+    node: NodeId
+    speedup: float
+    predicted_latency: float
+    current_latency: float
+
+    @property
+    def improvement(self) -> float:
+        return self.current_latency - self.predicted_latency
+
+
+def plan_for_target(
+    graph: ServiceGraph,
+    target_latency: float,
+    max_speedup: float = 8.0,
+    path: Optional[ServicePath] = None,
+) -> List[UpgradeRecommendation]:
+    """Single-node upgrade options that meet a path latency target.
+
+    For each node on the (slowest) path, computes the smallest speedup
+    factor bringing the predicted latency under ``target_latency``, if
+    one exists below ``max_speedup``. Results are sorted by required
+    speedup (cheapest upgrade first). Empty when no single-node upgrade
+    suffices -- the bottleneck is distributed.
+    """
+    if target_latency <= 0:
+        raise AnalysisError(f"target_latency must be positive, got {target_latency}")
+    if path is None:
+        paths = graph.paths()
+        if not paths:
+            raise AnalysisError("graph has no paths to plan over")
+        path = max(paths, key=lambda p: p.total_delay)
+    contributions = path_hop_breakdown(path)
+    current = sum(contributions.values())
+    if current <= target_latency:
+        return []  # already meeting the target
+
+    options: List[UpgradeRecommendation] = []
+    for node, contribution in contributions.items():
+        others = current - contribution
+        if others >= target_latency:
+            continue  # even an infinitely fast node would not suffice
+        needed = contribution / (target_latency - others)
+        if needed <= 1.0 or needed > max_speedup:
+            continue
+        options.append(
+            UpgradeRecommendation(
+                node=node,
+                speedup=needed,
+                predicted_latency=predict_latency(graph, {node: needed}, path),
+                current_latency=current,
+            )
+        )
+    return sorted(options, key=lambda rec: rec.speedup)

@@ -1,0 +1,149 @@
+"""E2EProf-driven automated path selection (paper Section 4.2).
+
+"The server selection algorithm in the web server is modified to route
+bidding requests to the lower latency path and comment requests to the
+other based on path latency information obtained from E2EProf."
+
+:class:`PathSelector` subscribes to the online engine. Each service class
+is pinned to one dispatch path; at every refresh the selector reads each
+class's current end-to-end latency off its freshly computed service graph
+(the strongest spike of the response edge back to the client -- an
+unambiguous per-path signal, since the class currently owns its path) and
+swaps the priority class onto the other path whenever that one is
+measured faster. This reproduces the Table 1 experiment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps.dispatch import LatencyAwareRouter
+from repro.core.engine import E2EProfEngine
+from repro.core.pathmap import PathmapResult
+from repro.core.service_graph import NodeId, ServiceGraph
+from repro.errors import AnalysisError
+
+
+def path_latency_via(graph: ServiceGraph, through: NodeId) -> Optional[float]:
+    """Latency of the path of ``graph``'s class that goes through node
+    ``through``: the end-to-end (deepest-edge) delay of the causal path
+    containing that node. None when the class never traversed it.
+
+    Note: on windows where a class flowed over *several* paths, causally
+    consistent cross-chained paths can inflate this estimate; the
+    :class:`PathSelector` therefore prefers response-edge latencies of
+    pinned classes instead.
+    """
+    totals = [
+        path.total_delay
+        for path in graph.paths()
+        if through in path.nodes
+    ]
+    if not totals:
+        return None
+    return min(totals)
+
+
+def response_latency(graph: ServiceGraph) -> Optional[float]:
+    """The class's dominant end-to-end latency: the strongest spike on the
+    response edge back to the client. None when that edge was not found."""
+    best: Optional[float] = None
+    best_height = float("-inf")
+    for edge in graph.edges:
+        if edge.dst != graph.client or edge.src == graph.client:
+            continue
+        spike = edge.strongest_spike()
+        if spike is not None and spike.height > best_height:
+            best_height = spike.height
+            best = spike.delay
+        elif spike is None and edge.delays and best is None:
+            best = edge.min_delay
+    return best
+
+
+@dataclasses.dataclass
+class SelectionRecord:
+    """One selection decision, for audit."""
+
+    time: float
+    latencies: Dict[NodeId, float]
+    priority_target: NodeId
+
+
+class PathSelector:
+    """Keeps a priority class on the currently fastest dispatch path.
+
+    Parameters
+    ----------
+    router:
+        The web server's :class:`LatencyAwareRouter` to steer.
+    priority_class / background_class:
+        The class to optimize (bidding) and the class that takes the
+        remaining path (comment).
+    class_clients:
+        Mapping from service class to its client node id (pathmap's
+        graphs are keyed by client). Defaults assume the class name IS
+        the client id; RUBiS passes ``{"bidding": "C1", "comment": "C2"}``.
+    paths:
+        Candidate dispatch targets (the two application servers). Defaults
+        to the router's target list.
+    """
+
+    def __init__(
+        self,
+        router: LatencyAwareRouter,
+        priority_class: str,
+        background_class: str,
+        class_clients: Optional[Dict[str, NodeId]] = None,
+        paths: Optional[Sequence[NodeId]] = None,
+    ) -> None:
+        self.router = router
+        self.priority_class = priority_class
+        self.background_class = background_class
+        self.class_clients = class_clients or {
+            priority_class: priority_class,
+            background_class: background_class,
+        }
+        self.paths: List[NodeId] = list(paths if paths is not None else router.targets)
+        if len(self.paths) < 2:
+            raise AnalysisError("path selection needs at least two candidate paths")
+        self.history: List[SelectionRecord] = []
+
+    def attach(self, engine: E2EProfEngine) -> None:
+        engine.subscribe(self.on_refresh)
+
+    # -- the control loop --------------------------------------------------------
+
+    def on_refresh(self, now: float, result: PathmapResult) -> None:
+        if self.router.assignment(self.priority_class) is None:
+            # Bootstrap: pin each class to one path so subsequent windows
+            # carry unambiguous per-path signals.
+            self.router.assign(self.priority_class, self.paths[0])
+            self.router.assign(self.background_class, self.paths[1])
+            return
+        latencies = self.current_path_latencies(result)
+        if len(latencies) < 2:
+            return  # not enough signal to compare paths yet
+        fastest = min(latencies, key=latencies.get)
+        others = [p for p in self.paths if p != fastest]
+        self.router.assign(self.priority_class, fastest)
+        self.router.assign(self.background_class, others[0])
+        self.history.append(SelectionRecord(now, dict(latencies), fastest))
+
+    def current_path_latencies(self, result: PathmapResult) -> Dict[NodeId, float]:
+        """Latency per candidate path, read from the response edge of the
+        class currently pinned to that path."""
+        latencies: Dict[NodeId, float] = {}
+        for service_class in (self.priority_class, self.background_class):
+            target = self.router.assignment(service_class)
+            if target is None:
+                continue
+            client = self.class_clients.get(service_class, service_class)
+            graphs = [g for (c, _), g in result.graphs.items() if c == client]
+            if not graphs:
+                continue
+            latency = response_latency(graphs[0])
+            if latency is not None:
+                latencies[target] = latency
+        return latencies

@@ -1,0 +1,109 @@
+"""Service Level Agreement specification and checking (paper Sections 1, 4.2).
+
+Enterprise workloads carry per-class SLAs ("a bidding request in an online
+auction site like RUBiS has real-time deadlines, while a comment posted by
+a user has a less stringent deadline"). This module provides the SLA
+vocabulary used by the automated path-selection experiment and by
+examples: targets on mean or percentile latency per service class, and a
+monitor that evaluates measured latencies against them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclasses.dataclass(frozen=True)
+class SLA:
+    """A latency target for one service class.
+
+    ``percentile=None`` targets the mean; otherwise the given percentile
+    (e.g. 95.0) must stay under ``max_latency``.
+    """
+
+    service_class: str
+    max_latency: float
+    percentile: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_latency <= 0:
+            raise ConfigError(f"max_latency must be positive, got {self.max_latency}")
+        if self.percentile is not None and not 0 < self.percentile < 100:
+            raise ConfigError(
+                f"percentile must be in (0, 100), got {self.percentile}"
+            )
+
+    def measure(self, latencies: Sequence[float]) -> float:
+        """The statistic this SLA constrains, over observed latencies."""
+        if not latencies:
+            return 0.0
+        arr = np.asarray(latencies, dtype=np.float64)
+        if self.percentile is None:
+            return float(arr.mean())
+        return float(np.percentile(arr, self.percentile))
+
+    def is_met(self, latencies: Sequence[float]) -> bool:
+        if not latencies:
+            return True  # vacuously met; no traffic, no violation
+        return self.measure(latencies) <= self.max_latency
+
+
+@dataclasses.dataclass(frozen=True)
+class SLAStatus:
+    """Evaluation of one SLA over one measurement window."""
+
+    sla: SLA
+    measured: float
+    sample_count: int
+
+    @property
+    def met(self) -> bool:
+        return self.sample_count == 0 or self.measured <= self.sla.max_latency
+
+    @property
+    def headroom(self) -> float:
+        """Seconds of slack (negative when violating)."""
+        return self.sla.max_latency - self.measured
+
+
+class SLAMonitor:
+    """Evaluates a set of SLAs against per-class latency feeds."""
+
+    def __init__(self, slas: Iterable[SLA]) -> None:
+        self._slas: Dict[str, SLA] = {}
+        for sla in slas:
+            if sla.service_class in self._slas:
+                raise ConfigError(f"duplicate SLA for class {sla.service_class!r}")
+            self._slas[sla.service_class] = sla
+        self._violations: List[SLAStatus] = []
+
+    @property
+    def classes(self) -> List[str]:
+        return sorted(self._slas)
+
+    def sla_for(self, service_class: str) -> SLA:
+        try:
+            return self._slas[service_class]
+        except KeyError:
+            raise ConfigError(f"no SLA for class {service_class!r}") from None
+
+    def evaluate(
+        self, latencies_by_class: Dict[str, Sequence[float]]
+    ) -> List[SLAStatus]:
+        """Evaluate every SLA; violations are also recorded."""
+        statuses = []
+        for service_class, sla in sorted(self._slas.items()):
+            samples = latencies_by_class.get(service_class, ())
+            status = SLAStatus(sla, sla.measure(samples), len(samples))
+            statuses.append(status)
+            if not status.met:
+                self._violations.append(status)
+        return statuses
+
+    def violations(self) -> List[SLAStatus]:
+        return list(self._violations)

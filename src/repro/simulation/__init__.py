@@ -1,0 +1,29 @@
+"""Deterministic discrete-event simulation of enterprise systems."""
+
+from repro.simulation.des import PeriodicTask, Simulator
+from repro.simulation.distributions import (
+    Constant,
+    Distribution,
+    Empirical,
+    Erlang,
+    Exponential,
+    LogNormal,
+    TruncatedNormal,
+    Uniform,
+)
+from repro.simulation.groundtruth import GroundTruth
+from repro.simulation.network import Fabric
+from repro.simulation.nodes import (
+    Absorb,
+    ClientNode,
+    Forward,
+    LeafRouter,
+    Message,
+    Reply,
+    Router,
+    ServiceNode,
+    SinkRouter,
+    StaticRouter,
+)
+from repro.simulation.topology import Topology
+from repro.simulation.workload import ClosedWorkload, OnOffWorkload, OpenWorkload

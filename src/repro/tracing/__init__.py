@@ -1,0 +1,16 @@
+"""Non-intrusive tracing substrate: tracers, collector, log adapters."""
+
+from repro.tracing.access_log import access_log_to_captures, merge_server_logs, split_by_server
+from repro.tracing.collector import CollectedTraceWindow, TraceCollector
+from repro.tracing.records import AccessLogRecord, CaptureRecord
+from repro.tracing.storage import (
+    load_captures,
+    read_access_log_jsonl,
+    read_capture_csv,
+    read_capture_jsonl,
+    write_access_log_jsonl,
+    write_capture_csv,
+    write_capture_jsonl,
+)
+from repro.tracing.tracer import Tracer
+from repro.tracing.wire import decode_block, encode_block, wire_sizes

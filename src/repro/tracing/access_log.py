@@ -1,0 +1,99 @@
+"""Access-log adapter (paper Section 4.3).
+
+The Delta Revenue Pipeline trace is *not* a packet capture: it consists of
+application-level transactional events -- "timestamps, server IDs, and
+request IDs for every application-level transactional event processed by
+the system". This adapter converts such logs into the capture-record form
+the collector understands, so the identical pathmap code analyzes both
+kinds of traces (which is exactly what the paper did).
+
+Mapping:
+
+* a ``send`` event at server ``A`` naming peer ``B`` becomes a capture of
+  a message on edge ``A -> B`` observed at ``A``;
+* a ``recv`` event at server ``B`` becomes an observation at the
+  destination. Its source edge is resolved from the most recent ``send``
+  of the same request id (logs record per-server events, not wire pairs);
+  a ``recv`` with no matching send is treated as external ingress from a
+  configured source (e.g. the feed that fills the front-end queues).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.errors import TraceError
+from repro.tracing.records import AccessLogRecord, CaptureRecord, NodeId
+
+
+def access_log_to_captures(
+    records: Iterable[AccessLogRecord],
+    ingress_source: NodeId = "external",
+) -> Iterator[CaptureRecord]:
+    """Convert an access log into capture records.
+
+    ``records`` must be sorted by timestamp (logs naturally are). The
+    converter keeps, per request id, the server that last emitted a
+    ``send`` for it, so each ``recv`` can be attributed to its upstream
+    edge.
+
+    Parameters
+    ----------
+    ingress_source:
+        Edge source used for ``recv`` events with no prior ``send`` --
+        i.e. requests entering the system from the outside world.
+    """
+    last_sender: Dict[int, NodeId] = {}
+    previous_ts: Optional[float] = None
+    for record in records:
+        if previous_ts is not None and record.timestamp < previous_ts:
+            raise TraceError(
+                "access log records must be sorted by timestamp "
+                f"({record.timestamp} after {previous_ts})"
+            )
+        previous_ts = record.timestamp
+        if record.event == "send":
+            if record.peer is None:
+                raise TraceError("send event without peer")
+            yield CaptureRecord(
+                timestamp=record.timestamp,
+                src=record.server,
+                dst=record.peer,
+                observer=record.server,
+                request_id=record.request_id,
+            )
+            last_sender[record.request_id] = record.server
+        else:  # recv
+            src = last_sender.get(record.request_id, ingress_source)
+            if src == record.server:
+                # A server re-receiving its own send (e.g. local queue
+                # hand-off) -- model the hop from the original upstream.
+                src = ingress_source
+            yield CaptureRecord(
+                timestamp=record.timestamp,
+                src=src,
+                dst=record.server,
+                observer=record.server,
+                request_id=record.request_id,
+            )
+
+
+def split_by_server(
+    records: Iterable[AccessLogRecord],
+) -> Dict[NodeId, List[AccessLogRecord]]:
+    """Group an access log by server id (each server logs independently)."""
+    out: Dict[NodeId, List[AccessLogRecord]] = {}
+    for record in records:
+        out.setdefault(record.server, []).append(record)
+    return out
+
+
+def merge_server_logs(
+    logs: Iterable[Iterable[AccessLogRecord]],
+) -> List[AccessLogRecord]:
+    """Merge per-server logs into one timestamp-ordered log."""
+    merged: List[AccessLogRecord] = []
+    for log in logs:
+        merged.extend(log)
+    merged.sort(key=lambda r: (r.timestamp, r.server, r.request_id))
+    return merged

@@ -1,0 +1,231 @@
+"""Central trace collector / analyzer-side trace assembly (Section 3.6).
+
+The collector is the analysis node: it receives capture records (or
+streamed RLE blocks) from every per-node tracer, and can materialize
+:class:`~repro.core.pathmap.TraceWindow` views over any time range for the
+pathmap algorithm.
+
+Edge signal selection: for an edge ``x -> y``, the analysis wants the
+series timestamped at the **destination** (``T^y_{x->y}``, Algorithm 1).
+Client nodes are never traced ("those are usually beyond the reach of
+enterprises"), so edges touching a client fall back to the server-side
+capture: ``client -> frontend`` uses the front end's receive timestamps,
+``frontend -> client`` uses the front end's send timestamps.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.config import PathmapConfig
+from repro.core.pathmap import TraceWindow
+from repro.core.rle import rle_encode
+from repro.core.timeseries import build_density_series
+from repro.errors import TraceError
+from repro.tracing.records import CaptureRecord, NodeId
+
+EdgeKey = Tuple[NodeId, NodeId]
+
+
+class TraceCollector:
+    """Accumulates capture records and serves analysis windows.
+
+    Parameters
+    ----------
+    client_nodes:
+        Ids of client nodes. Per the paper's first assumption, the front
+        end knows which clients map to which service classes, so the
+        analyzer is configured with the client set (it is the only
+        non-black-box input).
+    """
+
+    def __init__(self, client_nodes: Iterable[NodeId] = ()) -> None:
+        self._clients: Set[NodeId] = set(client_nodes)
+        # (src, dst) -> sorted capture timestamps, per observing side.
+        self._at_src: Dict[EdgeKey, List[float]] = {}
+        self._at_dst: Dict[EdgeKey, List[float]] = {}
+        self._sorted = True
+
+    # -- ingestion -------------------------------------------------------------
+
+    def add_client(self, node: NodeId) -> None:
+        self._clients.add(node)
+
+    @property
+    def clients(self) -> Set[NodeId]:
+        return set(self._clients)
+
+    def ingest(self, record: CaptureRecord) -> None:
+        """Add one capture record."""
+        store = self._at_dst if record.observed_at_destination else self._at_src
+        store.setdefault(record.edge, []).append(record.timestamp)
+        self._sorted = False
+
+    def ingest_many(self, records: Iterable[CaptureRecord]) -> int:
+        """Add many capture records; returns how many were ingested."""
+        count = 0
+        for record in records:
+            self.ingest(record)
+            count += 1
+        return count
+
+    def _ensure_sorted(self) -> None:
+        if self._sorted:
+            return
+        for store in (self._at_src, self._at_dst):
+            for key in store:
+                store[key].sort()
+        self._sorted = True
+
+    # -- inspection ---------------------------------------------------------------
+
+    def edges(self) -> List[EdgeKey]:
+        """All edges with at least one capture, from either side."""
+        return sorted(set(self._at_src) | set(self._at_dst))
+
+    def record_count(self) -> int:
+        return sum(len(v) for v in self._at_src.values()) + sum(
+            len(v) for v in self._at_dst.values()
+        )
+
+    def export_records(self) -> List[CaptureRecord]:
+        """Reconstruct all captures as records (for persisting a trace).
+
+        The round trip ``collector -> export_records -> write ->
+        load -> ingest_many`` reproduces an identical collector.
+        """
+        self._ensure_sorted()
+        out: List[CaptureRecord] = []
+        for (src, dst), stamps in self._at_src.items():
+            out.extend(CaptureRecord(t, src, dst, src) for t in stamps)
+        for (src, dst), stamps in self._at_dst.items():
+            out.extend(CaptureRecord(t, src, dst, dst) for t in stamps)
+        out.sort()
+        return out
+
+    def edge_timestamps(
+        self, src: NodeId, dst: NodeId, prefer_destination: bool = True
+    ) -> List[float]:
+        """The observation timestamps used for an edge's signal.
+
+        Destination-side captures are preferred (Algorithm 1); source-side
+        captures are the fallback for edges into untraced (client) nodes.
+        """
+        self._ensure_sorted()
+        key = (src, dst)
+        primary, fallback = (self._at_dst, self._at_src)
+        if not prefer_destination or dst in self._clients:
+            primary, fallback = fallback, primary
+        stamps = primary.get(key)
+        if stamps is None:
+            stamps = fallback.get(key)
+        if stamps is None:
+            raise TraceError(f"no captures for edge {src!r}->{dst!r}")
+        return stamps
+
+    # -- window materialization ------------------------------------------------------
+
+    def window(
+        self,
+        config: PathmapConfig,
+        end_time: float,
+        start_time: Optional[float] = None,
+        use_rle: bool = True,
+    ) -> "CollectedTraceWindow":
+        """Build the analysis window ending at ``end_time``.
+
+        ``start_time`` defaults to ``end_time - config.window``.
+        """
+        self._ensure_sorted()
+        if start_time is None:
+            start_time = end_time - config.window
+        if start_time >= end_time:
+            raise TraceError(
+                f"empty window: start {start_time} >= end {end_time}"
+            )
+        return CollectedTraceWindow(self, config, start_time, end_time, use_rle)
+
+
+class CollectedTraceWindow(TraceWindow):
+    """A :class:`TraceWindow` view over a collector's captures."""
+
+    def __init__(
+        self,
+        collector: TraceCollector,
+        config: PathmapConfig,
+        start_time: float,
+        end_time: float,
+        use_rle: bool = True,
+    ) -> None:
+        self._collector = collector
+        self._config = config
+        self.start_time = float(start_time)
+        self.end_time = float(end_time)
+        self._use_rle = use_rle
+        tau = config.quantum
+        self._start_quantum = int(np.floor(self.start_time / tau))
+        self._length_quanta = max(1, int(round((self.end_time - self.start_time) / tau)))
+        self._series_cache: Dict[EdgeKey, object] = {}
+        # Pre-compute per-edge in-window activity once.
+        self._active_edges: Set[EdgeKey] = set()
+        for src, dst in collector.edges():
+            stamps = collector.edge_timestamps(src, dst)
+            lo = bisect.bisect_left(stamps, self.start_time)
+            hi = bisect.bisect_left(stamps, self.end_time)
+            if hi > lo:
+                self._active_edges.add((src, dst))
+
+    # -- TraceWindow protocol ----------------------------------------------------
+
+    def front_end_nodes(self) -> List[NodeId]:
+        clients = self._collector.clients
+        fronts = {
+            dst
+            for (src, dst) in self._active_edges
+            if src in clients and dst not in clients
+        }
+        return sorted(fronts)
+
+    def clients_of(self, node: NodeId) -> List[NodeId]:
+        clients = self._collector.clients
+        return sorted(
+            src for (src, dst) in self._active_edges if dst == node and src in clients
+        )
+
+    def destinations_of(self, node: NodeId) -> List[NodeId]:
+        return sorted(dst for (src, dst) in self._active_edges if src == node)
+
+    def is_client(self, node: NodeId) -> bool:
+        return node in self._collector.clients
+
+    def edge_series(self, src: NodeId, dst: NodeId):
+        key = (src, dst)
+        cached = self._series_cache.get(key)
+        if cached is not None:
+            return cached
+        stamps = self._collector.edge_timestamps(src, dst)
+        series: object = build_density_series(
+            stamps,
+            quantum=self._config.quantum,
+            sampling_quanta=self._config.sampling_quanta,
+            window_start=self._start_quantum,
+            window_length=self._length_quanta,
+        )
+        if self._use_rle:
+            series = rle_encode(series)
+        self._series_cache[key] = series
+        return series
+
+    # -- extras -----------------------------------------------------------------------
+
+    def active_edges(self) -> List[EdgeKey]:
+        return sorted(self._active_edges)
+
+    def __repr__(self) -> str:
+        return (
+            f"CollectedTraceWindow([{self.start_time:.3f}, {self.end_time:.3f}), "
+            f"edges={len(self._active_edges)})"
+        )

@@ -1,0 +1,88 @@
+"""Trace record types.
+
+Two record shapes exist in the paper's case studies:
+
+* **Packet captures** (RUBiS, Section 4.1): the `tracer` kernel module
+  observes network packets at each service node; a packet on the wire from
+  ``src`` to ``dst`` is captured twice -- once at each traced endpoint,
+  each with that endpoint's local clock.
+* **Access logs** (Delta Revenue Pipeline, Section 4.3): application-level
+  transactional events with timestamps, server ids and request ids.
+
+Pathmap only ever consumes ``(timestamp, src, dst, observer)``; the
+request/class ids carried here exist solely for ground-truth validation
+and are never shown to the analysis (it stays black-box).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.errors import TraceError
+
+NodeId = str
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class CaptureRecord:
+    """One observation of one packet at one traced endpoint.
+
+    Attributes
+    ----------
+    timestamp:
+        Capture time in seconds, by the **observer's local clock**.
+    src, dst:
+        The packet's source and destination node ids (the logical edge).
+    observer:
+        The node at which the packet was captured (``src`` or ``dst``).
+    request_id:
+        Ground-truth request identity; not visible to pathmap.
+    service_class:
+        Ground-truth service class; not visible to pathmap.
+    """
+
+    timestamp: float
+    src: NodeId
+    dst: NodeId
+    observer: NodeId
+    request_id: Optional[int] = dataclasses.field(default=None, compare=False)
+    service_class: Optional[str] = dataclasses.field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.observer not in (self.src, self.dst):
+            raise TraceError(
+                f"observer {self.observer!r} is neither src {self.src!r} "
+                f"nor dst {self.dst!r}"
+            )
+        if self.src == self.dst:
+            raise TraceError(f"self-loop packet at {self.src!r}")
+
+    @property
+    def edge(self) -> tuple:
+        return (self.src, self.dst)
+
+    @property
+    def observed_at_destination(self) -> bool:
+        return self.observer == self.dst
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class AccessLogRecord:
+    """One application-level transactional event (Delta-style trace).
+
+    ``event`` is ``"recv"`` when the server accepted the request/event and
+    ``"send"`` when it forwarded it to ``peer``.
+    """
+
+    timestamp: float
+    server: NodeId
+    request_id: int
+    event: str = "recv"
+    peer: Optional[NodeId] = None
+
+    def __post_init__(self) -> None:
+        if self.event not in ("recv", "send"):
+            raise TraceError(f"unknown access-log event {self.event!r}")
+        if self.event == "send" and self.peer is None:
+            raise TraceError("send events must name a peer")

@@ -1,0 +1,167 @@
+"""Trace file I/O.
+
+Traces are persisted as JSON Lines (one record per line) or CSV. Both
+formats round-trip exactly through the dataclasses in
+:mod:`repro.tracing.records`, so a simulation run can be captured once and
+re-analyzed many times (the paper analyzes a week-long Delta trace
+offline the same way).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+from repro.errors import TraceError
+from repro.tracing.records import AccessLogRecord, CaptureRecord
+
+PathLike = Union[str, Path]
+
+
+# -- capture records (packet traces) ------------------------------------------
+
+
+def write_capture_jsonl(path: PathLike, records: Iterable[CaptureRecord]) -> int:
+    """Write capture records as JSON Lines; returns the record count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(
+                json.dumps(
+                    {
+                        "ts": record.timestamp,
+                        "src": record.src,
+                        "dst": record.dst,
+                        "obs": record.observer,
+                        "req": record.request_id,
+                        "cls": record.service_class,
+                    },
+                    separators=(",", ":"),
+                )
+            )
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_capture_jsonl(path: PathLike) -> Iterator[CaptureRecord]:
+    """Stream capture records from a JSON Lines file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+                yield CaptureRecord(
+                    timestamp=float(data["ts"]),
+                    src=data["src"],
+                    dst=data["dst"],
+                    observer=data["obs"],
+                    request_id=data.get("req"),
+                    service_class=data.get("cls"),
+                )
+            except (KeyError, ValueError, TypeError) as exc:
+                raise TraceError(f"{path}:{lineno}: malformed record: {exc}") from exc
+
+
+_CAPTURE_FIELDS = ["timestamp", "src", "dst", "observer", "request_id", "service_class"]
+
+
+def write_capture_csv(path: PathLike, records: Iterable[CaptureRecord]) -> int:
+    """Write capture records as CSV with a header row."""
+    count = 0
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_CAPTURE_FIELDS)
+        for record in records:
+            writer.writerow(
+                [
+                    repr(record.timestamp),
+                    record.src,
+                    record.dst,
+                    record.observer,
+                    "" if record.request_id is None else record.request_id,
+                    record.service_class or "",
+                ]
+            )
+            count += 1
+    return count
+
+
+def read_capture_csv(path: PathLike) -> Iterator[CaptureRecord]:
+    """Stream capture records from a CSV file written by write_capture_csv."""
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != _CAPTURE_FIELDS:
+            raise TraceError(f"{path}: unexpected CSV header {header}")
+        for lineno, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            try:
+                yield CaptureRecord(
+                    timestamp=float(row[0]),
+                    src=row[1],
+                    dst=row[2],
+                    observer=row[3],
+                    request_id=int(row[4]) if row[4] else None,
+                    service_class=row[5] or None,
+                )
+            except (IndexError, ValueError) as exc:
+                raise TraceError(f"{path}:{lineno}: malformed row: {exc}") from exc
+
+
+# -- access-log records (Delta-style traces) -----------------------------------
+
+
+def write_access_log_jsonl(path: PathLike, records: Iterable[AccessLogRecord]) -> int:
+    """Write access-log records as JSON Lines."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(
+                json.dumps(
+                    {
+                        "ts": record.timestamp,
+                        "srv": record.server,
+                        "req": record.request_id,
+                        "ev": record.event,
+                        "peer": record.peer,
+                    },
+                    separators=(",", ":"),
+                )
+            )
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_access_log_jsonl(path: PathLike) -> Iterator[AccessLogRecord]:
+    """Stream access-log records from a JSON Lines file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+                yield AccessLogRecord(
+                    timestamp=float(data["ts"]),
+                    server=data["srv"],
+                    request_id=int(data["req"]),
+                    event=data.get("ev", "recv"),
+                    peer=data.get("peer"),
+                )
+            except (KeyError, ValueError, TypeError) as exc:
+                raise TraceError(f"{path}:{lineno}: malformed record: {exc}") from exc
+
+
+def load_captures(path: PathLike) -> List[CaptureRecord]:
+    """Load a whole capture trace, dispatching on the file extension."""
+    path = Path(path)
+    if path.suffix == ".csv":
+        return list(read_capture_csv(path))
+    return list(read_capture_jsonl(path))

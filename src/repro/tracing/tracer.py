@@ -1,0 +1,110 @@
+"""Per-node packet tracer (paper Section 3.6).
+
+The paper implements a Linux kernel module (`tracer`) that hooks netfilter,
+observes every packet entering or leaving its node, computes the density
+time series locally, and streams **RLE-encoded** series to the central
+analyzer -- offloading time-series computation from the analysis node and
+shrinking network transmission.
+
+:class:`Tracer` is the simulation-side equivalent. It is attached to one
+service node, receives ``observe()`` callbacks for every packet the node
+sends or receives (timestamped by the node's local clock, which may be
+skewed), and can flush the accumulated window into per-edge
+:class:`~repro.core.rle.RunLengthSeries` blocks exactly as the kernel
+module would stream them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.config import PathmapConfig
+from repro.core.rle import RunLengthSeries, rle_encode
+from repro.core.timeseries import build_density_series
+from repro.errors import TraceError
+from repro.tracing.records import CaptureRecord, NodeId
+
+EdgeKey = Tuple[NodeId, NodeId]
+
+
+class Tracer:
+    """Passive packet observer for one service node.
+
+    Parameters
+    ----------
+    node:
+        Id of the node this tracer runs on.
+    clock_skew:
+        Constant offset (seconds) of this node's clock relative to true
+        time; every observed timestamp is shifted by it (Section 3.8).
+    """
+
+    def __init__(self, node: NodeId, clock_skew: float = 0.0) -> None:
+        self.node = node
+        self.clock_skew = float(clock_skew)
+        self._timestamps: Dict[EdgeKey, List[float]] = {}
+        self._count = 0
+
+    # -- capture ---------------------------------------------------------------
+
+    def observe(self, timestamp: float, src: NodeId, dst: NodeId) -> CaptureRecord:
+        """Record one packet on edge ``src -> dst`` passing this node.
+
+        ``timestamp`` is true time; the stored value is by the local clock.
+        """
+        if self.node not in (src, dst):
+            raise TraceError(
+                f"tracer at {self.node!r} observed foreign packet {src!r}->{dst!r}"
+            )
+        local = timestamp + self.clock_skew
+        self._timestamps.setdefault((src, dst), []).append(local)
+        self._count += 1
+        return CaptureRecord(local, src, dst, self.node)
+
+    @property
+    def packet_count(self) -> int:
+        return self._count
+
+    def edges(self) -> List[EdgeKey]:
+        """Edges with at least one captured packet."""
+        return list(self._timestamps)
+
+    def timestamps(self, src: NodeId, dst: NodeId) -> List[float]:
+        """Raw local-clock capture times for one edge (sorted copy)."""
+        return sorted(self._timestamps.get((src, dst), []))
+
+    # -- streaming -----------------------------------------------------------------
+
+    def flush_block(
+        self, config: PathmapConfig, window_start_quantum: int, block_quanta: int
+    ) -> Dict[EdgeKey, RunLengthSeries]:
+        """Compute and return the RLE series of every edge for one block.
+
+        Mirrors the kernel module's periodic stream: each refresh interval,
+        one RLE block per active edge is emitted to the analyzer. The
+        tracer keeps raw timestamps only as far back as the analysis can
+        need them (older entries are dropped).
+        """
+        blocks: Dict[EdgeKey, RunLengthSeries] = {}
+        tau = config.quantum
+        for edge, stamps in self._timestamps.items():
+            series = build_density_series(
+                stamps,
+                quantum=tau,
+                sampling_quanta=config.sampling_quanta,
+                window_start=window_start_quantum,
+                window_length=block_quanta,
+            )
+            blocks[edge] = rle_encode(series)
+        self._drop_before((window_start_quantum + block_quanta) * tau - config.sampling_window)
+        return blocks
+
+    def _drop_before(self, cutoff: float) -> None:
+        """Discard timestamps older than ``cutoff`` (no longer needed)."""
+        for edge, stamps in self._timestamps.items():
+            self._timestamps[edge] = [t for t in stamps if t >= cutoff]
+
+    def reset(self) -> None:
+        """Discard all captured state (e.g. module reload)."""
+        self._timestamps.clear()
+        self._count = 0

@@ -1,0 +1,141 @@
+"""Wire format for streamed RLE time-series blocks (paper Section 3.6).
+
+The paper's tracer "streams RLE-encoded time series data" to the central
+analyzer, and Section 3.5 credits RLE with "reduc[ing] the network
+transmission overhead". This module is that wire format: a compact,
+self-delimiting binary encoding of a :class:`RunLengthSeries` block with
+an exact decode, so the transmission saving can actually be measured
+(see ``benchmarks/test_fig10_trace_size.py`` and the wire-size tests).
+
+Layout (little-endian)::
+
+    magic     2 bytes  b"RL"
+    version   1 byte
+    quantum   8 bytes  float64 (seconds)
+    start     8 bytes  int64   (absolute quantum index of the window)
+    length    8 bytes  int64   (window length in quanta)
+    runs      4 bytes  uint32  (number of runs)
+    per run:
+      offset  varint   (delta from previous run's end -- gap length)
+      count   varint   (run length, >= 1)
+      value   4 bytes  float32 (density value)
+
+Run starts are delta-encoded against the previous run's end, so long
+quiet zones cost one small varint instead of an absolute index.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.rle import RunLengthSeries
+from repro.errors import TraceError
+
+MAGIC = b"RL"
+VERSION = 1
+
+_HEADER = struct.Struct("<2sBdqqI")
+
+
+def _encode_varint(value: int, out: bytearray) -> None:
+    if value < 0:
+        raise TraceError(f"varint cannot encode negative value {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _decode_varint(data: bytes, pos: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise TraceError("truncated varint in wire block")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise TraceError("varint overflow in wire block")
+
+
+def encode_block(series: RunLengthSeries) -> bytes:
+    """Serialize one RLE block to its wire representation."""
+    out = bytearray(
+        _HEADER.pack(
+            MAGIC, VERSION, series.quantum, series.start, series.length,
+            series.num_runs,
+        )
+    )
+    previous_end = series.start
+    for run in series:
+        _encode_varint(run.start - previous_end, out)
+        _encode_varint(run.count, out)
+        out += struct.pack("<f", run.value)
+        previous_end = run.start + run.count
+    return bytes(out)
+
+
+def decode_block(data: bytes) -> RunLengthSeries:
+    """Exact inverse of :func:`encode_block` (float32 value precision)."""
+    if len(data) < _HEADER.size:
+        raise TraceError("wire block shorter than header")
+    magic, version, quantum, start, length, num_runs = _HEADER.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise TraceError(f"bad wire magic {magic!r}")
+    if version != VERSION:
+        raise TraceError(f"unsupported wire version {version}")
+    pos = _HEADER.size
+    starts: List[int] = []
+    counts: List[int] = []
+    values: List[float] = []
+    previous_end = start
+    for _ in range(num_runs):
+        gap, pos = _decode_varint(data, pos)
+        count, pos = _decode_varint(data, pos)
+        if pos + 4 > len(data):
+            raise TraceError("truncated run value in wire block")
+        (value,) = struct.unpack_from("<f", data, pos)
+        pos += 4
+        run_start = previous_end + gap
+        starts.append(run_start)
+        counts.append(count)
+        values.append(value)
+        previous_end = run_start + count
+    if pos != len(data):
+        raise TraceError(f"{len(data) - pos} trailing bytes in wire block")
+    return RunLengthSeries(
+        np.array(starts, dtype=np.int64),
+        np.array(counts, dtype=np.int64),
+        np.array(values, dtype=np.float64),
+        start,
+        length,
+        quantum,
+    )
+
+
+def wire_sizes(series: RunLengthSeries, message_count: int = 0) -> dict:
+    """Byte counts of the alternatives the paper compares.
+
+    * ``raw_timestamps``: 8 bytes per captured message (the
+      tcpdump-and-forward strawman); pass ``message_count``.
+    * ``dense``: 4 bytes per quantum of the window.
+    * ``sparse``: 12 bytes per non-zero sample (8 index + 4 value).
+    * ``rle_wire``: the actual encoded block.
+    """
+    return {
+        "raw_timestamps": 8 * message_count,
+        "dense": 4 * series.length,
+        "sparse": 12 * series.nnz,
+        "rle_wire": len(encode_block(series)),
+    }

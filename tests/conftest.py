@@ -1,0 +1,58 @@
+"""Shared fixtures.
+
+Expensive end-to-end simulations are session-scoped so the many
+integration tests that inspect their results don't re-run them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PathmapConfig, compute_service_graphs
+from repro.apps.rubis import build_rubis
+
+#: Analysis parameters shared by the integration fixtures: the paper's
+#: tau/omega with a window sized for fast tests.
+FAST_CONFIG = PathmapConfig(
+    window=60.0,
+    refresh_interval=20.0,
+    quantum=1e-3,
+    sampling_window=50e-3,
+    max_transaction_delay=2.0,
+    min_spike_height=0.10,
+)
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def affinity_rubis():
+    """A RUBiS run with affinity dispatch (Figure 5 setup), 65 sim-seconds."""
+    rubis = build_rubis(dispatch="affinity", seed=7, request_rate=10.0, config=FAST_CONFIG)
+    rubis.run_until(65.0)
+    return rubis
+
+
+@pytest.fixture(scope="session")
+def affinity_result(affinity_rubis):
+    """Pathmap output over the affinity run."""
+    window = affinity_rubis.window(end_time=63.0)
+    return compute_service_graphs(window, affinity_rubis.config, method="rle")
+
+
+@pytest.fixture(scope="session")
+def roundrobin_rubis():
+    """A RUBiS run with round-robin dispatch (Figure 6 setup)."""
+    rubis = build_rubis(dispatch="round_robin", seed=8, request_rate=10.0, config=FAST_CONFIG)
+    rubis.run_until(65.0)
+    return rubis
+
+
+@pytest.fixture(scope="session")
+def roundrobin_result(roundrobin_rubis):
+    window = roundrobin_rubis.window(end_time=63.0)
+    return compute_service_graphs(window, roundrobin_rubis.config, method="rle")

@@ -1,0 +1,80 @@
+"""Tests for the access-log -> capture adapter (Delta-style traces)."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.tracing.access_log import (
+    access_log_to_captures,
+    merge_server_logs,
+    split_by_server,
+)
+from repro.tracing.records import AccessLogRecord
+
+
+def log(ts, server, req, event="recv", peer=None):
+    return AccessLogRecord(ts, server, req, event=event, peer=peer)
+
+
+class TestConversion:
+    def test_pipeline_flow(self):
+        records = [
+            log(1.0, "Q1", 7),                       # ingress recv
+            log(1.2, "Q1", 7, "send", "VAL"),
+            log(1.3, "VAL", 7),                      # recv from Q1
+            log(1.6, "VAL", 7, "send", "DB"),
+            log(1.8, "DB", 7),
+        ]
+        captures = list(access_log_to_captures(records))
+        edges = [(c.src, c.dst, c.observer) for c in captures]
+        assert edges == [
+            ("external", "Q1", "Q1"),
+            ("Q1", "VAL", "Q1"),
+            ("Q1", "VAL", "VAL"),
+            ("VAL", "DB", "VAL"),
+            ("VAL", "DB", "DB"),
+        ]
+
+    def test_interleaved_requests_tracked_separately(self):
+        records = [
+            log(1.0, "Q1", 1, "send", "VAL"),
+            log(1.1, "Q2", 2, "send", "VAL"),
+            log(1.2, "VAL", 2),
+            log(1.3, "VAL", 1),
+        ]
+        captures = list(access_log_to_captures(records))
+        recv_edges = [(c.src, c.dst) for c in captures if c.observer == c.dst]
+        assert ("Q2", "VAL") in recv_edges
+        assert ("Q1", "VAL") in recv_edges
+
+    def test_unsorted_input_rejected(self):
+        records = [log(2.0, "A", 1, "send", "B"), log(1.0, "B", 1)]
+        with pytest.raises(TraceError):
+            list(access_log_to_captures(records))
+
+    def test_custom_ingress_source(self):
+        captures = list(
+            access_log_to_captures([log(1.0, "Q1", 7)], ingress_source="feed")
+        )
+        assert captures[0].src == "feed"
+
+    def test_self_recv_remapped_to_ingress(self):
+        records = [log(1.0, "A", 1, "send", "A2"), log(1.1, "A", 1)]
+        captures = list(access_log_to_captures(records))
+        assert captures[1].src == "external"
+
+    def test_request_ids_preserved(self):
+        captures = list(access_log_to_captures([log(1.0, "Q1", 42)]))
+        assert captures[0].request_id == 42
+
+
+class TestHelpers:
+    def test_split_by_server(self):
+        records = [log(1.0, "A", 1), log(2.0, "B", 2), log(3.0, "A", 3)]
+        split = split_by_server(records)
+        assert {s: len(v) for s, v in split.items()} == {"A": 2, "B": 1}
+
+    def test_merge_server_logs(self):
+        a = [log(1.0, "A", 1), log(3.0, "A", 2)]
+        b = [log(2.0, "B", 1)]
+        merged = merge_server_logs([a, b])
+        assert [r.timestamp for r in merged] == [1.0, 2.0, 3.0]

@@ -1,0 +1,119 @@
+"""Tests for EWMA anomaly detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.anomaly import ALARM, OK, WARNING, Anomaly, AnomalyDetector
+from repro.core.pathmap import PathmapResult, PathmapStats
+from repro.core.service_graph import ServiceGraph
+from repro.errors import AnalysisError
+
+CLASS_KEY = ("C", "WS")
+EDGE = ("WS", "DB")
+
+
+def result_with_delay(delay):
+    graph = ServiceGraph("C", "WS")
+    graph.add_edge("WS", "DB", [delay])
+    return PathmapResult({CLASS_KEY: graph}, PathmapStats())
+
+
+def feed(detector, delays, start_time=0.0):
+    raised = []
+    for i, delay in enumerate(delays):
+        raised.extend(detector.record(start_time + 60.0 * i, result_with_delay(delay)))
+    return raised
+
+
+class TestBaseline:
+    def test_steady_stream_stays_ok(self):
+        detector = AnomalyDetector()
+        rng = np.random.default_rng(0)
+        raised = feed(detector, 0.020 + rng.normal(0, 0.0005, 50))
+        assert raised == []
+        assert detector.status(CLASS_KEY, EDGE) == OK
+        assert detector.healthy()
+
+    def test_warmup_suppresses_scoring(self):
+        detector = AnomalyDetector(warmup=5)
+        raised = feed(detector, [0.02, 0.02, 0.5, 0.02])  # spike inside warmup
+        assert raised == []
+
+    def test_baseline_tracks_slow_drift(self):
+        detector = AnomalyDetector(min_std=0.004)
+        # Delay creeps up 1% per refresh: never a 3-sigma jump.
+        delays = [0.020 * (1.01 ** i) for i in range(40)]
+        raised = feed(detector, delays)
+        assert raised == []
+        state = detector.state(CLASS_KEY, EDGE)
+        assert state.mean > 0.025  # baseline followed the drift
+
+
+class TestDetection:
+    def test_step_raises_warning_then_alarm(self):
+        detector = AnomalyDetector(alarm_after=2, min_std=0.001)
+        feed(detector, [0.020] * 10)
+        first = feed(detector, [0.060], start_time=1000.0)
+        assert [a.status for a in first] == [WARNING] or [a.status for a in first] == [ALARM]
+        feed(detector, [0.060], start_time=1060.0)
+        assert detector.status(CLASS_KEY, EDGE) == ALARM
+        assert (CLASS_KEY, EDGE) in detector.active_alarms()
+
+    def test_huge_jump_alarms_immediately(self):
+        detector = AnomalyDetector(min_std=0.001)
+        feed(detector, [0.020] * 10)
+        raised = feed(detector, [0.500], start_time=1000.0)
+        assert raised and raised[-1].status == ALARM
+
+    def test_recovery_clears_alarm(self):
+        detector = AnomalyDetector(min_std=0.001)
+        feed(detector, [0.020] * 10 + [0.5, 0.5])
+        assert detector.status(CLASS_KEY, EDGE) == ALARM
+        feed(detector, [0.020] * 3, start_time=2000.0)
+        assert detector.status(CLASS_KEY, EDGE) == OK
+        assert detector.active_alarms() == []
+
+    def test_baseline_not_poisoned_by_anomaly(self):
+        detector = AnomalyDetector(min_std=0.001)
+        feed(detector, [0.020] * 10)
+        before = detector.state(CLASS_KEY, EDGE).mean
+        feed(detector, [0.500] * 3, start_time=1000.0)
+        after = detector.state(CLASS_KEY, EDGE).mean
+        assert after == pytest.approx(before)  # anomalous samples excluded
+
+    def test_anomaly_fields(self):
+        detector = AnomalyDetector(min_std=0.001)
+        feed(detector, [0.020] * 10)
+        raised = feed(detector, [0.100], start_time=1000.0)
+        anomaly = raised[0]
+        assert anomaly.edge == EDGE
+        assert anomaly.observed == pytest.approx(0.100)
+        assert anomaly.baseline == pytest.approx(0.020, abs=0.002)
+        assert anomaly.score > 3.0
+
+    def test_decrease_also_scored(self):
+        detector = AnomalyDetector(min_std=0.001)
+        feed(detector, [0.100] * 10)
+        raised = feed(detector, [0.010], start_time=1000.0)
+        assert raised and raised[0].score < -3.0
+
+    def test_min_std_floor_suppresses_quantization_noise(self):
+        detector = AnomalyDetector(min_std=0.005)
+        feed(detector, [0.020] * 10)
+        raised = feed(detector, [0.022], start_time=1000.0)  # +2ms blip
+        assert raised == []
+
+
+class TestValidation:
+    def test_constructor_validation(self):
+        with pytest.raises(AnalysisError):
+            AnomalyDetector(alpha=0.0)
+        with pytest.raises(AnalysisError):
+            AnomalyDetector(warn_score=5.0, alarm_score=3.0)
+        with pytest.raises(AnalysisError):
+            AnomalyDetector(alarm_after=0)
+        with pytest.raises(AnalysisError):
+            AnomalyDetector(warmup=0)
+
+    def test_status_of_unknown_edge(self):
+        assert AnomalyDetector().status(CLASS_KEY, ("X", "Y")) == OK

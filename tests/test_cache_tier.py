@@ -1,0 +1,106 @@
+"""A cache-aside tier: one class, two data paths with very different
+delays (fast cache hits, slow database misses).
+
+This is the realistic face of "the existence of more than one spike
+indicates that the request may have taken different paths" (paper
+Section 3.3): pathmap must discover BOTH downstream edges from the
+application server, and the response edge back to the client must carry
+two spikes -- the bimodal end-to-end latency an operator would see in
+percentile dashboards."""
+
+import pytest
+
+from repro.apps.dispatch import RandomChoiceRouter
+from repro.config import PathmapConfig
+from repro.core.pathmap import compute_service_graphs
+from repro.errors import TopologyError
+from repro.simulation.distributions import Erlang
+from repro.simulation.nodes import Message, StaticRouter
+from repro.simulation.topology import Topology
+
+CFG = PathmapConfig(
+    window=60.0,
+    refresh_interval=60.0,
+    quantum=1e-3,
+    sampling_window=10e-3,
+    max_transaction_delay=2.0,
+    min_spike_height=0.10,
+)
+
+HIT_RATE = 0.7
+
+
+@pytest.fixture(scope="module")
+def cache_system():
+    topo = Topology(seed=31)
+    topo.add_service_node("CACHE", Erlang(0.002, k=8), workers=16)
+    # Low-variance DB latency keeps the miss spike sharp enough to clear
+    # the threshold on the shared response edge (high variance smears the
+    # minority path's hill below detection -- a real limitation worth
+    # knowing about).
+    topo.add_service_node("DB", Erlang(0.030, k=64), workers=16)
+    topo.add_service_node(
+        "AP", Erlang(0.004, k=8), workers=16,
+        router=RandomChoiceRouter({"CACHE": HIT_RATE, "DB": 1 - HIT_RATE}, topo.rng),
+    )
+    topo.add_service_node("WS", Erlang(0.002, k=8), workers=16,
+                          router=StaticRouter({}, default="AP"))
+    client = topo.add_client("C", "reads", front_end="WS")
+    topo.open_workload(client, rate=30.0)
+    topo.run_until(62.0)
+    result = compute_service_graphs(topo.collector.window(CFG, end_time=61.0), CFG)
+    return topo, result.graph_for("C")
+
+
+class TestRandomChoiceRouter:
+    def test_weights_respected(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        router = RandomChoiceRouter({"A": 0.8, "B": 0.2}, rng)
+        msg = Message(1, "x", "request", "C", "N", ("C",), 0.0)
+        picks = [router.route(None, msg).targets[0] for _ in range(2000)]
+        assert 0.75 < picks.count("A") / len(picks) < 0.85
+
+    def test_validation(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        with pytest.raises(TopologyError):
+            RandomChoiceRouter({}, rng)
+        with pytest.raises(TopologyError):
+            RandomChoiceRouter({"A": 0.0}, rng)
+
+
+class TestCacheTierPaths:
+    def test_both_data_paths_discovered(self, cache_system):
+        _, graph = cache_system
+        assert graph.has_edge("AP", "CACHE")
+        assert graph.has_edge("AP", "DB")
+
+    def test_hit_and_miss_delays(self, cache_system):
+        _, graph = cache_system
+        # Both edges leave AP after ~WS+AP processing (~6 ms cumulative).
+        assert graph.edge("AP", "CACHE").min_delay == pytest.approx(0.006, abs=0.004)
+        assert graph.edge("AP", "DB").min_delay == pytest.approx(0.006, abs=0.004)
+        # The *return* edges separate the two path latencies.
+        cache_return = graph.edge("CACHE", "AP").min_delay
+        db_return = graph.edge("DB", "AP").min_delay
+        assert db_return - cache_return == pytest.approx(0.028, abs=0.008)
+
+    def test_bimodal_response_edge(self, cache_system):
+        """The response edge back to the client carries two spikes: the
+        hit latency and the miss latency."""
+        _, graph = cache_system
+        delays = graph.edge("WS", "C").delays
+        assert len(delays) >= 2
+        spread = max(delays) - min(delays)
+        assert spread == pytest.approx(0.028, abs=0.010)
+
+    def test_bottleneck_is_the_database(self, cache_system):
+        from repro.core.bottleneck import find_bottlenecks
+
+        _, graph = cache_system
+        report = find_bottlenecks(graph, threshold_share=0.25)
+        assert "DB" in report.node_delays
+        assert report.dominant() in ("DB", "AP")  # DB unless hit path dominates

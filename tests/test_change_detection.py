@@ -1,0 +1,111 @@
+"""Tests for per-edge change detection (Section 4.1.2 / Figure 7)."""
+
+import pytest
+
+from repro.core.change_detection import ChangeDetector, ChangeEvent, DelaySample
+from repro.core.pathmap import PathmapResult, PathmapStats
+from repro.core.service_graph import ServiceGraph
+from repro.errors import AnalysisError
+
+
+def result_with_delay(delay):
+    """A PathmapResult with a single graph C->WS->DB, DB edge at ``delay``."""
+    graph = ServiceGraph("C", "WS")
+    graph.add_edge("WS", "DB", [delay])
+    return PathmapResult({("C", "WS"): graph}, PathmapStats())
+
+
+CLASS_KEY = ("C", "WS")
+EDGE = ("WS", "DB")
+
+
+class TestHistory:
+    def test_history_accumulates(self):
+        det = ChangeDetector()
+        for i, d in enumerate([0.01, 0.011, 0.012]):
+            det.record(float(i), result_with_delay(d))
+        history = det.history(CLASS_KEY, EDGE)
+        assert [s.time for s in history] == [0.0, 1.0, 2.0]
+        assert history[0] == DelaySample(0.0, 0.01)
+
+    def test_delay_series_arrays(self):
+        det = ChangeDetector()
+        det.record(0.0, result_with_delay(0.01))
+        det.record(1.0, result_with_delay(0.02))
+        times, delays = det.delay_series(CLASS_KEY, EDGE)
+        assert list(times) == [0.0, 1.0]
+        assert list(delays) == [0.01, 0.02]
+
+    def test_tracked_edges(self):
+        det = ChangeDetector()
+        det.record(0.0, result_with_delay(0.01))
+        assert (CLASS_KEY, ("C", "WS")) in det.tracked_edges()
+        assert (CLASS_KEY, EDGE) in det.tracked_edges()
+
+
+class TestDetection:
+    def test_step_change_detected(self):
+        det = ChangeDetector(absolute_threshold=0.005, relative_threshold=0.2,
+                             baseline_refreshes=3)
+        for i in range(3):
+            det.record(float(i), result_with_delay(0.010))
+        events = det.record(3.0, result_with_delay(0.030))
+        assert len(events) == 1
+        event = events[0]
+        assert event.edge == EDGE
+        assert event.previous == pytest.approx(0.010)
+        assert event.current == pytest.approx(0.030)
+        assert event.magnitude == pytest.approx(0.020)
+        assert event.relative == pytest.approx(2.0)
+
+    def test_no_event_below_absolute_threshold(self):
+        det = ChangeDetector(absolute_threshold=0.005, relative_threshold=0.0001,
+                             baseline_refreshes=2)
+        det.record(0.0, result_with_delay(0.010))
+        det.record(1.0, result_with_delay(0.010))
+        events = det.record(2.0, result_with_delay(0.012))
+        assert events == []
+
+    def test_no_event_below_relative_threshold(self):
+        det = ChangeDetector(absolute_threshold=0.001, relative_threshold=0.5,
+                             baseline_refreshes=2)
+        det.record(0.0, result_with_delay(0.100))
+        det.record(1.0, result_with_delay(0.100))
+        events = det.record(2.0, result_with_delay(0.110))  # +10% only
+        assert events == []
+
+    def test_no_event_during_warmup(self):
+        det = ChangeDetector(baseline_refreshes=3)
+        events = det.record(0.0, result_with_delay(0.010))
+        assert events == []
+        events = det.record(1.0, result_with_delay(0.100))
+        assert events == []  # still warming up
+
+    def test_decrease_also_detected(self):
+        det = ChangeDetector(absolute_threshold=0.005, relative_threshold=0.2,
+                             baseline_refreshes=2)
+        det.record(0.0, result_with_delay(0.050))
+        det.record(1.0, result_with_delay(0.050))
+        events = det.record(2.0, result_with_delay(0.010))
+        assert len(events) == 1
+        assert events[0].magnitude < 0
+
+    def test_events_accumulate(self):
+        det = ChangeDetector(absolute_threshold=0.005, relative_threshold=0.1,
+                             baseline_refreshes=1)
+        det.record(0.0, result_with_delay(0.010))
+        det.record(1.0, result_with_delay(0.050))
+        det.record(2.0, result_with_delay(0.200))
+        assert len(det.events()) == 2
+        assert len(det.events_for(EDGE)) == 2
+        assert det.events_for(("X", "Y")) == []
+
+    def test_relative_from_zero_baseline(self):
+        event = ChangeEvent(0.0, CLASS_KEY, EDGE, previous=0.0, current=0.01)
+        assert event.relative == float("inf")
+        flat = ChangeEvent(0.0, CLASS_KEY, EDGE, previous=0.0, current=0.0)
+        assert flat.relative == 0.0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            ChangeDetector(baseline_refreshes=0)

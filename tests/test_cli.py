@@ -1,0 +1,163 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.tracing.storage import load_captures, read_access_log_jsonl
+
+
+@pytest.fixture(scope="module")
+def rubis_trace(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "rubis.jsonl"
+    code = main([
+        "simulate-rubis", "-o", str(path),
+        "--duration", "65", "--seed", "7", "--rate", "10",
+    ])
+    assert code == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def delta_log(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "delta.jsonl"
+    code = main([
+        "simulate-delta", "-o", str(path),
+        "--duration", "1900", "--queues", "3",
+        "--events-per-hour", "10800", "--seed", "3",
+    ])
+    assert code == 0
+    return path
+
+
+class TestSimulate:
+    def test_rubis_trace_loadable(self, rubis_trace):
+        records = load_captures(rubis_trace)
+        assert len(records) > 1000
+        assert {r.observer for r in records} >= {"WS", "DS"}
+
+    def test_delta_log_loadable(self, delta_log):
+        records = list(read_access_log_jsonl(delta_log))
+        assert len(records) > 1000
+        assert {r.event for r in records} == {"recv", "send"}
+
+
+class TestAnalyze:
+    def test_ascii_output(self, rubis_trace, capsys):
+        code = main([
+            "analyze", str(rubis_trace), "--clients", "C1,C2",
+            "--window", "60",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "C1" in out and "TS1" in out and "EJB1" in out
+        assert "*EJB1*" in out  # bottleneck marking
+
+    def test_dot_output(self, rubis_trace, capsys):
+        code = main([
+            "analyze", str(rubis_trace), "--clients", "C1,C2",
+            "--window", "60", "--format", "dot",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "digraph" in out
+        assert '"WS" -> "TS1"' in out
+
+    def test_json_output(self, rubis_trace, capsys):
+        code = main([
+            "analyze", str(rubis_trace), "--clients", "C1,C2",
+            "--window", "60", "--format", "json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "C1@WS" in payload
+        edges = {(e["src"], e["dst"]) for e in payload["C1@WS"]["edges"]}
+        assert ("WS", "TS1") in edges
+
+    def test_report_output(self, rubis_trace, capsys):
+        code = main([
+            "analyze", str(rubis_trace), "--clients", "C1,C2",
+            "--window", "60", "--format", "report",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "E2EProf diagnosis report" in out
+        assert "bottleneck: EJB1" in out
+
+    def test_summary_output(self, rubis_trace, capsys):
+        code = main([
+            "analyze", str(rubis_trace), "--clients", "C1,C2",
+            "--window", "60", "--format", "summary",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "EJB1" in payload["classes"]["C1@WS"]["bottlenecks"]
+
+    def test_access_log_analysis(self, delta_log, capsys):
+        code = main([
+            "analyze", str(delta_log), "--access-log",
+            "--window", "1800", "--quantum", "1.0",
+            "--sampling-window", "50", "--max-delay", "1200",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "VAL" in out and "RDB" in out
+
+    def test_missing_clients_is_an_error(self, rubis_trace, capsys):
+        code = main(["analyze", str(rubis_trace), "--window", "60"])
+        assert code == 2
+        assert "client" in capsys.readouterr().err
+
+    def test_explicit_end_time(self, rubis_trace, capsys):
+        code = main([
+            "analyze", str(rubis_trace), "--clients", "C1,C2",
+            "--window", "30", "--end", "40",
+        ])
+        assert code == 0
+
+
+class TestDiff:
+    def test_steady_trace_diffs_clean(self, rubis_trace, capsys):
+        code = main([
+            "diff", str(rubis_trace), "--clients", "C1,C2",
+            "--window", "30", "--before-end", "31", "--after-end", "62",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "diff for service class of C1" in out
+        assert "diff for service class of C2" in out
+
+
+class TestRender:
+    def test_svg_files_written(self, rubis_trace, tmp_path, capsys):
+        outdir = tmp_path / "svgs"
+        code = main([
+            "render", str(rubis_trace), "-o", str(outdir),
+            "--clients", "C1,C2", "--window", "60",
+        ])
+        assert code == 0
+        files = sorted(p.name for p in outdir.glob("*.svg"))
+        assert files == ["C1_WS.svg", "C2_WS.svg"]
+        content = (outdir / "C1_WS.svg").read_text()
+        assert content.startswith("<svg")
+        assert "EJB1" in content
+
+
+class TestSkew:
+    def test_skew_report(self, rubis_trace, capsys):
+        code = main([
+            "skew", str(rubis_trace), "--edge", "WS:TS1",
+            "--clients", "C1,C2", "--window", "60",
+            "--network-delay", "0.0002",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "WS->TS1" in out and "skew" in out
+
+    def test_bad_edge_spec(self, rubis_trace, capsys):
+        code = main([
+            "skew", str(rubis_trace), "--edge", "WSTS1",
+            "--clients", "C1,C2",
+        ])
+        assert code == 2

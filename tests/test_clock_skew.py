@@ -1,0 +1,86 @@
+"""Tests for clock-skew estimation (Section 3.8)."""
+
+import pytest
+
+from repro.config import PathmapConfig
+from repro.core.clock_skew import estimate_clock_skew
+from repro.errors import AnalysisError
+from repro.simulation.distributions import Constant, Erlang
+from repro.simulation.nodes import StaticRouter
+from repro.simulation.topology import Topology
+
+CFG = PathmapConfig(
+    window=30.0,
+    refresh_interval=30.0,
+    quantum=1e-3,
+    sampling_window=5e-3,
+    max_transaction_delay=1.0,
+)
+
+LINK = 0.0002  # the default constant link latency
+
+
+def skewed_topology(ws_skew=0.0, db_skew=0.0, seed=0):
+    topo = Topology(seed=seed)
+    topo.add_service_node("DB", Erlang(0.010, k=8), workers=8, clock_skew=db_skew)
+    topo.add_service_node(
+        "WS", Erlang(0.004, k=8), workers=8, clock_skew=ws_skew,
+        router=StaticRouter({}, default="DB"),
+    )
+    client = topo.add_client("C", "cls", front_end="WS")
+    topo.open_workload(client, rate=30.0)
+    topo.run_until(31.0)
+    return topo
+
+
+class TestEstimation:
+    def test_no_skew(self):
+        topo = skewed_topology()
+        estimate = estimate_clock_skew(
+            topo.collector, "WS", "DB", CFG, end_time=30.0, network_delay=LINK
+        )
+        assert estimate.skew == pytest.approx(0.0, abs=0.002)
+
+    def test_destination_ahead(self):
+        topo = skewed_topology(db_skew=0.050)
+        estimate = estimate_clock_skew(
+            topo.collector, "WS", "DB", CFG, end_time=30.0, network_delay=LINK
+        )
+        assert estimate.skew == pytest.approx(0.050, abs=0.003)
+
+    def test_destination_behind(self):
+        topo = skewed_topology(db_skew=-0.050)
+        estimate = estimate_clock_skew(
+            topo.collector, "WS", "DB", CFG, end_time=30.0, network_delay=LINK
+        )
+        assert estimate.skew == pytest.approx(-0.050, abs=0.003)
+
+    def test_relative_skew_of_two_skewed_nodes(self):
+        topo = skewed_topology(ws_skew=0.030, db_skew=0.010)
+        estimate = estimate_clock_skew(
+            topo.collector, "WS", "DB", CFG, end_time=30.0, network_delay=LINK
+        )
+        assert estimate.skew == pytest.approx(-0.020, abs=0.003)
+
+    def test_raw_lag_includes_network_delay(self):
+        topo = skewed_topology(db_skew=0.050)
+        estimate = estimate_clock_skew(
+            topo.collector, "WS", "DB", CFG, end_time=30.0, network_delay=0.0
+        )
+        assert estimate.raw_lag == pytest.approx(0.050 + LINK, abs=0.003)
+
+    def test_single_sided_edge_rejected(self):
+        topo = skewed_topology()
+        # C is untraced: edge C->WS exists only on the WS side.
+        with pytest.raises(AnalysisError):
+            estimate_clock_skew(topo.collector, "C", "WS", CFG, end_time=30.0)
+
+    def test_result_fields(self):
+        topo = skewed_topology(db_skew=0.020)
+        estimate = estimate_clock_skew(
+            topo.collector, "WS", "DB", CFG, end_time=30.0, network_delay=LINK
+        )
+        assert estimate.src == "WS"
+        assert estimate.dst == "DB"
+        assert estimate.network_delay == LINK
+        assert estimate.spike_height > 0.5

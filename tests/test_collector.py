@@ -1,0 +1,142 @@
+"""Tests for the central trace collector and its analysis windows."""
+
+import pytest
+
+from repro.config import PathmapConfig
+from repro.errors import TraceError
+from repro.tracing.collector import TraceCollector
+from repro.tracing.records import CaptureRecord
+
+CFG = PathmapConfig(
+    window=10.0, refresh_interval=5.0, quantum=1e-2, sampling_window=5e-2,
+    max_transaction_delay=2.0,
+)
+
+
+def rec(ts, src, dst, obs):
+    return CaptureRecord(ts, src, dst, obs)
+
+
+def populated_collector():
+    collector = TraceCollector(client_nodes=["C"])
+    for t in (1.0, 2.0, 3.0):
+        collector.ingest(rec(t, "C", "WS", "WS"))          # client edge at dst
+        collector.ingest(rec(t + 0.01, "WS", "DB", "WS"))  # src side
+        collector.ingest(rec(t + 0.02, "WS", "DB", "DB"))  # dst side
+        collector.ingest(rec(t + 0.05, "WS", "C", "WS"))   # response to client
+    return collector
+
+
+class TestIngestion:
+    def test_record_count(self):
+        assert populated_collector().record_count() == 12
+
+    def test_edges(self):
+        assert populated_collector().edges() == [("C", "WS"), ("WS", "C"), ("WS", "DB")]
+
+    def test_ingest_many(self):
+        collector = TraceCollector()
+        n = collector.ingest_many(rec(float(i), "A", "B", "A") for i in range(5))
+        assert n == 5
+
+    def test_clients(self):
+        collector = TraceCollector(["C1"])
+        collector.add_client("C2")
+        assert collector.clients == {"C1", "C2"}
+
+
+class TestEdgeTimestamps:
+    def test_prefers_destination_side(self):
+        collector = populated_collector()
+        stamps = collector.edge_timestamps("WS", "DB")
+        assert stamps[0] == pytest.approx(1.02)  # dst-side capture
+
+    def test_source_side_on_request(self):
+        collector = populated_collector()
+        stamps = collector.edge_timestamps("WS", "DB", prefer_destination=False)
+        assert stamps[0] == pytest.approx(1.01)
+
+    def test_client_destination_falls_back_to_source(self):
+        collector = populated_collector()
+        stamps = collector.edge_timestamps("WS", "C")
+        assert stamps[0] == pytest.approx(1.05)  # WS-side; C is untraced
+
+    def test_unknown_edge(self):
+        with pytest.raises(TraceError):
+            populated_collector().edge_timestamps("DB", "WS")
+
+    def test_timestamps_sorted_even_if_ingested_out_of_order(self):
+        collector = TraceCollector()
+        collector.ingest(rec(2.0, "A", "B", "B"))
+        collector.ingest(rec(1.0, "A", "B", "B"))
+        assert collector.edge_timestamps("A", "B") == [1.0, 2.0]
+
+
+class TestExport:
+    def test_export_roundtrip(self):
+        original = populated_collector()
+        records = original.export_records()
+        clone = TraceCollector(client_nodes=["C"])
+        clone.ingest_many(records)
+        assert clone.record_count() == original.record_count()
+        assert clone.edges() == original.edges()
+        for src, dst in original.edges():
+            assert clone.edge_timestamps(src, dst) == original.edge_timestamps(src, dst)
+
+    def test_export_is_sorted(self):
+        records = populated_collector().export_records()
+        assert all(a.timestamp <= b.timestamp for a, b in zip(records, records[1:]))
+
+
+class TestWindow:
+    def test_window_bounds(self):
+        collector = populated_collector()
+        window = collector.window(CFG, end_time=10.0)
+        assert window.start_time == 0.0
+        assert window.end_time == 10.0
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(TraceError):
+            populated_collector().window(CFG, end_time=5.0, start_time=5.0)
+
+    def test_front_end_discovery(self):
+        window = populated_collector().window(CFG, end_time=10.0)
+        assert window.front_end_nodes() == ["WS"]
+        assert window.clients_of("WS") == ["C"]
+
+    def test_destinations(self):
+        window = populated_collector().window(CFG, end_time=10.0)
+        assert window.destinations_of("WS") == ["C", "DB"]
+        assert window.destinations_of("DB") == []
+
+    def test_is_client(self):
+        window = populated_collector().window(CFG, end_time=10.0)
+        assert window.is_client("C")
+        assert not window.is_client("WS")
+
+    def test_inactive_edges_excluded(self):
+        collector = populated_collector()
+        # A window covering only t >= 10 sees no traffic at all.
+        window = collector.window(CFG, end_time=20.0, start_time=10.0)
+        assert window.front_end_nodes() == []
+        assert window.active_edges() == []
+
+    def test_edge_series_rle_and_cached(self):
+        from repro.core.rle import RunLengthSeries
+
+        window = populated_collector().window(CFG, end_time=10.0)
+        series = window.edge_series("C", "WS")
+        assert isinstance(series, RunLengthSeries)
+        assert window.edge_series("C", "WS") is series  # cached
+
+    def test_edge_series_sparse_mode(self):
+        from repro.core.timeseries import DensityTimeSeries
+
+        window = populated_collector().window(CFG, end_time=10.0, use_rle=False)
+        assert isinstance(window.edge_series("C", "WS"), DensityTimeSeries)
+
+    def test_series_window_alignment(self):
+        window = populated_collector().window(CFG, end_time=10.0)
+        series = window.edge_series("C", "WS")
+        assert series.start == 0
+        assert series.length == 1000  # 10 s / 10 ms

@@ -1,0 +1,103 @@
+"""Property-based tests on the trace collector and its windows."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import PathmapConfig
+from repro.core.correlation import _as_sparse
+from repro.tracing.collector import TraceCollector
+from repro.tracing.records import CaptureRecord
+
+CFG = PathmapConfig(
+    window=10.0,
+    refresh_interval=5.0,
+    quantum=1e-2,
+    sampling_window=5e-2,
+    max_transaction_delay=2.0,
+)
+
+def make_records(draw_data):
+    """Build valid records from raw (ts, src_idx, dst_idx, side) tuples."""
+    nodes = ["C", "A", "B", "D"]
+    records = []
+    for ts, src_i, dst_i, at_dst in draw_data:
+        src, dst = nodes[src_i], nodes[dst_i]
+        if src == dst:
+            continue
+        observer = dst if at_dst else src
+        records.append(CaptureRecord(ts, src, dst, observer))
+    return records
+
+
+raw_tuples = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=30.0, allow_nan=False),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=3),
+        st.booleans(),
+    ),
+    max_size=60,
+)
+
+
+class TestCollectorProperties:
+    @given(raw_tuples)
+    @settings(max_examples=60, deadline=None)
+    def test_edge_timestamps_sorted_and_complete(self, raw):
+        records = make_records(raw)
+        collector = TraceCollector(client_nodes=["C"])
+        collector.ingest_many(records)
+        assert collector.record_count() == len(records)
+        for src, dst in collector.edges():
+            stamps = collector.edge_timestamps(src, dst)
+            assert stamps == sorted(stamps)
+
+    @given(raw_tuples, st.floats(min_value=5.0, max_value=30.0))
+    @settings(max_examples=60, deadline=None)
+    def test_window_series_contains_only_in_window_mass(self, raw, end):
+        records = make_records(raw)
+        collector = TraceCollector(client_nodes=["C"])
+        collector.ingest_many(records)
+        window = collector.window(CFG, end_time=end, start_time=end - 5.0)
+        for src, dst in window.active_edges():
+            series = _as_sparse(window.edge_series(src, dst))
+            # Series window matches the requested range exactly.
+            assert series.start == int(np.floor((end - 5.0) / CFG.quantum))
+            assert series.length == 500
+            # Mass only where messages (or their boxcar smear) can be.
+            stamps = collector.edge_timestamps(src, dst)
+            in_reach = [
+                t for t in stamps
+                if end - 5.0 - CFG.sampling_window <= t <= end + CFG.sampling_window
+            ]
+            if not in_reach:
+                assert series.nnz == 0
+
+    @given(raw_tuples)
+    @settings(max_examples=40, deadline=None)
+    def test_export_roundtrip_property(self, raw):
+        records = make_records(raw)
+        collector = TraceCollector(client_nodes=["C"])
+        collector.ingest_many(records)
+        clone = TraceCollector(client_nodes=["C"])
+        clone.ingest_many(collector.export_records())
+        assert clone.edges() == collector.edges()
+        for src, dst in collector.edges():
+            for prefer in (True, False):
+                assert clone.edge_timestamps(src, dst, prefer) == \
+                    collector.edge_timestamps(src, dst, prefer)
+
+    @given(raw_tuples)
+    @settings(max_examples=40, deadline=None)
+    def test_active_edges_iff_traffic_in_window(self, raw):
+        records = make_records(raw)
+        collector = TraceCollector(client_nodes=["C"])
+        collector.ingest_many(records)
+        window = collector.window(CFG, end_time=20.0, start_time=10.0)
+        active = set(window.active_edges())
+        for src, dst in collector.edges():
+            stamps = collector.edge_timestamps(src, dst)
+            has_traffic = any(10.0 <= t < 20.0 for t in stamps)
+            assert ((src, dst) in active) == has_traffic

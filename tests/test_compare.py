@@ -1,0 +1,68 @@
+"""Tests for ground-truth comparison metrics."""
+
+import pytest
+
+from repro.analysis.compare import (
+    EdgeSetComparison,
+    compare_node_delays,
+)
+from repro.core.service_graph import ServiceGraph
+
+
+class TestEdgeSetComparison:
+    def test_exact_match(self):
+        comparison = EdgeSetComparison(
+            true_edges={("A", "B"), ("B", "C")},
+            found_edges={("A", "B"), ("B", "C")},
+        )
+        assert comparison.exact
+        assert comparison.precision == 1.0
+        assert comparison.recall == 1.0
+        assert comparison.missing == set()
+        assert comparison.spurious == set()
+
+    def test_missing_edge(self):
+        comparison = EdgeSetComparison(
+            true_edges={("A", "B"), ("B", "C")},
+            found_edges={("A", "B")},
+        )
+        assert not comparison.exact
+        assert comparison.recall == 0.5
+        assert comparison.precision == 1.0
+        assert comparison.missing == {("B", "C")}
+
+    def test_spurious_edge(self):
+        comparison = EdgeSetComparison(
+            true_edges={("A", "B")},
+            found_edges={("A", "B"), ("X", "Y")},
+        )
+        assert comparison.precision == 0.5
+        assert comparison.spurious == {("X", "Y")}
+
+    def test_empty_sets(self):
+        comparison = EdgeSetComparison(true_edges=set(), found_edges=set())
+        assert comparison.precision == 1.0
+        assert comparison.recall == 1.0
+        assert comparison.exact
+
+
+class TestNodeDelayComparison:
+    def graph(self):
+        g = ServiceGraph("C", "WS")
+        g.add_edge("WS", "TS", [0.0030])
+        g.add_edge("TS", "DB", [0.0110])
+        return g
+
+    def test_within_tolerance(self):
+        out = compare_node_delays(self.graph(), {"WS": 0.003, "TS": 0.008})
+        assert out["WS"][2] and out["TS"][2]
+
+    def test_out_of_tolerance(self):
+        out = compare_node_delays(self.graph(), {"TS": 0.004}, tolerance=0.10)
+        got, want, ok = out["TS"]
+        assert got == pytest.approx(0.008)
+        assert not ok
+
+    def test_skips_unmeasured_nodes(self):
+        out = compare_node_delays(self.graph(), {"DB": 0.010, "GHOST": 0.001})
+        assert out == {}

@@ -1,0 +1,127 @@
+"""Unit tests for PathmapConfig validation and derived quantities."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import DELTA_CONFIG, RUBIS_CONFIG, PathmapConfig
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_defaults_are_the_paper_rubis_settings(self):
+        cfg = PathmapConfig()
+        assert cfg.window == 180.0
+        assert cfg.refresh_interval == 60.0
+        assert cfg.quantum == 1e-3
+        assert cfg.sampling_window == 50e-3
+        assert cfg.max_transaction_delay == 60.0
+
+    def test_rejects_non_positive_quantum(self):
+        with pytest.raises(ConfigError):
+            PathmapConfig(quantum=0.0)
+        with pytest.raises(ConfigError):
+            PathmapConfig(quantum=-1e-3)
+
+    def test_rejects_non_positive_window(self):
+        with pytest.raises(ConfigError):
+            PathmapConfig(window=0.0)
+
+    def test_rejects_refresh_longer_than_window(self):
+        with pytest.raises(ConfigError):
+            PathmapConfig(window=60.0, refresh_interval=61.0)
+
+    def test_refresh_equal_to_window_is_allowed(self):
+        cfg = PathmapConfig(window=60.0, refresh_interval=60.0)
+        assert cfg.refresh_quanta == cfg.window_quanta
+
+    def test_rejects_sampling_window_smaller_than_quantum(self):
+        with pytest.raises(ConfigError):
+            PathmapConfig(quantum=1e-3, sampling_window=0.5e-3)
+
+    def test_rejects_sampling_window_not_multiple_of_quantum(self):
+        with pytest.raises(ConfigError):
+            PathmapConfig(quantum=1e-3, sampling_window=1.5e-3)
+
+    def test_rejects_non_positive_transaction_bound(self):
+        with pytest.raises(ConfigError):
+            PathmapConfig(max_transaction_delay=0.0)
+
+    def test_rejects_bad_spike_sigma(self):
+        with pytest.raises(ConfigError):
+            PathmapConfig(spike_sigma=0.0)
+
+    def test_rejects_negative_resolution_window(self):
+        with pytest.raises(ConfigError):
+            PathmapConfig(resolution_window=-1.0)
+
+    def test_rejects_zero_min_overlap(self):
+        with pytest.raises(ConfigError):
+            PathmapConfig(min_overlap_samples=0)
+
+    def test_rejects_bad_min_spike_height(self):
+        with pytest.raises(ConfigError):
+            PathmapConfig(min_spike_height=-0.1)
+        with pytest.raises(ConfigError):
+            PathmapConfig(min_spike_height=1.0)
+        # Default keeps the paper's exact rule.
+        assert PathmapConfig().min_spike_height == 0.0
+
+
+class TestDerivedQuantities:
+    def test_window_quanta(self):
+        cfg = PathmapConfig(window=2.0, refresh_interval=1.0, quantum=1e-3)
+        assert cfg.window_quanta == 2000
+
+    def test_refresh_quanta(self):
+        cfg = PathmapConfig(window=2.0, refresh_interval=0.5, quantum=1e-3)
+        assert cfg.refresh_quanta == 500
+
+    def test_sampling_quanta_default_ratio(self):
+        cfg = PathmapConfig()
+        assert cfg.sampling_quanta == 50
+
+    def test_max_lag_capped_by_window(self):
+        cfg = PathmapConfig(window=1.0, refresh_interval=1.0, max_transaction_delay=10.0)
+        assert cfg.max_lag_quanta == cfg.window_quanta - 1
+
+    def test_max_lag_from_transaction_bound(self):
+        cfg = PathmapConfig(window=10.0, refresh_interval=1.0, max_transaction_delay=2.0)
+        assert cfg.max_lag_quanta == 2000
+
+    def test_resolution_defaults_to_sampling_window(self):
+        cfg = PathmapConfig()
+        assert cfg.resolution_quanta == cfg.sampling_quanta
+
+    def test_explicit_resolution_window(self):
+        cfg = PathmapConfig(resolution_window=0.1)
+        assert cfg.resolution_quanta == 100
+
+    def test_with_window_rescales(self):
+        cfg = PathmapConfig().with_window(60.0)
+        assert cfg.window == 60.0
+        assert cfg.refresh_interval <= 60.0
+        # Other fields preserved.
+        assert cfg.quantum == 1e-3
+
+    def test_with_window_explicit_refresh(self):
+        cfg = PathmapConfig().with_window(120.0, refresh_interval=30.0)
+        assert cfg.refresh_interval == 30.0
+
+    def test_frozen(self):
+        cfg = PathmapConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.window = 10.0
+
+
+class TestPresets:
+    def test_rubis_preset_matches_paper(self):
+        assert RUBIS_CONFIG.window == 180.0
+        assert RUBIS_CONFIG.quantum == 1e-3
+        assert RUBIS_CONFIG.sampling_window == 50e-3
+        assert RUBIS_CONFIG.max_transaction_delay == 60.0
+
+    def test_delta_preset_matches_paper(self):
+        assert DELTA_CONFIG.window == 3600.0
+        assert DELTA_CONFIG.quantum == 1.0
+        assert DELTA_CONFIG.sampling_window == 50.0

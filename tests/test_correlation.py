@@ -1,0 +1,198 @@
+"""Tests for the four cross-correlation implementations (Section 3.4).
+
+The central property: dense (the literal Eq. 1 reference), sparse (burst
+compression), RLE (run pairs), and FFT (Eq. 2) all compute the SAME
+normalized correlation, so they are interchangeable inside pathmap.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.correlation import (
+    correlate_dense,
+    correlate_fft,
+    correlate_rle,
+    correlate_sparse,
+    cross_correlate,
+    fft_lag_products,
+    rle_lag_products,
+    sparse_lag_products,
+)
+from repro.core.rle import rle_encode
+from repro.core.timeseries import DensityTimeSeries
+from repro.errors import CorrelationError, SeriesError
+
+
+def sparse_from(dense, start=0, quantum=1e-3):
+    return DensityTimeSeries.from_dense(dense, start, quantum)
+
+
+dense_arrays = st.lists(
+    st.sampled_from([0.0, 0.0, 0.0, 1.0, 1.0, 2.0, 3.0]), min_size=4, max_size=80
+)
+
+
+class TestAgreement:
+    @given(dense_arrays, dense_arrays, st.integers(min_value=0, max_value=90), st.randoms())
+    @settings(max_examples=120, deadline=None)
+    def test_all_variants_agree(self, dx, dy, max_lag, _):
+        n = min(len(dx), len(dy))
+        x = sparse_from(dx[:n])
+        y = sparse_from(dy[:n])
+        ref = correlate_dense(x, y, max_lag)
+        for impl in (correlate_sparse, correlate_rle, correlate_fft):
+            got = impl(x, y, max_lag)
+            assert got.degenerate == ref.degenerate
+            assert got.n == ref.n
+            if not ref.degenerate:
+                np.testing.assert_allclose(got.values, ref.values, atol=1e-9)
+
+    def test_rle_inputs_accepted_everywhere(self):
+        x = sparse_from([1.0, 0, 2, 2, 0, 1])
+        y = sparse_from([0, 1.0, 0, 2, 2, 1])
+        ref = correlate_dense(x, y, 3)
+        got = correlate_rle(rle_encode(x), rle_encode(y), 3)
+        np.testing.assert_allclose(got.values, ref.values, atol=1e-9)
+
+    def test_misaligned_windows_are_intersected(self):
+        x = sparse_from([1.0, 2, 0, 1, 0, 3], start=0)
+        y = sparse_from([2.0, 0, 1, 1, 3, 0], start=2)
+        ref = correlate_dense(x, y, 2)
+        assert ref.n == 4  # overlap of [0,6) and [2,8)
+        got = correlate_sparse(x, y, 2)
+        np.testing.assert_allclose(got.values, ref.values, atol=1e-9)
+
+
+class TestSemantics:
+    def test_identical_signal_peaks_at_zero_lag(self):
+        rng = np.random.default_rng(1)
+        dense = rng.integers(0, 4, 500).astype(float)
+        x = sparse_from(dense)
+        corr = correlate_sparse(x, x, 50)
+        assert int(np.argmax(corr.values)) == 0
+        assert corr.values[0] == pytest.approx(1.0, abs=1e-9)
+
+    def test_shifted_copy_peaks_at_shift(self):
+        rng = np.random.default_rng(2)
+        dense = (rng.random(400) < 0.2).astype(float)
+        shift = 17
+        shifted = np.concatenate([np.zeros(shift), dense[:-shift]])
+        corr = correlate_sparse(sparse_from(dense), sparse_from(shifted), 60)
+        assert int(np.argmax(corr.values)) == shift
+
+    def test_independent_signals_have_low_correlation(self):
+        rng = np.random.default_rng(3)
+        x = sparse_from((rng.random(2000) < 0.1).astype(float))
+        y = sparse_from((rng.random(2000) < 0.1).astype(float))
+        corr = correlate_sparse(x, y, 100)
+        assert np.abs(corr.values).max() < 0.25
+
+    def test_values_bounded_by_one(self):
+        rng = np.random.default_rng(4)
+        for _ in range(10):
+            x = sparse_from(rng.integers(0, 5, 100).astype(float))
+            y = sparse_from(rng.integers(0, 5, 100).astype(float))
+            corr = correlate_sparse(x, y, 30)
+            # Eq.1 with full-window normalization stays in [-1, 1] up to
+            # boundary effects that vanish for lag << n.
+            assert np.all(corr.values <= 1.0 + 1e-9)
+
+    def test_degenerate_constant_signal(self):
+        x = sparse_from([1.0] * 20)
+        y = sparse_from([0.0, 1.0] * 10)
+        for impl in (correlate_dense, correlate_sparse, correlate_rle, correlate_fft):
+            corr = impl(x, y, 5)
+            assert corr.degenerate
+            assert np.all(corr.values == 0.0)
+
+    def test_degenerate_empty_signal(self):
+        x = DensityTimeSeries.empty(0, 20, 1e-3)
+        y = sparse_from([0.0, 1.0] * 10)
+        corr = correlate_sparse(x, y, 5)
+        assert corr.degenerate
+
+    def test_lag_axis(self):
+        x = sparse_from([1.0, 0, 2, 1])
+        corr = correlate_sparse(x, x, 2)
+        assert list(corr.lags) == [0, 1, 2]
+        np.testing.assert_allclose(corr.lag_seconds(), [0.0, 1e-3, 2e-3])
+
+    def test_max_lag_none_gives_full_range(self):
+        x = sparse_from([1.0, 0, 2, 1])
+        corr = correlate_dense(x, x)
+        assert corr.max_lag == 3
+
+    def test_max_lag_capped_at_window(self):
+        x = sparse_from([1.0, 0, 2, 1])
+        corr = correlate_sparse(x, x, 100)
+        assert corr.max_lag == 3
+
+
+class TestLagProducts:
+    def test_sparse_raw_products(self):
+        x = sparse_from([1.0, 2.0, 0.0])
+        y = sparse_from([3.0, 0.0, 4.0])
+        out = sparse_lag_products(x, y, 2)
+        # S[0]=1*3, S[1]=2*4 (x[1]*y[2]), S[2]=1*4
+        np.testing.assert_allclose(out, [3.0, 8.0, 4.0])
+
+    def test_rle_matches_sparse_products(self):
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            dx = rng.integers(0, 3, 50).astype(float)
+            dy = rng.integers(0, 3, 50).astype(float)
+            x, y = sparse_from(dx), sparse_from(dy)
+            want = sparse_lag_products(x, y, 20)
+            got = rle_lag_products(rle_encode(x), rle_encode(y), 20)
+            np.testing.assert_allclose(got, want, atol=1e-9)
+
+    def test_fft_matches_sparse_products(self):
+        rng = np.random.default_rng(6)
+        dx = rng.integers(0, 3, 64).astype(float)
+        dy = rng.integers(0, 3, 64).astype(float)
+        want = sparse_lag_products(sparse_from(dx), sparse_from(dy), 30)
+        got = fft_lag_products(dx, dy, 30)
+        np.testing.assert_allclose(got, want, atol=1e-6)
+
+    def test_disjoint_windows_absolute_lags(self):
+        # Cross-block products: x in [0,4), y in [4,8).
+        x = sparse_from([1.0, 0, 0, 2.0], start=0)
+        y = sparse_from([3.0, 0, 1.0, 0], start=4)
+        out = sparse_lag_products(x, y, 6)
+        # pairs: (idx0,val1)-(idx4,val3): lag 4 -> 3; (idx0)-(idx6,1): lag 6 -> 1
+        # (idx3,2)-(idx4,3): lag 1 -> 6; (idx3,2)-(idx6,1): lag 3 -> 2
+        np.testing.assert_allclose(out, [0, 6, 0, 2, 3, 0, 1])
+
+    def test_negative_max_lag_rejected(self):
+        x = sparse_from([1.0])
+        with pytest.raises(CorrelationError):
+            sparse_lag_products(x, x, -1)
+        with pytest.raises(CorrelationError):
+            rle_lag_products(rle_encode(x), rle_encode(x), -1)
+
+
+class TestDispatcher:
+    def test_auto_uses_rle_for_rle_inputs(self):
+        x = rle_encode(sparse_from([1.0, 0, 2, 2]))
+        corr = cross_correlate(x, x, 2)
+        assert corr.values[0] == pytest.approx(1.0)
+
+    def test_explicit_method(self):
+        x = sparse_from([1.0, 0, 2, 2])
+        for method in ("dense", "sparse", "rle", "fft"):
+            corr = cross_correlate(x, x, 2, method=method)
+            assert corr.values[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_unknown_method(self):
+        x = sparse_from([1.0, 0, 2])
+        with pytest.raises(CorrelationError):
+            cross_correlate(x, x, 2, method="quantum")
+
+    def test_non_overlapping_windows_raise(self):
+        x = sparse_from([1.0], start=0)
+        y = sparse_from([1.0], start=100)
+        for method in ("dense", "sparse", "rle", "fft"):
+            with pytest.raises(SeriesError):
+                cross_correlate(x, y, 2, method=method)

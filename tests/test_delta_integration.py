@@ -1,0 +1,181 @@
+"""Integration tests: the Delta Revenue Pipeline case study (Section 4.3).
+
+Asserts the paper's qualitative findings on the synthetic pipeline:
+service paths are recovered from application-level access logs; the 4 AM
+batch breaks the steady-state assumption (delays inaccurate, huge queues);
+and a slow database connection is diagnosed as the bottleneck.
+"""
+
+import pytest
+
+from repro.apps.delta import build_delta, inject_batch
+from repro.config import PathmapConfig
+from repro.core.bottleneck import find_bottlenecks
+from repro.core.pathmap import compute_service_graphs
+from repro.tracing.access_log import access_log_to_captures
+from repro.tracing.collector import TraceCollector
+
+#: Scaled-down analysis window for test speed (same tau/omega ratios as
+#: the paper's Delta configuration).
+CFG = PathmapConfig(
+    window=3600.0,
+    refresh_interval=600.0,
+    quantum=1.0,
+    sampling_window=50.0,
+    max_transaction_delay=1200.0,
+)
+
+
+def analyzed_deployment(slow_db_factor=1.0, batch=False, seed=3, horizon=3700.0):
+    deployment = build_delta(
+        seed=seed,
+        num_queues=5,
+        events_per_hour=18000.0,  # ~1 ev/s per queue
+        slow_db_factor=slow_db_factor,
+        config=CFG,
+    )
+    if batch:
+        inject_batch(deployment, at=1200.0, events=1500, over_seconds=60.0)
+    deployment.run_until(horizon)
+    collector = TraceCollector(client_nodes=["external"])
+    collector.ingest_many(
+        access_log_to_captures(deployment.sorted_access_log())
+    )
+    window = collector.window(CFG, end_time=horizon - 50.0)
+    return deployment, compute_service_graphs(window, CFG)
+
+
+@pytest.fixture(scope="module")
+def steady():
+    return analyzed_deployment()
+
+
+@pytest.fixture(scope="module")
+def slow_db():
+    return analyzed_deployment(slow_db_factor=2.5)
+
+
+class TestPathRecovery:
+    def test_one_graph_per_queue(self, steady):
+        _, result = steady
+        roots = {root for (_, root) in result.graphs}
+        assert len(roots) == 5
+        assert all(root.startswith("Q") for root in roots)
+
+    def test_pipeline_stages_recovered(self, steady):
+        _, result = steady
+        for (client, root), graph in result.graphs.items():
+            assert graph.has_edge(root, "VAL"), root
+            assert graph.has_edge("VAL", "RDB"), root
+            assert graph.has_edge("RDB", "ACCT"), root
+
+    def test_delays_roughly_match_stage_times(self, steady):
+        _, result = steady
+        for graph in result.graphs.values():
+            # Cumulative arrival at VAL ~ 2s (queue hand-off), at RDB ~ 7s
+            # (+VAL), at ACCT ~ 15s (+RDB); generous bounds for queueing.
+            assert 0 <= graph.edge(graph.root, "VAL").min_delay <= 6
+            assert 4 <= graph.edge("VAL", "RDB").min_delay <= 14
+            assert 10 <= graph.edge("RDB", "ACCT").min_delay <= 30
+
+    def test_pipeline_is_unidirectional(self, steady):
+        _, result = steady
+        for graph in result.graphs.values():
+            assert not graph.has_edge("ACCT", "RDB")
+            assert not graph.has_edge("VAL", graph.root)
+
+
+@pytest.fixture(scope="module")
+def with_batch():
+    """Deployment with the 4 AM batch at t=1200, plus two analyses: one
+    window covering the surge, one entirely after it has drained."""
+    deployment = build_delta(
+        seed=3, num_queues=5, events_per_hour=18000.0, config=CFG
+    )
+    inject_batch(deployment, at=1200.0, events=1500, over_seconds=60.0)
+    deployment.run_until(3700.0)
+    collector = TraceCollector(client_nodes=["external"])
+    collector.ingest_many(access_log_to_captures(deployment.sorted_access_log()))
+    surge = compute_service_graphs(
+        collector.window(CFG, end_time=2400.0, start_time=400.0), CFG
+    )
+    recovered = compute_service_graphs(
+        collector.window(CFG, end_time=3650.0, start_time=1700.0), CFG
+    )
+    return deployment, surge, recovered
+
+
+def _full_paths(result):
+    return sum(
+        1
+        for graph in result.graphs.values()
+        if graph.has_edge(graph.root, "VAL")
+        and graph.has_edge("VAL", "RDB")
+        and graph.has_edge("RDB", "ACCT")
+    )
+
+
+class TestBatchSurge:
+    """Section 4.3: the batch 'breaks the steady state assumption made by
+    the algorithm' -- analysis degrades during the surge and the error
+    'could not be eliminated'; once traffic settles, analysis recovers."""
+
+    def test_batch_floods_front_end_queues(self, with_batch):
+        deployment, _, _ = with_batch
+        # The paper reports queue lengths up to 4000 during the 4 AM batch;
+        # scaled down, the surge must still swamp the front-end queues.
+        worst = max(q.mean_queue_delay() for q in deployment.queues.values())
+        assert worst > 1.0
+
+    def test_analysis_degrades_during_surge(self, with_batch):
+        _, surge, recovered = with_batch
+        surge_edges = sum(len(g.edges) for g in surge.graphs.values())
+        recovered_edges = sum(len(g.edges) for g in recovered.graphs.values())
+        assert surge_edges < recovered_edges
+
+    def test_paths_recovered_after_surge_drains(self, with_batch):
+        _, _, recovered = with_batch
+        assert _full_paths(recovered) >= 4  # out of 5 queues
+
+
+class TestSlowDatabaseDiagnosis:
+    def test_rdb_flagged_as_bottleneck(self, slow_db):
+        """The paper: 'E2EProf was able to successfully diagnose a slow
+        database server connection'."""
+        _, result = slow_db
+        dominant = [
+            find_bottlenecks(graph).dominant()
+            for graph in result.graphs.values()
+            if graph.node_delays()
+        ]
+        assert dominant, "no graphs with node delays"
+        assert max(set(dominant), key=dominant.count) == "RDB"
+
+    def test_rdb_delay_scales_with_fault(self, steady, slow_db):
+        _, healthy_result = steady
+        _, slow_result = slow_db
+
+        def rdb_delay(result):
+            delays = [
+                g.node_delay("RDB")
+                for g in result.graphs.values()
+                if g.node_delay("RDB") is not None
+            ]
+            assert delays, "RDB node delay not measurable"
+            return sum(delays) / len(delays)
+
+        assert rdb_delay(slow_result) > 1.8 * rdb_delay(healthy_result)
+
+
+class TestAccessLogFidelity:
+    def test_access_log_volume(self, steady):
+        deployment, _ = steady
+        log = deployment.sorted_access_log()
+        # recv at queue + send at queue + recv VAL + send VAL + recv RDB +
+        # send RDB + recv ACCT = 7 records per event.
+        assert len(log) >= 7 * 500
+
+    def test_log_is_sorted(self, steady):
+        deployment, _ = steady
+        log = deployment.sorted_access_log()
+        assert all(a.timestamp <= b.timestamp for a, b in zip(log, log[1:]))

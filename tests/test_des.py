@@ -1,0 +1,174 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.des import PeriodicTask, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(2.0, lambda: fired.append("b"))
+        sim.schedule_at(1.0, lambda: fired.append("a"))
+        sim.schedule_at(3.0, lambda: fired.append("c"))
+        sim.run_until(5.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_equal_times_fire_in_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        for name in "abcde":
+            sim.schedule_at(1.0, lambda n=name: fired.append(n))
+        sim.run_until(1.0)
+        assert fired == list("abcde")
+
+    def test_relative_schedule(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(0.5, lambda: seen.append(sim.now))
+        sim.run_until(1.0)
+        assert seen == [0.5]
+
+    def test_now_advances_to_end_time(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        assert sim.now == 10.0
+
+    def test_events_beyond_end_remain_pending(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(5.0, lambda: fired.append(1))
+        sim.run_until(2.0)
+        assert fired == []
+        assert sim.pending == 1
+        sim.run_until(5.0)
+        assert fired == [1]
+
+    def test_events_scheduled_during_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                sim.schedule(1.0, chain)
+
+        sim.schedule_at(1.0, chain)
+        sim.run_until(10.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_cannot_schedule_into_past(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(4.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_run_until_backwards_rejected(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(4.0)
+
+    def test_run_drains_queue(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule_at(float(i), lambda: None)
+        ran = sim.run()
+        assert ran == 5
+        assert sim.pending == 0
+
+    def test_run_max_events(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule_at(float(i), lambda: None)
+        assert sim.run(max_events=2) == 2
+        assert sim.pending == 3
+
+    def test_events_run_counter(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.run_until(2.0)
+        assert sim.events_run == 1
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+        errors = []
+
+        def evil():
+            try:
+                sim.run_until(10.0)
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule_at(1.0, evil)
+        sim.run_until(2.0)
+        assert len(errors) == 1
+
+
+class TestPeriodicTask:
+    def test_fires_every_interval(self):
+        sim = Simulator()
+        times = []
+        PeriodicTask(sim, 1.0, lambda now: times.append(now))
+        sim.run_until(3.5)
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_custom_start(self):
+        sim = Simulator()
+        times = []
+        PeriodicTask(sim, 1.0, lambda now: times.append(now), start_at=0.5)
+        sim.run_until(2.6)
+        assert times == [0.5, 1.5, 2.5]
+
+    def test_cancel_stops_firing(self):
+        sim = Simulator()
+        times = []
+        task = PeriodicTask(sim, 1.0, lambda now: times.append(now))
+        sim.run_until(2.0)
+        task.cancel()
+        sim.run_until(5.0)
+        assert times == [1.0, 2.0]
+
+    def test_cancel_from_callback(self):
+        sim = Simulator()
+        times = []
+
+        def cb(now):
+            times.append(now)
+            if len(times) == 2:
+                task.cancel()
+
+        task = PeriodicTask(sim, 1.0, cb)
+        sim.run_until(10.0)
+        assert times == [1.0, 2.0]
+
+    def test_bad_interval(self):
+        with pytest.raises(SimulationError):
+            PeriodicTask(Simulator(), 0.0, lambda now: None)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        import numpy as np
+
+        def run(seed):
+            sim = Simulator()
+            rng = np.random.default_rng(seed)
+            log = []
+
+            def arrival():
+                log.append(round(sim.now, 9))
+                sim.schedule(float(rng.exponential(0.1)), arrival)
+
+            sim.schedule_at(0.0, arrival)
+            sim.run_until(10.0)
+            return log
+
+        assert run(42) == run(42)
+        assert run(42) != run(43)

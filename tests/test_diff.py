@@ -1,0 +1,76 @@
+"""Tests for service-graph diffing."""
+
+import pytest
+
+from repro.analysis.diff import diff_graphs
+from repro.core.service_graph import ServiceGraph
+from repro.errors import AnalysisError
+
+
+def graph(ws_ts=0.003, ts_db=0.011, extra=None):
+    g = ServiceGraph("C", "WS")
+    g.add_edge("WS", "TS", [ws_ts])
+    g.add_edge("TS", "DB", [ts_db])
+    if extra:
+        for (src, dst), delay in extra.items():
+            g.add_edge(src, dst, [delay])
+    return g
+
+
+class TestDiff:
+    def test_identical_graphs(self):
+        diff = diff_graphs(graph(), graph())
+        assert diff.unchanged
+        assert "no structural" in diff.summary()
+
+    def test_delay_shift_detected(self):
+        diff = diff_graphs(graph(), graph(ts_db=0.051))
+        assert not diff.unchanged
+        significant = diff.significant_deltas()
+        assert [d.edge for d in significant] == [("TS", "DB")]
+        assert significant[0].change == pytest.approx(0.040)
+        assert significant[0].relative == pytest.approx(0.040 / 0.011)
+
+    def test_small_shift_filtered(self):
+        diff = diff_graphs(graph(), graph(ts_db=0.0112))
+        assert diff.significant_deltas() == []
+
+    def test_structural_changes(self):
+        before = graph(extra={("DB", "X"): 0.020})
+        after = graph(extra={("TS", "Y"): 0.030})
+        diff = diff_graphs(before, after)
+        assert diff.removed_edges == {("DB", "X")}
+        assert diff.added_edges == {("TS", "Y")}
+        text = diff.summary()
+        assert "disappeared: DB->X" in text
+        assert "appeared:    TS->Y" in text
+
+    def test_suspect_nodes(self):
+        # TS's computation delay grows from 8 to 48 ms.
+        diff = diff_graphs(graph(), graph(ts_db=0.051))
+        assert diff.suspect_nodes() == ["TS"]
+        assert "suspect node(s): TS" in diff.summary()
+
+    def test_different_clients_rejected(self):
+        other = ServiceGraph("C2", "WS")
+        with pytest.raises(AnalysisError):
+            diff_graphs(graph(), other)
+
+    def test_incident_workflow(self, affinity_rubis):
+        """Baseline window vs incident window of a real run: the diff
+        should be clean (same topology, same delays up to noise)."""
+        from repro.core.pathmap import compute_service_graphs
+        from tests.conftest import FAST_CONFIG
+
+        early = compute_service_graphs(
+            affinity_rubis.collector.window(FAST_CONFIG, end_time=32.0, start_time=2.0),
+            FAST_CONFIG,
+        ).graph_for("C1")
+        late = compute_service_graphs(
+            affinity_rubis.collector.window(FAST_CONFIG, end_time=62.0, start_time=32.0),
+            FAST_CONFIG,
+        ).graph_for("C1")
+        diff = diff_graphs(early, late)
+        assert diff.added_edges == set()
+        assert diff.removed_edges == set()
+        assert diff.significant_deltas(absolute=0.005, relative=0.3) == []

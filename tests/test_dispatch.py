@@ -1,0 +1,76 @@
+"""Tests for the front-end dispatch policies."""
+
+import numpy as np
+import pytest
+
+from repro.apps.dispatch import AffinityRouter, LatencyAwareRouter, RoundRobinRouter
+from repro.errors import TopologyError
+from repro.simulation.nodes import Forward, Message
+
+
+def msg(service_class, rid=1):
+    return Message(rid, service_class, "request", "C", "WS", ("C",), 0.0)
+
+
+class TestAffinity:
+    def test_routes_by_class(self):
+        router = AffinityRouter({"bid": "TS1", "comment": "TS2"})
+        assert router.route(None, msg("bid")).targets == ("TS1",)
+        assert router.route(None, msg("comment")).targets == ("TS2",)
+
+    def test_unknown_class_rejected(self):
+        router = AffinityRouter({"bid": "TS1"})
+        with pytest.raises(TopologyError):
+            router.route(None, msg("other"))
+
+    def test_empty_map_rejected(self):
+        with pytest.raises(TopologyError):
+            AffinityRouter({})
+
+
+class TestRoundRobin:
+    def test_alternates_regardless_of_class(self):
+        router = RoundRobinRouter(["TS1", "TS2"])
+        seen = [router.route(None, msg(c, i)).targets[0]
+                for i, c in enumerate(["a", "b", "a", "b"])]
+        assert seen == ["TS1", "TS2", "TS1", "TS2"]
+
+    def test_single_target(self):
+        router = RoundRobinRouter(["TS1"])
+        assert router.route(None, msg("a")).targets == ("TS1",)
+
+    def test_empty_rejected(self):
+        with pytest.raises(TopologyError):
+            RoundRobinRouter([])
+
+
+class TestLatencyAware:
+    def test_falls_back_to_round_robin(self):
+        router = LatencyAwareRouter(["TS1", "TS2"])
+        first = router.route(None, msg("a", 1)).targets[0]
+        second = router.route(None, msg("a", 2)).targets[0]
+        assert {first, second} == {"TS1", "TS2"}
+
+    def test_assignment_pins_class(self):
+        router = LatencyAwareRouter(["TS1", "TS2"])
+        router.assign("bid", "TS2")
+        for i in range(3):
+            assert router.route(None, msg("bid", i)).targets == ("TS2",)
+        assert router.assignment("bid") == "TS2"
+        assert router.assignment("other") is None
+
+    def test_reassignment_counter(self):
+        router = LatencyAwareRouter(["TS1", "TS2"])
+        router.assign("bid", "TS1")
+        router.assign("bid", "TS1")  # no change
+        router.assign("bid", "TS2")
+        assert router.reassignments == 2
+
+    def test_assign_unknown_target(self):
+        router = LatencyAwareRouter(["TS1", "TS2"])
+        with pytest.raises(TopologyError):
+            router.assign("bid", "TS9")
+
+    def test_needs_two_targets(self):
+        with pytest.raises(TopologyError):
+            LatencyAwareRouter(["TS1"])

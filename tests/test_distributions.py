@@ -1,0 +1,110 @@
+"""Tests for the random variate distributions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.distributions import (
+    Constant,
+    Empirical,
+    Erlang,
+    Exponential,
+    LogNormal,
+    TruncatedNormal,
+    Uniform,
+)
+
+ALL = [
+    Constant(0.01),
+    Exponential(0.01),
+    Uniform(0.0, 0.02),
+    TruncatedNormal(0.01, 0.002),
+    LogNormal(0.01, 0.5),
+    Erlang(0.01, k=4),
+    Empirical([0.005, 0.01, 0.015]),
+]
+
+
+class TestContracts:
+    @pytest.mark.parametrize("dist", ALL, ids=lambda d: type(d).__name__)
+    def test_samples_non_negative(self, dist):
+        rng = np.random.default_rng(0)
+        samples = [dist.sample(rng) for _ in range(500)]
+        assert all(s >= 0 for s in samples)
+
+    @pytest.mark.parametrize("dist", ALL, ids=lambda d: type(d).__name__)
+    def test_sample_mean_matches_declared_mean(self, dist):
+        rng = np.random.default_rng(1)
+        samples = np.array([dist.sample(rng) for _ in range(8000)])
+        assert samples.mean() == pytest.approx(dist.mean(), rel=0.12, abs=1e-4)
+
+    @pytest.mark.parametrize("dist", ALL, ids=lambda d: type(d).__name__)
+    def test_deterministic_under_seed(self, dist):
+        a = [dist.sample(np.random.default_rng(7)) for _ in range(3)]
+        b = [dist.sample(np.random.default_rng(7)) for _ in range(3)]
+        assert a == b
+
+
+class TestValidation:
+    def test_constant_negative(self):
+        with pytest.raises(SimulationError):
+            Constant(-1.0)
+
+    def test_exponential_bad_mean(self):
+        with pytest.raises(SimulationError):
+            Exponential(0.0)
+
+    def test_uniform_bad_bounds(self):
+        with pytest.raises(SimulationError):
+            Uniform(0.02, 0.01)
+        with pytest.raises(SimulationError):
+            Uniform(-0.01, 0.01)
+
+    def test_truncated_normal_bad_sigma(self):
+        with pytest.raises(SimulationError):
+            TruncatedNormal(0.01, -0.1)
+
+    def test_lognormal_bad_params(self):
+        with pytest.raises(SimulationError):
+            LogNormal(0.0)
+        with pytest.raises(SimulationError):
+            LogNormal(0.01, -0.5)
+
+    def test_erlang_bad_params(self):
+        with pytest.raises(SimulationError):
+            Erlang(0.0)
+        with pytest.raises(SimulationError):
+            Erlang(0.01, k=0)
+
+    def test_empirical_empty(self):
+        with pytest.raises(SimulationError):
+            Empirical([])
+
+    def test_empirical_negative(self):
+        with pytest.raises(SimulationError):
+            Empirical([0.1, -0.1])
+
+
+class TestShapes:
+    def test_erlang_has_lower_variance_than_exponential(self):
+        rng = np.random.default_rng(2)
+        exp = np.array([Exponential(0.01).sample(rng) for _ in range(4000)])
+        erl = np.array([Erlang(0.01, k=8).sample(rng) for _ in range(4000)])
+        assert erl.std() < exp.std()
+
+    def test_lognormal_is_heavy_tailed(self):
+        rng = np.random.default_rng(3)
+        samples = np.array([LogNormal(0.01, 1.0).sample(rng) for _ in range(4000)])
+        assert samples.max() > 5 * samples.mean()
+
+    def test_truncated_normal_clips(self):
+        rng = np.random.default_rng(4)
+        dist = TruncatedNormal(0.0001, 0.01)
+        samples = [dist.sample(rng) for _ in range(200)]
+        assert min(samples) == 0.0
+
+    def test_empirical_resamples_only_observed(self):
+        rng = np.random.default_rng(5)
+        values = {0.005, 0.01, 0.015}
+        dist = Empirical(sorted(values))
+        assert all(dist.sample(rng) in values for _ in range(100))

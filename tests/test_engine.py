@@ -1,0 +1,155 @@
+"""Tests for the online E2EProf engine (incremental sliding-window analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.config import PathmapConfig
+from repro.core.engine import E2EProfEngine
+from repro.errors import AnalysisError
+from repro.simulation.distributions import Constant, Erlang
+from repro.simulation.nodes import StaticRouter
+from repro.simulation.topology import Topology
+
+CFG = PathmapConfig(
+    window=20.0,
+    refresh_interval=10.0,
+    quantum=1e-3,
+    sampling_window=10e-3,
+    max_transaction_delay=1.0,
+)
+
+
+def chain_topology(seed=0):
+    topo = Topology(seed=seed)
+    topo.add_service_node("DB", Erlang(0.010, k=8), workers=8)
+    topo.add_service_node(
+        "WS", Erlang(0.004, k=8), workers=8, router=StaticRouter({}, default="DB")
+    )
+    client = topo.add_client("C", "cls", front_end="WS")
+    topo.open_workload(client, rate=20.0)
+    return topo, client
+
+
+class TestRefreshCycle:
+    def test_refreshes_fire_on_schedule(self):
+        topo, _ = chain_topology()
+        engine = E2EProfEngine(CFG)
+        engine.attach(topo)
+        seen = []
+        engine.subscribe(lambda now, result: seen.append(now))
+        topo.run_until(45.0)
+        assert seen == [10.0, 20.0, 30.0, 40.0]
+
+    def test_latest_result_updated(self):
+        topo, _ = chain_topology()
+        engine = E2EProfEngine(CFG)
+        engine.attach(topo)
+        topo.run_until(25.0)
+        assert engine.latest_refresh_time == 20.0
+        assert engine.latest_result is not None
+
+    def test_detach_stops_refreshes(self):
+        topo, _ = chain_topology()
+        engine = E2EProfEngine(CFG)
+        engine.attach(topo)
+        topo.run_until(15.0)
+        engine.detach()
+        topo.run_until(45.0)
+        assert engine.latest_refresh_time == 10.0
+
+    def test_double_attach_rejected(self):
+        topo, _ = chain_topology()
+        engine = E2EProfEngine(CFG)
+        engine.attach(topo)
+        with pytest.raises(AnalysisError):
+            engine.attach(topo)
+
+    def test_refresh_without_attach_rejected(self):
+        with pytest.raises(AnalysisError):
+            E2EProfEngine(CFG).refresh(0.0)
+
+
+class TestAnalysisQuality:
+    def test_path_recovered_online(self):
+        topo, _ = chain_topology()
+        engine = E2EProfEngine(CFG)
+        engine.attach(topo)
+        topo.run_until(45.0)
+        graph = engine.latest_result.graph_for("C")
+        assert graph.has_edge("WS", "DB")
+        assert graph.has_edge("DB", "WS")
+        assert graph.has_edge("WS", "C")
+        # Cumulative delay at DB ~ WS service (4ms) + link.
+        assert graph.edge("WS", "DB").min_delay == pytest.approx(0.004, abs=0.003)
+
+    def test_incremental_matches_batch_collector_analysis(self):
+        from repro.core.pathmap import compute_service_graphs
+
+        topo, _ = chain_topology()
+        engine = E2EProfEngine(CFG)
+        engine.attach(topo)
+        topo.run_until(45.0)
+        online = engine.latest_result.graph_for("C")
+
+        # Batch analysis over (approximately) the same window. Block
+        # anchoring lags by omega, so delays may differ by ~1 quantum.
+        batch_window = topo.collector.window(CFG, end_time=40.0)
+        batch = compute_service_graphs(batch_window, CFG).graph_for("C")
+        assert online.edge_set() == batch.edge_set()
+        for edge in batch.edges:
+            online_delay = online.edge(edge.src, edge.dst).min_delay
+            assert online_delay == pytest.approx(edge.min_delay, abs=0.005)
+
+    def test_correlators_are_reused(self):
+        topo, _ = chain_topology()
+        engine = E2EProfEngine(CFG)
+        engine.attach(topo)
+        topo.run_until(25.0)
+        count_after_two = engine.correlator_count
+        topo.run_until(45.0)
+        # Steady state: no new correlators for a stable topology.
+        assert engine.correlator_count == count_after_two
+
+    def test_wire_fidelity_mode_preserves_analysis(self):
+        """Streaming the blocks as actual bytes (tracing.wire) must not
+        change the recovered graphs."""
+        topo_a, _ = chain_topology(seed=3)
+        plain = E2EProfEngine(CFG)
+        plain.attach(topo_a)
+        topo_a.run_until(45.0)
+
+        topo_b, _ = chain_topology(seed=3)
+        wired = E2EProfEngine(CFG, wire_fidelity=True)
+        wired.attach(topo_b)
+        topo_b.run_until(45.0)
+
+        assert wired.wire_bytes_received > 0
+        g_plain = plain.latest_result.graph_for("C")
+        g_wired = wired.latest_result.graph_for("C")
+        assert g_plain.edge_set() == g_wired.edge_set()
+        for edge in g_plain.edges:
+            assert g_wired.edge(edge.src, edge.dst).delays == pytest.approx(
+                edge.delays, abs=1e-3
+            )
+
+    def test_late_appearing_edge_gets_backfilled(self):
+        topo = Topology(seed=1)
+        topo.add_service_node("DB", Erlang(0.010, k=8), workers=8)
+        topo.add_service_node("X", Constant(0.005), workers=8,
+                              router=StaticRouter({}, default="DB"))
+        topo.add_service_node(
+            "WS", Erlang(0.004, k=8), workers=8,
+            router=StaticRouter({"late": "X"}, default="DB"),
+        )
+        c1 = topo.add_client("C", "cls", front_end="WS")
+        topo.open_workload(c1, rate=20.0)
+        engine = E2EProfEngine(CFG)
+        engine.attach(topo)
+        topo.run_until(25.0)
+        # The 'late' class starts mid-run: its edges are new to the engine.
+        c2 = topo.add_client("C2", "late", front_end="WS")
+        topo.open_workload(c2, rate=20.0)
+        topo.run_until(55.0)
+        graph = engine.latest_result.graph_for("C2")
+        assert graph.has_edge("WS", "X")
+        assert graph.has_edge("X", "DB")

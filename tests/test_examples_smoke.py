@@ -1,0 +1,41 @@
+"""Smoke tests: the fast runnable examples must execute cleanly.
+
+Only the quick examples run here (the longer ones -- live monitoring, SLA
+scheduling, the Delta pipeline, the service demo -- exercise code paths
+already covered by dedicated integration tests and take minutes)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "pubsub_overlay.py",
+    "capacity_planning.py",
+    "offline_trace_analysis.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), path
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_all_examples_have_docstrings_and_main():
+    for path in sorted(EXAMPLES_DIR.glob("*.py")):
+        source = path.read_text()
+        assert source.lstrip().startswith('"""'), f"{path.name} lacks a docstring"
+        assert 'if __name__ == "__main__":' in source, path.name

@@ -1,0 +1,118 @@
+"""Tests for fault and perturbation injection."""
+
+import numpy as np
+import pytest
+
+from repro.apps.faults import (
+    RandomPerturbation,
+    apply_perturbations,
+    degrade_link,
+    scheduled_delay,
+    staircase_delay,
+)
+from repro.errors import SimulationError
+from repro.simulation.des import Simulator
+from repro.simulation.distributions import Constant
+from repro.simulation.network import Fabric
+from repro.simulation.nodes import ServiceNode
+
+
+class TestStaircase:
+    def test_steps_at_interval(self):
+        delay = staircase_delay(step=0.010, interval=180.0, start=0.0)
+        assert delay(0.0) == pytest.approx(0.010)
+        assert delay(179.9) == pytest.approx(0.010)
+        assert delay(180.0) == pytest.approx(0.020)
+        assert delay(540.0) == pytest.approx(0.040)
+
+    def test_zero_before_start(self):
+        delay = staircase_delay(step=0.010, interval=60.0, start=120.0)
+        assert delay(119.0) == 0.0
+        assert delay(120.0) == pytest.approx(0.010)
+
+    def test_cap(self):
+        delay = staircase_delay(step=0.010, interval=10.0, max_delay=0.025)
+        assert delay(1000.0) == 0.025
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            staircase_delay(step=-0.01, interval=1.0)
+        with pytest.raises(SimulationError):
+            staircase_delay(step=0.01, interval=0.0)
+
+
+class TestScheduled:
+    def test_piecewise_lookup(self):
+        delay = scheduled_delay([(0.0, 0.01), (10.0, 0.05), (20.0, 0.0)])
+        assert delay(5.0) == 0.01
+        assert delay(10.0) == 0.05
+        assert delay(25.0) == 0.0
+
+    def test_zero_before_first_breakpoint(self):
+        delay = scheduled_delay([(10.0, 0.05)])
+        assert delay(5.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            scheduled_delay([])
+        with pytest.raises(SimulationError):
+            scheduled_delay([(10.0, 0.1), (5.0, 0.1)])
+        with pytest.raises(SimulationError):
+            scheduled_delay([(0.0, -0.1)])
+
+
+class TestRandomPerturbation:
+    def test_constant_within_epoch(self):
+        pert = RandomPerturbation(np.random.default_rng(0), 0.0, 0.1, interval=60.0)
+        assert pert(10.0) == pert(59.9)
+        assert pert(60.0) != pert(59.9) or True  # may collide, but usually differs
+
+    def test_values_in_range(self):
+        pert = RandomPerturbation(np.random.default_rng(1), 0.02, 0.08, interval=10.0)
+        values = [pert(t) for t in np.arange(0, 500, 10.0)]
+        assert all(0.02 <= v <= 0.08 for v in values)
+
+    def test_epochs_reproducible(self):
+        pert = RandomPerturbation(np.random.default_rng(2), 0.0, 0.1, interval=60.0)
+        first = pert(30.0)
+        _ = pert(600.0)
+        assert pert(30.0) == first  # epoch values are stable once drawn
+
+    def test_drawn_schedule(self):
+        pert = RandomPerturbation(np.random.default_rng(3), 0.0, 0.1, interval=60.0)
+        pert(150.0)
+        assert len(pert.drawn_schedule()) == 3  # epochs 0, 1, 2
+
+    def test_negative_time(self):
+        pert = RandomPerturbation(np.random.default_rng(4))
+        assert pert(-5.0) == 0.0
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(SimulationError):
+            RandomPerturbation(rng, 0.1, 0.05)
+        with pytest.raises(SimulationError):
+            RandomPerturbation(rng, 0.0, 0.1, interval=0.0)
+
+
+class TestApplyHelpers:
+    def _node(self):
+        sim = Simulator()
+        fabric = Fabric(sim, np.random.default_rng(0))
+        return ServiceNode(sim, fabric, "N", Constant(0.010))
+
+    def test_apply_perturbations(self):
+        nodes = [self._node()]
+        perts = apply_perturbations(nodes, np.random.default_rng(0), interval=30.0)
+        assert len(perts) == 1
+        assert nodes[0].extra_delay is perts[0]
+
+    def test_degrade_link(self):
+        node = self._node()
+        fn = degrade_link(node, factor=3.0)
+        assert node.extra_delay is fn
+        assert fn(0.0) == pytest.approx(0.020)  # (3-1) * 10ms
+
+    def test_degrade_validation(self):
+        with pytest.raises(SimulationError):
+            degrade_link(self._node(), factor=0.5)

@@ -1,0 +1,128 @@
+"""Integration test for Figure 7: online tracking of an injected delay
+staircase at one EJB server, with other edges unaffected."""
+
+import numpy as np
+import pytest
+
+from repro import ChangeDetector, E2EProfEngine, PathmapConfig, build_rubis
+from repro.apps.faults import staircase_delay
+
+CFG = PathmapConfig(
+    window=30.0,
+    refresh_interval=30.0,
+    quantum=1e-3,
+    sampling_window=50e-3,
+    max_transaction_delay=2.0,
+)
+
+STEP = 0.020
+STEP_INTERVAL = 90.0
+FAULT_START = 60.0
+
+
+@pytest.fixture(scope="module")
+def staircase_run():
+    rubis = build_rubis(dispatch="round_robin", seed=11, request_rate=10.0, config=CFG)
+    rubis.ejbs["EJB2"].set_extra_delay(
+        staircase_delay(step=STEP, interval=STEP_INTERVAL, start=FAULT_START)
+    )
+    engine = E2EProfEngine(CFG)
+    engine.attach(rubis.topology)
+    detector = ChangeDetector(absolute_threshold=0.010, relative_threshold=0.15)
+    detector.subscribe_to(engine)
+    rubis.run_until(6 * 60.0 + 5)
+    return rubis, detector
+
+
+def ejb2_node_delays(detector):
+    """Per-refresh node delay of EJB2 = out-edge minus in-edge delay."""
+    key = ("C1", "WS")
+    t_in, d_in = detector.delay_series(key, ("TS2", "EJB2"))
+    t_out, d_out = detector.delay_series(key, ("EJB2", "DS"))
+    n = min(len(d_in), len(d_out))
+    return t_out[:n], d_out[:n] - d_in[:n]
+
+
+class TestStaircaseTracking:
+    def test_perturbed_node_tracks_staircase(self, staircase_run):
+        _, detector = staircase_run
+        times, delays = ejb2_node_delays(detector)
+        assert len(delays) >= 10
+        # Baseline (~25ms EJB2 service) before the fault.
+        baseline = delays[0]
+        # Expected injected amount at each refresh time (window center lag
+        # of half a window tolerated by using generous bounds).
+        for t, measured in zip(times, delays):
+            if t < FAULT_START:
+                expected = 0.0
+            else:
+                expected = STEP * (1 + int((t - FAULT_START - 30.0) // STEP_INTERVAL))
+            assert measured == pytest.approx(baseline + expected, abs=STEP * 0.9), t
+
+    def test_monotonically_increasing_trend(self, staircase_run):
+        _, detector = staircase_run
+        _, delays = ejb2_node_delays(detector)
+        # Later thirds strictly dominate earlier thirds.
+        third = len(delays) // 3
+        assert delays[-third:].mean() > delays[third:2 * third].mean() > delays[:third].mean()
+
+    def test_unperturbed_path_stays_flat(self, staircase_run):
+        _, detector = staircase_run
+        key = ("C1", "WS")
+        _, d_in = detector.delay_series(key, ("TS1", "EJB1"))
+        _, d_out = detector.delay_series(key, ("EJB1", "DS"))
+        n = min(len(d_in), len(d_out))
+        ejb1 = d_out[:n] - d_in[:n]
+        assert np.ptp(ejb1) < 0.010  # under one step of variation
+
+    def test_change_events_point_at_perturbed_edges(self, staircase_run):
+        _, detector = staircase_run
+        events = detector.events()
+        assert events
+        touched = {event.edge for event in events}
+        # Every flagged edge lies on the EJB2 branch or downstream of it
+        # (cumulative labels shift for everything after the fault).
+        unperturbed = {("WS", "TS1"), ("TS1", "EJB1"), ("C1", "WS"), ("C2", "WS")}
+        assert not (touched & unperturbed)
+
+    def test_anomaly_detector_alarms_on_degraded_branch(self, staircase_run):
+        """The always-on anomaly scorer pages for the EJB2 branch and
+        stays quiet on the healthy one."""
+        from repro.core.anomaly import AnomalyDetector
+        from repro.core.pathmap import PathmapResult, PathmapStats
+        from repro.core.service_graph import ServiceGraph
+
+        _, detector = staircase_run
+        key = ("C1", "WS")
+        anomaly = AnomalyDetector(alpha=0.3, min_std=0.002, warmup=2)
+        # Replay the recorded per-edge delay histories refresh by refresh.
+        edges = [edge for (ck, edge) in detector.tracked_edges() if ck == key]
+        histories = {edge: detector.history(key, edge) for edge in edges}
+        refreshes = max(len(h) for h in histories.values())
+        for i in range(refreshes):
+            graph = ServiceGraph("C1", "WS")
+            for edge, history in histories.items():
+                if i < len(history) and edge != ("C1", "WS"):
+                    graph.add_edge(edge[0], edge[1], [history[i].delay])
+            anomaly.record(float(i), PathmapResult({key: graph}, PathmapStats()))
+        alarmed_edges = {edge for (_, edge) in anomaly.active_alarms()}
+        assert any("EJB2" in edge[0] or "EJB2" in edge[1] for edge in alarmed_edges)
+        assert not any(
+            edge in {("WS", "TS1"), ("TS1", "EJB1"), ("EJB1", "DS")}
+            for edge in alarmed_edges
+        )
+
+    def test_front_end_average_moves_less_than_fault(self, staircase_run):
+        """Paper: 'Since more than half of the requests take the low
+        latency path, the average delay does not change by the same
+        amount.'"""
+        rubis, detector = staircase_run
+        _, ejb2 = ejb2_node_delays(detector)
+        fault_growth = ejb2[-1] - ejb2[0]
+        client = rubis.clients["bidding"]
+        early = np.mean(client.latencies(since=0)[:200])
+        late_lats = client.latencies(since=5 * 60.0)
+        late = np.mean(late_lats)
+        average_growth = late - early
+        assert average_growth < fault_growth
+        assert average_growth > 0  # but it does move

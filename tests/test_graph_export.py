@@ -1,0 +1,54 @@
+"""Tests for service-graph interchange exports."""
+
+import pytest
+
+from repro.analysis.graph_export import adjacency, to_edge_list, to_networkx
+from repro.core.service_graph import ServiceGraph
+
+
+def tiered_graph():
+    g = ServiceGraph("C", "WS")
+    g.add_edge("WS", "TS", [0.003])
+    g.add_edge("TS", "DB", [0.011, 0.020])
+    return g
+
+
+class TestNetworkx:
+    def test_structure_preserved(self):
+        nx = pytest.importorskip("networkx")
+        g = to_networkx(tiered_graph())
+        assert isinstance(g, nx.DiGraph)
+        assert set(g.nodes) == {"C", "WS", "TS", "DB"}
+        assert g.has_edge("WS", "TS")
+        assert g.graph["client"] == "C"
+
+    def test_attributes(self):
+        pytest.importorskip("networkx")
+        g = to_networkx(tiered_graph())
+        assert g.nodes["C"]["role"] == "client"
+        assert g.nodes["WS"]["role"] == "root"
+        assert g.nodes["TS"]["role"] == "service"
+        assert g.edges["TS", "DB"]["delays"] == [0.011, 0.020]
+        assert g.edges["TS", "DB"]["delay"] == 0.011
+        assert g.nodes["TS"]["delay"] == pytest.approx(0.008)
+
+    def test_downstream_analysis_works(self):
+        nx = pytest.importorskip("networkx")
+        g = to_networkx(tiered_graph())
+        path = nx.shortest_path(g, "C", "DB")
+        assert path == ["C", "WS", "TS", "DB"]
+
+
+class TestFlatExports:
+    def test_edge_list_sorted_by_delay(self):
+        triples = to_edge_list(tiered_graph())
+        assert triples[0] == ("C", "WS", 0.0)
+        assert triples[-1] == ("TS", "DB", 0.011)
+        delays = [d for (_, _, d) in triples]
+        assert delays == sorted(delays)
+
+    def test_adjacency(self):
+        adj = adjacency(tiered_graph())
+        assert adj["C"] == ["WS"]
+        assert adj["WS"] == ["TS"]
+        assert adj["DB"] == []

@@ -1,0 +1,154 @@
+"""Tests for the incremental sliding-window correlator (Section 3.4).
+
+Central invariant: after any sequence of appends, the incremental result
+equals a from-scratch sparse correlation over the concatenated window.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.correlation import correlate_sparse
+from repro.core.incremental import IncrementalCorrelator
+from repro.core.rle import rle_encode
+from repro.core.timeseries import DensityTimeSeries
+from repro.errors import CorrelationError, SeriesError
+
+
+def block(dense, start, quantum=1e-3):
+    return DensityTimeSeries.from_dense(dense, start, quantum)
+
+
+def batch_reference(x_blocks, y_blocks, max_lag):
+    xw = x_blocks[0]
+    for b in x_blocks[1:]:
+        xw = xw.concatenated(b)
+    yw = y_blocks[0]
+    for b in y_blocks[1:]:
+        yw = yw.concatenated(b)
+    return correlate_sparse(xw, yw, max_lag)
+
+
+class TestEquivalence:
+    @given(
+        st.lists(
+            st.tuples(
+                st.lists(st.sampled_from([0.0, 0.0, 1.0, 2.0]), min_size=8, max_size=8),
+                st.lists(st.sampled_from([0.0, 0.0, 1.0, 2.0]), min_size=8, max_size=8),
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        st.integers(min_value=0, max_value=20),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_incremental_equals_batch(self, blocks, max_lag, num_blocks):
+        inc = IncrementalCorrelator(max_lag=max_lag, num_blocks=num_blocks, quantum=1e-3)
+        xs, ys = [], []
+        for i, (dx, dy) in enumerate(blocks):
+            xb = block(dx, i * 8)
+            yb = block(dy, i * 8)
+            xs.append(xb)
+            ys.append(yb)
+            inc.append(xb, yb)
+            ref = batch_reference(xs[-num_blocks:], ys[-num_blocks:], max_lag)
+            got = inc.correlation()
+            assert got.degenerate == ref.degenerate
+            if not ref.degenerate:
+                np.testing.assert_allclose(got.values, ref.values, atol=1e-8)
+
+    def test_rle_blocks(self):
+        rng = np.random.default_rng(0)
+        inc = IncrementalCorrelator(max_lag=30, num_blocks=3, quantum=1e-3)
+        xs, ys = [], []
+        for i in range(6):
+            dx = rng.integers(0, 3, 20).astype(float)
+            dy = rng.integers(0, 3, 20).astype(float)
+            xb, yb = block(dx, i * 20), block(dy, i * 20)
+            xs.append(xb)
+            ys.append(yb)
+            inc.append(rle_encode(xb), rle_encode(yb))
+            ref = batch_reference(xs[-3:], ys[-3:], 30)
+            np.testing.assert_allclose(inc.correlation().values, ref.values, atol=1e-8)
+
+    def test_lag_longer_than_block(self):
+        # max_lag spanning multiple blocks exercises cross-block pairs.
+        rng = np.random.default_rng(1)
+        inc = IncrementalCorrelator(max_lag=25, num_blocks=5, quantum=1e-3)
+        xs, ys = [], []
+        for i in range(8):
+            dx = (rng.random(10) < 0.5).astype(float)
+            dy = (rng.random(10) < 0.5).astype(float)
+            xb, yb = block(dx, i * 10), block(dy, i * 10)
+            xs.append(xb)
+            ys.append(yb)
+            inc.append(xb, yb)
+        ref = batch_reference(xs[-5:], ys[-5:], 25)
+        np.testing.assert_allclose(inc.correlation().values, ref.values, atol=1e-8)
+
+
+class TestBookkeeping:
+    def test_window_tracking(self):
+        inc = IncrementalCorrelator(max_lag=5, num_blocks=2, quantum=1e-3)
+        assert inc.window_start is None
+        inc.append(block([1.0] * 4, 0), block([1.0] * 4, 0))
+        assert inc.window_start == 0
+        assert inc.window_length == 4
+        inc.append(block([1.0] * 4, 4), block([1.0] * 4, 4))
+        inc.append(block([1.0] * 4, 8), block([1.0] * 4, 8))
+        assert inc.window_start == 4  # oldest evicted
+        assert inc.window_length == 8
+
+    def test_block_reach(self):
+        inc = IncrementalCorrelator(max_lag=25, num_blocks=4, quantum=1e-3)
+        inc.append(block([1.0] * 10, 0), block([1.0] * 10, 0))
+        assert inc.block_reach == 3  # ceil(25/10)
+
+    def test_cache_does_not_grow_after_eviction(self):
+        inc = IncrementalCorrelator(max_lag=5, num_blocks=2, quantum=1e-3)
+        rng = np.random.default_rng(2)
+        sizes = []
+        for i in range(10):
+            d = rng.integers(0, 2, 8).astype(float)
+            inc.append(block(d, i * 8), block(d, i * 8))
+            sizes.append(len(inc._pair_cache))
+        assert max(sizes[3:]) <= max(sizes[:3]) + 1  # bounded steady state
+
+
+class TestValidation:
+    def test_rejects_bad_construction(self):
+        with pytest.raises(CorrelationError):
+            IncrementalCorrelator(max_lag=-1, num_blocks=1, quantum=1e-3)
+        with pytest.raises(CorrelationError):
+            IncrementalCorrelator(max_lag=1, num_blocks=0, quantum=1e-3)
+        with pytest.raises(CorrelationError):
+            IncrementalCorrelator(max_lag=1, num_blocks=1, quantum=0.0)
+
+    def test_rejects_mismatched_xy_blocks(self):
+        inc = IncrementalCorrelator(max_lag=5, num_blocks=2, quantum=1e-3)
+        with pytest.raises(SeriesError):
+            inc.append(block([1.0] * 4, 0), block([1.0] * 4, 4))
+
+    def test_rejects_non_adjacent_blocks(self):
+        inc = IncrementalCorrelator(max_lag=5, num_blocks=2, quantum=1e-3)
+        inc.append(block([1.0] * 4, 0), block([1.0] * 4, 0))
+        with pytest.raises(SeriesError):
+            inc.append(block([1.0] * 4, 8), block([1.0] * 4, 8))
+
+    def test_rejects_changed_block_length(self):
+        inc = IncrementalCorrelator(max_lag=5, num_blocks=2, quantum=1e-3)
+        inc.append(block([1.0] * 4, 0), block([1.0] * 4, 0))
+        with pytest.raises(SeriesError):
+            inc.append(block([1.0] * 6, 4), block([1.0] * 6, 4))
+
+    def test_rejects_wrong_quantum(self):
+        inc = IncrementalCorrelator(max_lag=5, num_blocks=2, quantum=1e-3)
+        with pytest.raises(SeriesError):
+            inc.append(block([1.0] * 4, 0, quantum=1.0), block([1.0] * 4, 0, quantum=1.0))
+
+    def test_query_before_any_block(self):
+        inc = IncrementalCorrelator(max_lag=5, num_blocks=2, quantum=1e-3)
+        with pytest.raises(CorrelationError):
+            inc.correlation()

@@ -1,0 +1,92 @@
+"""Tests for network-vs-processing delay decomposition."""
+
+import pytest
+
+from repro.config import PathmapConfig
+from repro.core.link_latency import (
+    decompose_node_delays,
+    estimate_link_latency,
+    measure_link_latencies,
+)
+from repro.core.pathmap import compute_service_graphs
+from repro.errors import AnalysisError
+from repro.simulation.distributions import Constant, Erlang
+from repro.simulation.nodes import StaticRouter
+from repro.simulation.topology import Topology
+
+CFG = PathmapConfig(
+    window=40.0,
+    refresh_interval=40.0,
+    quantum=1e-3,
+    sampling_window=5e-3,
+    max_transaction_delay=1.0,
+)
+
+SLOW_LINK = 0.006  # the WAN hop between AP and DB
+
+
+@pytest.fixture(scope="module")
+def wan_system():
+    """WS -- AP ==(6 ms WAN)== DB; all other links 0.2 ms."""
+    topo = Topology(seed=14)
+    topo.add_service_node("DB", Erlang(0.010, k=8), workers=8)
+    topo.add_service_node("AP", Erlang(0.008, k=8), workers=8,
+                          router=StaticRouter({}, default="DB"))
+    topo.add_service_node("WS", Erlang(0.003, k=8), workers=8,
+                          router=StaticRouter({}, default="AP"))
+    topo.set_link_latency("AP", "DB", Constant(SLOW_LINK))
+    topo.set_link_latency("DB", "AP", Constant(SLOW_LINK))
+    client = topo.add_client("C", "cls", front_end="WS")
+    topo.open_workload(client, rate=25.0)
+    topo.run_until(42.0)
+    result = compute_service_graphs(topo.collector.window(CFG, end_time=41.0), CFG)
+    return topo, result.graph_for("C")
+
+
+class TestLinkLatency:
+    def test_wan_hop_measured(self, wan_system):
+        topo, _ = wan_system
+        latency = estimate_link_latency(topo.collector, "AP", "DB", CFG, end_time=41.0)
+        assert latency == pytest.approx(SLOW_LINK, abs=0.002)
+
+    def test_lan_hop_measured_near_zero(self, wan_system):
+        topo, _ = wan_system
+        latency = estimate_link_latency(topo.collector, "WS", "AP", CFG, end_time=41.0)
+        assert latency == pytest.approx(0.0002, abs=0.002)
+
+    def test_client_edge_not_measurable(self, wan_system):
+        topo, _ = wan_system
+        with pytest.raises(AnalysisError):
+            estimate_link_latency(topo.collector, "C", "WS", CFG, end_time=41.0)
+
+    def test_measure_all_graph_links(self, wan_system):
+        topo, graph = wan_system
+        latencies = measure_link_latencies(topo.collector, graph, CFG, end_time=41.0)
+        assert ("AP", "DB") in latencies
+        assert ("C", "WS") not in latencies  # client edge skipped
+        assert latencies[("AP", "DB")] == pytest.approx(SLOW_LINK, abs=0.002)
+
+
+class TestDecomposition:
+    def test_processing_isolated_from_network(self, wan_system):
+        topo, graph = wan_system
+        latencies = measure_link_latencies(topo.collector, graph, CFG, end_time=41.0)
+        decomposition = decompose_node_delays(graph, latencies)
+        ap = decomposition["AP"]
+        # AP's raw node delay includes the 6 ms WAN hop; processing is 8 ms.
+        assert ap["total"] == pytest.approx(0.008 + SLOW_LINK, abs=0.003)
+        assert ap["network"] == pytest.approx(SLOW_LINK, abs=0.002)
+        assert ap["processing"] == pytest.approx(0.008, abs=0.003)
+
+    def test_lan_node_mostly_processing(self, wan_system):
+        topo, graph = wan_system
+        latencies = measure_link_latencies(topo.collector, graph, CFG, end_time=41.0)
+        decomposition = decompose_node_delays(graph, latencies)
+        ws = decomposition["WS"]
+        assert ws["network"] < 0.002
+        assert ws["processing"] == pytest.approx(0.003, abs=0.002)
+
+    def test_unmeasured_links_skipped(self, wan_system):
+        _, graph = wan_system
+        decomposition = decompose_node_delays(graph, {})
+        assert decomposition == {}

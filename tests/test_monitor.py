@@ -1,0 +1,63 @@
+"""Tests for latency monitoring and client comparison."""
+
+import pytest
+
+from repro.core.pathmap import PathmapResult, PathmapStats
+from repro.core.service_graph import ServiceGraph
+from repro.management.monitor import (
+    LatencyComparison,
+    LatencyMonitor,
+    server_side_latency,
+)
+
+
+def graph_with_response(e2e=0.050):
+    g = ServiceGraph("C", "WS")
+    g.add_edge("WS", "DB", [0.010])
+    g.add_edge("DB", "WS", [e2e - 0.005])
+    g.add_edge("WS", "C", [e2e])
+    return g
+
+
+def result_of(graph):
+    return PathmapResult({(graph.client, graph.root): graph}, PathmapStats())
+
+
+class TestServerSideLatency:
+    def test_uses_response_edge(self):
+        assert server_side_latency(graph_with_response(0.050)) == pytest.approx(0.050)
+
+    def test_falls_back_to_deepest_edge(self):
+        g = ServiceGraph("C", "WS")
+        g.add_edge("WS", "DB", [0.030])
+        assert server_side_latency(g) == pytest.approx(0.030)
+
+
+class TestLatencyMonitor:
+    def test_records_series(self):
+        monitor = LatencyMonitor()
+        monitor.record(60.0, result_of(graph_with_response(0.050)))
+        monitor.record(120.0, result_of(graph_with_response(0.070)))
+        series = monitor.latency_series(("C", "WS"))
+        assert series == [(60.0, pytest.approx(0.050)), (120.0, pytest.approx(0.070))]
+
+    def test_mean_latency_windowed(self):
+        monitor = LatencyMonitor()
+        monitor.record(60.0, result_of(graph_with_response(0.050)))
+        monitor.record(120.0, result_of(graph_with_response(0.070)))
+        assert monitor.mean_latency(("C", "WS")) == pytest.approx(0.060)
+        assert monitor.mean_latency(("C", "WS"), since=100.0) == pytest.approx(0.070)
+
+    def test_unknown_class(self):
+        assert LatencyMonitor().mean_latency(("X", "Y")) == 0.0
+
+
+class TestComparison:
+    def test_overhead_computation(self):
+        comparison = LatencyComparison("bid", e2eprof_latency=0.050,
+                                       client_latency=0.058, samples=100)
+        assert comparison.client_overhead == pytest.approx(0.16)
+
+    def test_zero_server_latency(self):
+        comparison = LatencyComparison("bid", 0.0, 0.05, 10)
+        assert comparison.client_overhead == 0.0

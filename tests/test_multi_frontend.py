@@ -1,0 +1,75 @@
+"""Multiple front ends: Algorithm 1's outer loop iterates over *all*
+front-end service nodes; each (front end, client) pair gets its own
+service graph."""
+
+import pytest
+
+from repro.config import PathmapConfig
+from repro.core.pathmap import compute_service_graphs
+from repro.simulation.distributions import Erlang
+from repro.simulation.nodes import StaticRouter
+from repro.simulation.topology import Topology
+
+CFG = PathmapConfig(
+    window=40.0,
+    refresh_interval=40.0,
+    quantum=1e-3,
+    sampling_window=20e-3,
+    max_transaction_delay=2.0,
+)
+
+
+@pytest.fixture(scope="module")
+def two_frontends():
+    """Two independent front ends sharing one database tier."""
+    topo = Topology(seed=12)
+    topo.add_service_node("DB", Erlang(0.010, k=8), workers=16)
+    topo.add_service_node("AP1", Erlang(0.006, k=8), workers=8,
+                          router=StaticRouter({}, default="DB"))
+    topo.add_service_node("AP2", Erlang(0.012, k=8), workers=8,
+                          router=StaticRouter({}, default="DB"))
+    topo.add_service_node("WS1", Erlang(0.003, k=8), workers=8,
+                          router=StaticRouter({}, default="AP1"))
+    topo.add_service_node("WS2", Erlang(0.003, k=8), workers=8,
+                          router=StaticRouter({}, default="AP2"))
+    c1 = topo.add_client("C1", "store", front_end="WS1")
+    c2 = topo.add_client("C2", "search", front_end="WS2")
+    topo.open_workload(c1, rate=15.0)
+    topo.open_workload(c2, rate=15.0)
+    topo.run_until(42.0)
+    window = topo.collector.window(CFG, end_time=41.0)
+    return topo, compute_service_graphs(window, CFG)
+
+
+class TestMultipleFrontEnds:
+    def test_one_graph_per_frontend_client_pair(self, two_frontends):
+        _, result = two_frontends
+        assert set(result.graphs) == {("C1", "WS1"), ("C2", "WS2")}
+
+    def test_each_graph_rooted_at_its_frontend(self, two_frontends):
+        _, result = two_frontends
+        g1 = result.graph_for("C1")
+        assert g1.root == "WS1"
+        assert g1.has_edge("WS1", "AP1")
+        assert g1.has_edge("AP1", "DB")
+        g2 = result.graph_for("C2")
+        assert g2.root == "WS2"
+        assert g2.has_edge("WS2", "AP2")
+        assert g2.has_edge("AP2", "DB")
+
+    def test_no_cross_frontend_leakage(self, two_frontends):
+        _, result = two_frontends
+        g1 = result.graph_for("C1")
+        assert "AP2" not in g1 and "WS2" not in g1
+        g2 = result.graph_for("C2")
+        assert "AP1" not in g2 and "WS1" not in g2
+
+    def test_shared_database_attributed_to_both(self, two_frontends):
+        _, result = two_frontends
+        # Both classes traverse DB; each graph labels it with its own
+        # upstream cumulative delay.
+        d1 = result.graph_for("C1").edge("AP1", "DB").min_delay
+        d2 = result.graph_for("C2").edge("AP2", "DB").min_delay
+        assert d1 == pytest.approx(0.009, abs=0.004)   # 3 + 6 ms
+        assert d2 == pytest.approx(0.015, abs=0.004)   # 3 + 12 ms
+        assert d2 > d1

@@ -1,0 +1,96 @@
+"""Outage detection: a crashed server's path disappears from the online
+service graphs and reappears on recovery (the paper's 'service outages'
+motivation, Section 1)."""
+
+import pytest
+
+from repro import E2EProfEngine, PathmapConfig, build_rubis
+from repro.simulation.distributions import Constant
+from repro.simulation.des import Simulator
+from repro.simulation.network import Fabric
+from repro.simulation.nodes import ClientNode, ServiceNode
+
+import numpy as np
+
+CFG = PathmapConfig(
+    window=30.0,
+    refresh_interval=30.0,
+    quantum=1e-3,
+    sampling_window=50e-3,
+    max_transaction_delay=2.0,
+)
+
+
+class TestCrashSemantics:
+    def make(self):
+        sim = Simulator()
+        fabric = Fabric(sim, np.random.default_rng(0), default_latency=Constant(0.001))
+        server = ServiceNode(sim, fabric, "S", Constant(0.01), workers=1)
+        client = ClientNode(sim, fabric, "C", "cls", "S")
+        return sim, server, client
+
+    def test_failed_node_drops_messages(self):
+        sim, server, client = self.make()
+        server.fail()
+        client.issue_request()
+        sim.run_until(1.0)
+        assert client.completed == 0
+        assert server.dropped_messages == 1
+        assert server.serviced_requests == 0
+
+    def test_queued_work_lost_at_crash(self):
+        sim, server, client = self.make()
+        for _ in range(3):
+            client.issue_request()
+        sim.schedule_at(0.005, server.fail)  # one in service, two queued
+        sim.run_until(1.0)
+        assert client.completed == 0
+        assert server.dropped_messages == 3  # 2 queued + 1 in flight
+
+    def test_recovery_restores_service(self):
+        sim, server, client = self.make()
+        server.fail()
+        client.issue_request()
+        sim.run_until(0.5)
+        server.recover()
+        sim.schedule(0.0, client.issue_request)
+        sim.run_until(1.5)
+        assert client.completed == 1
+        assert not server.failed
+
+
+class TestOutageVisibleToPathmap:
+    def test_path_disappears_and_returns(self):
+        rubis = build_rubis(dispatch="affinity", seed=4, request_rate=10.0, config=CFG)
+        engine = E2EProfEngine(CFG)
+        engine.attach(rubis.topology)
+        snapshots = {}
+        engine.subscribe(lambda now, res: snapshots.__setitem__(now, res))
+
+        rubis.run_until(32.0)                # healthy window [0, 30)
+        rubis.ejbs["EJB1"].fail()            # outage
+        rubis.run_until(92.0)                # window [60, 90) is all-outage
+        rubis.ejbs["EJB1"].recover()         # repair
+        rubis.run_until(155.0)               # window [120, 150) is healthy
+
+        healthy = snapshots[30.0].graph_for("C1")
+        assert healthy.has_edge("EJB1", "DS")
+
+        outage = snapshots[90.0].graph_for("C1")
+        # Traffic still reaches TS1, but nothing comes out of EJB1.
+        assert not outage.has_edge("EJB1", "DS")
+
+        recovered = snapshots[150.0].graph_for("C1")
+        assert recovered.has_edge("EJB1", "DS")
+        assert recovered.has_edge("WS", "C1")
+
+    def test_comment_class_unaffected_by_bidding_outage(self):
+        rubis = build_rubis(dispatch="affinity", seed=4, request_rate=10.0, config=CFG)
+        engine = E2EProfEngine(CFG)
+        engine.attach(rubis.topology)
+        rubis.run_until(35.0)
+        rubis.ejbs["EJB1"].fail()
+        rubis.run_until(65.0)
+        comment = engine.latest_result.graph_for("C2")
+        assert comment.has_edge("EJB2", "DS")
+        assert comment.has_edge("WS", "C2")

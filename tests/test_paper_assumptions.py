@@ -1,0 +1,111 @@
+"""Tests for the paper's stated assumptions and tolerance claims.
+
+Section 3.8: "Pathmap can tolerate small clock skews ... when determining
+service paths, but will exhibit some inaccuracy (equal to the amount of
+skew) whem computing service delays."
+
+Section 3.1: "Pathmap can, however, accommodate changes in rate across
+nodes (e.g., an EJB server issuing multiple data base queries for a
+single client requests)."
+"""
+
+import pytest
+
+from repro.apps.rubis import build_rubis
+from repro.config import PathmapConfig
+from repro.core.pathmap import compute_service_graphs
+from repro.simulation.distributions import Erlang
+from repro.simulation.nodes import StaticRouter
+from repro.simulation.topology import Topology
+
+CFG = PathmapConfig(
+    window=60.0,
+    refresh_interval=60.0,
+    quantum=1e-3,
+    sampling_window=50e-3,
+    max_transaction_delay=2.0,
+)
+
+
+def chain_with_skewed_middle(skew):
+    topo = Topology(seed=6)
+    topo.add_service_node("DB", Erlang(0.010, k=8), workers=8)
+    topo.add_service_node("AP", Erlang(0.008, k=8), workers=8, clock_skew=skew,
+                          router=StaticRouter({}, default="DB"))
+    topo.add_service_node("WS", Erlang(0.004, k=8), workers=8,
+                          router=StaticRouter({}, default="AP"))
+    client = topo.add_client("C", "cls", front_end="WS")
+    topo.open_workload(client, rate=20.0)
+    topo.run_until(62.0)
+    return topo
+
+
+class TestClockSkewTolerance:
+    """Section 3.8's exact claim: paths survive small skew, delays shift
+    by the skew amount."""
+
+    @pytest.fixture(scope="class")
+    def graphs(self):
+        out = {}
+        for skew in (0.0, 0.030):
+            topo = chain_with_skewed_middle(skew)
+            result = compute_service_graphs(
+                topo.collector.window(CFG, end_time=61.0), CFG
+            )
+            out[skew] = result.graph_for("C")
+        return out
+
+    def test_paths_unaffected_by_skew(self, graphs):
+        assert graphs[0.0].edge_set() == graphs[0.030].edge_set()
+
+    def test_delay_into_skewed_node_shifts_by_skew(self, graphs):
+        # AP's clock is 30 ms ahead: arrivals at AP appear 30 ms late.
+        clean = graphs[0.0].edge("WS", "AP").min_delay
+        skewed = graphs[0.030].edge("WS", "AP").min_delay
+        assert skewed - clean == pytest.approx(0.030, abs=0.004)
+
+    def test_delay_out_of_skewed_node_cancels(self, graphs):
+        # AP -> DB is captured at DB, whose clock is clean: the cumulative
+        # label there is unaffected by AP's skew.
+        clean = graphs[0.0].edge("AP", "DB").min_delay
+        skewed = graphs[0.030].edge("AP", "DB").min_delay
+        assert skewed == pytest.approx(clean, abs=0.004)
+
+    def test_node_delay_absorbs_the_skew_error(self, graphs):
+        # AP's raw out-minus-in delay shrinks by exactly the skew (the
+        # incoming label is inflated, the outgoing label clean): the
+        # paper's "inaccuracy equal to the amount of skew". The public
+        # node_delay() clamps at zero, so compare the raw difference.
+        def raw(graph):
+            return graph.outgoing_delay("AP") - graph.incoming_delay("AP")
+
+        assert raw(graphs[0.0]) - raw(graphs[0.030]) == pytest.approx(
+            0.030, abs=0.006
+        )
+
+
+class TestFanOutAccommodation:
+    """Section 3.1: multiple DB queries per request change the message
+    rate across tiers without breaking path discovery."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        rubis = build_rubis(dispatch="affinity", seed=9, request_rate=8.0,
+                            db_fanout=3, config=CFG)
+        rubis.run_until(62.0)
+        return compute_service_graphs(rubis.window(end_time=61.0), CFG)
+
+    def test_path_recovered_despite_rate_change(self, result):
+        graph = result.graph_for("C1")
+        for edge in (("WS", "TS1"), ("TS1", "EJB1"), ("EJB1", "DS")):
+            assert graph.has_edge(*edge)
+
+    def test_db_edge_delay_still_correct(self, result):
+        graph = result.graph_for("C1")
+        # Cumulative delay at DS ~ WS + TS1 + EJB1 service (31 ms).
+        assert graph.edge("EJB1", "DS").min_delay == pytest.approx(0.031, abs=0.006)
+
+    def test_return_path_survives_join(self, result):
+        graph = result.graph_for("C1")
+        assert graph.has_edge("DS", "EJB1")
+        assert graph.has_edge("WS", "C1")

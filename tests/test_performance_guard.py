@@ -1,0 +1,66 @@
+"""Performance regression guards.
+
+The paper's entire point is that pathmap is cheap enough for *online*
+use; these tests pin generous upper bounds on the costs that matter so a
+performance regression fails CI rather than silently making the engine
+fall behind its refresh interval.
+"""
+
+import time
+
+import pytest
+
+from repro import E2EProfEngine, PathmapConfig, build_rubis
+from repro.core.pathmap import compute_service_graphs
+
+CFG = PathmapConfig(
+    window=180.0,
+    refresh_interval=60.0,
+    quantum=1e-3,
+    sampling_window=50e-3,
+    max_transaction_delay=2.0,
+    min_spike_height=0.10,
+)
+
+
+@pytest.fixture(scope="module")
+def three_minute_trace():
+    rubis = build_rubis(dispatch="round_robin", seed=23, request_rate=10.0,
+                        config=CFG)
+    rubis.run_until(185.0)
+    return rubis
+
+
+class TestAnalysisBudget:
+    def test_full_window_rle_analysis_under_budget(self, three_minute_trace):
+        """3 minutes of 2-class traffic, full RLE analysis: must stay
+        far below the 60 s refresh interval (generous 10x margin over
+        typical ~0.5 s)."""
+        window = three_minute_trace.window(end_time=183.0)
+        started = time.perf_counter()
+        result = compute_service_graphs(window, CFG, method="rle")
+        elapsed = time.perf_counter() - started
+        assert result.stats.graphs == 2
+        assert elapsed < 6.0
+
+    def test_engine_refresh_keeps_up(self, three_minute_trace):
+        """Online per-refresh cost must be a small fraction of dW."""
+        rubis = build_rubis(dispatch="round_robin", seed=24, request_rate=10.0,
+                            config=CFG)
+        engine = E2EProfEngine(CFG)
+        engine.attach(rubis.topology)
+        durations = []
+        engine.subscribe(lambda now, res: durations.append(engine.last_refresh_seconds))
+        rubis.run_until(305.0)
+        assert durations
+        assert max(durations) < CFG.refresh_interval / 10
+
+    def test_simulation_throughput(self):
+        """The DES substrate itself must stay fast enough for the long
+        scenario tests (>= 20k events/second of wall clock)."""
+        rubis = build_rubis(dispatch="affinity", seed=25, request_rate=20.0, config=CFG)
+        started = time.perf_counter()
+        rubis.run_until(60.0)
+        elapsed = time.perf_counter() - started
+        events = rubis.topology.sim.events_run
+        assert events / elapsed > 20_000

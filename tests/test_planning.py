@@ -1,0 +1,100 @@
+"""Tests for capacity planning / what-if latency prediction."""
+
+import pytest
+
+from repro.core.service_graph import ServiceGraph
+from repro.errors import AnalysisError
+from repro.management.planning import (
+    UpgradeRecommendation,
+    path_hop_breakdown,
+    plan_for_target,
+    predict_latency,
+)
+
+
+def tiered_graph():
+    """C -> WS(3ms) -> TS(8ms) -> EJB(20ms) -> DS; total 31 ms at DS."""
+    g = ServiceGraph("C", "WS")
+    g.add_edge("WS", "TS", [0.003])
+    g.add_edge("TS", "EJB", [0.011])
+    g.add_edge("EJB", "DS", [0.031])
+    return g
+
+
+class TestBreakdown:
+    def test_contributions_sum_to_total(self):
+        path = tiered_graph().paths()[0]
+        breakdown = path_hop_breakdown(path)
+        assert sum(breakdown.values()) == pytest.approx(path.total_delay)
+
+    def test_per_node_attribution(self):
+        breakdown = path_hop_breakdown(tiered_graph().paths()[0])
+        assert breakdown["WS"] == pytest.approx(0.003)
+        assert breakdown["TS"] == pytest.approx(0.008)
+        assert breakdown["EJB"] == pytest.approx(0.020)
+
+
+class TestPrediction:
+    def test_identity(self):
+        graph = tiered_graph()
+        assert predict_latency(graph, {}) == pytest.approx(0.031)
+
+    def test_speeding_the_bottleneck(self):
+        graph = tiered_graph()
+        predicted = predict_latency(graph, {"EJB": 2.0})
+        assert predicted == pytest.approx(0.021)  # 31 - 10
+
+    def test_multiple_speedups(self):
+        graph = tiered_graph()
+        predicted = predict_latency(graph, {"EJB": 2.0, "TS": 4.0})
+        assert predicted == pytest.approx(0.015)
+
+    def test_slowdown_prediction(self):
+        graph = tiered_graph()
+        predicted = predict_latency(graph, {"WS": 0.5})  # WS twice as slow
+        assert predicted == pytest.approx(0.034)
+
+    def test_bad_factor(self):
+        with pytest.raises(AnalysisError):
+            predict_latency(tiered_graph(), {"EJB": 0.0})
+
+    def test_bare_graph_predicts_zero(self):
+        # Only the implicit zero-delay client edge exists.
+        assert predict_latency(ServiceGraph("C", "WS"), {}) == 0.0
+
+
+class TestPlanning:
+    def test_meets_target_with_cheapest_upgrade(self):
+        graph = tiered_graph()
+        options = plan_for_target(graph, target_latency=0.025)
+        assert options, "expected at least one viable upgrade"
+        best = options[0]
+        assert best.node == "EJB"  # only EJB can shed 6+ ms
+        assert best.predicted_latency <= 0.025 + 1e-9
+        assert best.improvement == pytest.approx(0.006, abs=1e-9)
+
+    def test_already_meeting_target(self):
+        assert plan_for_target(tiered_graph(), target_latency=0.050) == []
+
+    def test_unreachable_target(self):
+        # Even infinitely fast EJB leaves 11 ms from WS+TS; 5 ms target
+        # cannot be met by any single-node upgrade.
+        assert plan_for_target(tiered_graph(), target_latency=0.005) == []
+
+    def test_max_speedup_cap(self):
+        graph = tiered_graph()
+        # Target requires EJB ~20x faster: excluded by the cap.
+        options = plan_for_target(graph, target_latency=0.0121, max_speedup=8.0)
+        assert all(rec.speedup <= 8.0 for rec in options)
+
+    def test_options_sorted_by_speedup(self):
+        g = ServiceGraph("C", "A")
+        g.add_edge("A", "B", [0.010])
+        g.add_edge("B", "D", [0.030])  # B contributes 20 ms, A 10 ms
+        options = plan_for_target(g, target_latency=0.025)
+        assert [rec.node for rec in options][0] == "B"
+        assert options == sorted(options, key=lambda rec: rec.speedup)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            plan_for_target(tiered_graph(), target_latency=0.0)

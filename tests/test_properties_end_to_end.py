@@ -1,0 +1,71 @@
+"""Property-based end-to-end test: pathmap recovers randomly generated
+linear service chains.
+
+For any chain length, any (reasonable) per-node service times, and any
+seed, pathmap must rediscover the chain's request edges in order, with
+monotonically increasing cumulative delays that match the configured
+service means to within a couple of quanta. This is the strongest
+whole-system invariant the reproduction rests on.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import PathmapConfig
+from repro.core.pathmap import compute_service_graphs
+from repro.simulation.distributions import Erlang
+from repro.simulation.nodes import StaticRouter
+from repro.simulation.topology import Topology
+
+CFG = PathmapConfig(
+    window=40.0,
+    refresh_interval=40.0,
+    quantum=1e-3,
+    sampling_window=20e-3,
+    max_transaction_delay=2.0,
+)
+
+chains = st.lists(
+    st.floats(min_value=0.004, max_value=0.030),
+    min_size=2,
+    max_size=4,
+)
+
+
+@given(chains, st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=12, deadline=None)
+def test_random_chain_recovered(service_means, seed):
+    topo = Topology(seed=seed)
+    names = [f"N{i}" for i in range(len(service_means))]
+    # Build leaf-first so routers can reference their downstream node.
+    for i in reversed(range(len(names))):
+        router = (
+            StaticRouter({}, default=names[i + 1])
+            if i + 1 < len(names)
+            else None  # leaf replies
+        )
+        topo.add_service_node(
+            names[i], Erlang(service_means[i], k=16), workers=16, router=router
+        )
+    client = topo.add_client("C", "cls", front_end=names[0])
+    topo.open_workload(client, rate=25.0)
+    topo.run_until(42.0)
+
+    result = compute_service_graphs(
+        topo.collector.window(CFG, end_time=41.0), CFG
+    )
+    graph = result.graph_for("C")
+
+    # Every request-direction edge present...
+    expected_edges = [("C", names[0])] + list(zip(names, names[1:]))
+    for edge in expected_edges:
+        assert graph.has_edge(*edge), edge
+    # ...with cumulative delays increasing along the chain...
+    cumulative = [graph.edge(*edge).min_delay for edge in expected_edges]
+    assert cumulative == sorted(cumulative)
+    # ...and each hop's increment matching the configured service mean.
+    for i, (lo, hi) in enumerate(zip(cumulative, cumulative[1:])):
+        assert hi - lo == pytest.approx(service_means[i], abs=0.006)
+    # The response made it back to the client.
+    assert graph.has_edge(names[0], "C")

@@ -1,0 +1,86 @@
+"""Integration tests: pathmap on a publish-subscribe overlay.
+
+The paper's Section 5 names pub-sub systems as the next application
+domain; these tests show the unmodified algorithm recovers per-topic
+dissemination trees, including root-level fan-out (one inbound event,
+multiple outbound messages)."""
+
+import pytest
+
+from repro.apps.pubsub import PUBSUB_ANALYSIS_CONFIG, build_pubsub
+from repro.core.pathmap import compute_service_graphs
+
+
+@pytest.fixture(scope="module")
+def pubsub_result():
+    deployment = build_pubsub(seed=17, publish_rate=20.0)
+    deployment.run_until(62.0)
+    window = deployment.window(end_time=61.0)
+    return deployment, compute_service_graphs(window, PUBSUB_ANALYSIS_CONFIG)
+
+
+class TestDisseminationTrees:
+    def test_news_tree(self, pubsub_result):
+        deployment, result = pubsub_result
+        graph = result.graph_for("PUB-news")
+        for edge in deployment.expected_edges["news"]:
+            assert graph.has_edge(*edge), edge
+        # The other branch carries no news.
+        assert not graph.has_edge("B0", "BR")
+        assert "SUB3" not in graph
+
+    def test_alerts_tree_with_root_fanout(self, pubsub_result):
+        deployment, result = pubsub_result
+        graph = result.graph_for("PUB-alerts")
+        for edge in deployment.expected_edges["alerts"]:
+            assert graph.has_edge(*edge), edge
+        # news-only leaf not reached by alerts.
+        assert not graph.has_edge("BL", "SUB2")
+
+    def test_no_reverse_edges(self, pubsub_result):
+        _, result = pubsub_result
+        for graph in result.graphs.values():
+            assert not graph.has_edge("BL", "B0")
+            assert not graph.has_edge("SUB1", "BL")
+
+    def test_fanout_branches_have_consistent_delays(self, pubsub_result):
+        _, result = pubsub_result
+        graph = result.graph_for("PUB-alerts")
+        left = graph.edge("B0", "BL").min_delay
+        right = graph.edge("B0", "BR").min_delay
+        # Both copies leave the root after the same ~4 ms processing.
+        assert left == pytest.approx(right, abs=0.004)
+        assert 0.002 < left < 0.012
+
+    def test_per_hop_delays_accumulate(self, pubsub_result):
+        _, result = pubsub_result
+        graph = result.graph_for("PUB-news")
+        assert (
+            graph.edge("PUB-news", "B0").min_delay
+            < graph.edge("B0", "BL").min_delay
+            < graph.edge("BL", "SUB1").min_delay
+        )
+
+    def test_online_engine_on_pubsub(self):
+        """The online engine works unchanged on the unidirectional
+        overlay: per-topic trees refresh live."""
+        from repro import E2EProfEngine
+
+        deployment = build_pubsub(seed=18, publish_rate=20.0)
+        engine = E2EProfEngine(PUBSUB_ANALYSIS_CONFIG)
+        engine.attach(deployment.topology)
+        deployment.run_until(65.0)
+        result = engine.latest_result
+        news = result.graph_for("PUB-news")
+        assert news.has_edge("B0", "BL")
+        assert news.has_edge("BL", "SUB1")
+        alerts = result.graph_for("PUB-alerts")
+        assert alerts.has_edge("B0", "BR")
+
+    def test_shared_edge_carries_both_topics(self, pubsub_result):
+        """BL -> SUB1 transports news and alerts; each topic's graph
+        still labels it with its own (coincident) delay."""
+        _, result = pubsub_result
+        news = result.graph_for("PUB-news").edge("BL", "SUB1").min_delay
+        alerts = result.graph_for("PUB-alerts").edge("BL", "SUB1").min_delay
+        assert news == pytest.approx(alerts, abs=0.005)

@@ -1,0 +1,52 @@
+"""Tests for trace record types."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.tracing.records import AccessLogRecord, CaptureRecord
+
+
+class TestCaptureRecord:
+    def test_observer_must_be_endpoint(self):
+        with pytest.raises(TraceError):
+            CaptureRecord(1.0, "A", "B", "C")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TraceError):
+            CaptureRecord(1.0, "A", "A", "A")
+
+    def test_edge_and_side(self):
+        record = CaptureRecord(1.0, "A", "B", "B")
+        assert record.edge == ("A", "B")
+        assert record.observed_at_destination
+        assert not CaptureRecord(1.0, "A", "B", "A").observed_at_destination
+
+    def test_ordering_by_timestamp(self):
+        a = CaptureRecord(1.0, "A", "B", "A")
+        b = CaptureRecord(2.0, "A", "B", "A")
+        assert a < b
+
+    def test_ground_truth_fields_not_compared(self):
+        a = CaptureRecord(1.0, "A", "B", "A", request_id=1)
+        b = CaptureRecord(1.0, "A", "B", "A", request_id=2)
+        assert a == b
+
+
+class TestAccessLogRecord:
+    def test_valid_recv(self):
+        record = AccessLogRecord(1.0, "S", 42)
+        assert record.event == "recv"
+        assert record.peer is None
+
+    def test_send_requires_peer(self):
+        with pytest.raises(TraceError):
+            AccessLogRecord(1.0, "S", 42, event="send")
+
+    def test_unknown_event(self):
+        with pytest.raises(TraceError):
+            AccessLogRecord(1.0, "S", 42, event="drop")
+
+    def test_ordering(self):
+        a = AccessLogRecord(1.0, "S", 1)
+        b = AccessLogRecord(2.0, "S", 1)
+        assert a < b

@@ -1,0 +1,79 @@
+"""Tests for service-graph rendering."""
+
+import pytest
+
+from repro.analysis.render import render_ascii, render_comparison_table, render_dot
+from repro.core.service_graph import ServiceGraph
+
+
+def tiered_graph():
+    g = ServiceGraph("C", "WS")
+    g.add_edge("WS", "TS", [0.003])
+    g.add_edge("TS", "EJB", [0.011])
+    g.add_edge("EJB", "DB", [0.031])
+    return g
+
+
+class TestAscii:
+    def test_contains_path_chain(self):
+        text = render_ascii(tiered_graph())
+        assert "C" in text
+        assert "-[3.0ms]-> TS" in text
+        assert "node delays:" in text
+
+    def test_bottleneck_marked(self):
+        text = render_ascii(tiered_graph(), mark_bottlenecks=True)
+        assert "*EJB*" in text
+
+    def test_no_marking_when_disabled(self):
+        text = render_ascii(tiered_graph(), mark_bottlenecks=False)
+        assert "*EJB*" not in text
+
+    def test_seconds_formatting(self):
+        g = ServiceGraph("C", "Q")
+        g.add_edge("Q", "VAL", [2.0])
+        text = render_ascii(g, mark_bottlenecks=False)
+        assert "2.00s" in text
+
+
+class TestDot:
+    def test_valid_structure(self):
+        dot = render_dot(tiered_graph())
+        assert dot.startswith("digraph")
+        assert dot.endswith("}")
+        assert '"WS" -> "TS" [label="3.0ms"];' in dot
+
+    def test_bottleneck_grey(self):
+        dot = render_dot(tiered_graph())
+        assert 'fillcolor=grey' in dot
+        grey_line = [l for l in dot.splitlines() if "grey" in l]
+        assert any("EJB" in l for l in grey_line)
+
+    def test_client_is_ellipse(self):
+        dot = render_dot(tiered_graph())
+        client_line = [l for l in dot.splitlines() if '"C" [' in l][0]
+        assert "ellipse" in client_line
+
+    def test_multi_delay_labels(self):
+        g = ServiceGraph("C", "WS")
+        g.add_edge("WS", "TS", [0.003, 0.009])
+        dot = render_dot(g, mark_bottlenecks=False)
+        assert '3.0ms, 9.0ms' in dot
+
+
+class TestTable:
+    def test_alignment_and_title(self):
+        text = render_comparison_table(
+            ["name", "value"],
+            [["a", 1], ["long-name", 22]],
+            title="Table 1",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Table 1"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_no_title(self):
+        text = render_comparison_table(["h"], [["x"]])
+        assert text.splitlines()[0] == "h"

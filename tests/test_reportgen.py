@@ -1,0 +1,99 @@
+"""Tests for the diagnosis report generator."""
+
+import json
+
+import pytest
+
+from repro.analysis.reportgen import report_json, report_text, summarize_graph, summarize_result
+from repro.core.pathmap import PathmapResult, PathmapStats
+from repro.core.service_graph import ServiceGraph
+
+
+def sample_result():
+    g1 = ServiceGraph("C1", "WS")
+    g1.add_edge("WS", "TS", [0.003])
+    g1.add_edge("TS", "DB", [0.020])
+    g1.add_edge("WS", "C1", [0.045])
+    g2 = ServiceGraph("C2", "WS")
+    g2.add_edge("WS", "DB", [0.010])
+    stats = PathmapStats(correlations=7, spikes=4, edges_discovered=4, graphs=2,
+                         elapsed_seconds=0.12)
+    return PathmapResult({("C1", "WS"): g1, ("C2", "WS"): g2}, stats)
+
+
+class TestSummaries:
+    def test_graph_summary_structure(self):
+        summary = summarize_graph(sample_result().graph_for("C1"))
+        assert summary["client"] == "C1"
+        assert summary["end_to_end_latency"] == pytest.approx(0.045)
+        assert summary["paths"][0]["nodes"] == ["C1", "WS", "TS", "DB"]
+        assert "TS" in summary["node_delays"]
+        assert summary["bottlenecks"]  # TS dominates (17 ms of 20)
+
+    def test_result_summary_covers_all_classes(self):
+        summary = summarize_result(sample_result())
+        assert set(summary["classes"]) == {"C1@WS", "C2@WS"}
+        assert summary["stats"]["correlations"] == 7
+
+    def test_json_roundtrip(self):
+        payload = json.loads(report_json(sample_result()))
+        assert payload["classes"]["C1@WS"]["root"] == "WS"
+
+    def test_text_report_readable(self):
+        text = report_text(sample_result())
+        assert "E2EProf diagnosis report" in text
+        assert "C1@WS" in text
+        assert "bottleneck" in text
+        assert "ms" in text
+
+    def test_bare_graph_summary(self):
+        # Only the implicit client edge: zero latency, one trivial path.
+        g = ServiceGraph("C", "WS")
+        summary = summarize_graph(g)
+        assert summary["end_to_end_latency"] == 0.0
+        assert summary["paths"][0]["nodes"] == ["C", "WS"]
+
+    def test_journal_roundtrip(self, tmp_path):
+        from repro.analysis.reportgen import RefreshJournal, read_journal
+
+        path = tmp_path / "journal.jsonl"
+        journal = RefreshJournal(str(path))
+        journal(60.0, sample_result())
+        journal(120.0, sample_result())
+        assert journal.entries == 2
+        entries = read_journal(str(path))
+        assert [e["time"] for e in entries] == [60.0, 120.0]
+        assert "C1@WS" in entries[0]["classes"]
+
+    def test_journal_truncates_previous_session(self, tmp_path):
+        from repro.analysis.reportgen import RefreshJournal, read_journal
+
+        path = tmp_path / "journal.jsonl"
+        RefreshJournal(str(path))(60.0, sample_result())
+        RefreshJournal(str(path))  # new session truncates
+        assert read_journal(str(path)) == []
+
+    def test_journal_on_live_engine(self, tmp_path):
+        from repro import E2EProfEngine, PathmapConfig, build_rubis
+        from repro.analysis.reportgen import RefreshJournal, read_journal
+
+        cfg = PathmapConfig(window=20.0, refresh_interval=20.0, quantum=1e-3,
+                            sampling_window=50e-3, max_transaction_delay=2.0,
+                            min_spike_height=0.10)
+        rubis = build_rubis(dispatch="affinity", seed=2, request_rate=10.0, config=cfg)
+        engine = E2EProfEngine(cfg)
+        engine.attach(rubis.topology)
+        path = tmp_path / "live.jsonl"
+        RefreshJournal(str(path)).subscribe_to(engine)
+        rubis.run_until(65.0)
+        entries = read_journal(str(path))
+        assert len(entries) == 3
+        assert "C1@WS" in entries[-1]["classes"]
+
+    def test_on_real_analysis(self, affinity_result):
+        summary = summarize_result(affinity_result)
+        c1 = summary["classes"]["C1@WS"]
+        assert "EJB1" in c1["bottlenecks"]
+        assert 0.03 < c1["end_to_end_latency"] < 0.09
+        # Serializes cleanly.
+        json.dumps(summary)

@@ -1,0 +1,127 @@
+"""Tests for E2EProf-driven path selection (Section 4.2)."""
+
+import pytest
+
+from repro.apps.dispatch import LatencyAwareRouter
+from repro.core.pathmap import PathmapResult, PathmapStats
+from repro.core.service_graph import ServiceGraph
+from repro.core.spikes import Spike
+from repro.errors import AnalysisError
+from repro.management.scheduler import PathSelector, path_latency_via, response_latency
+
+
+def graph_via(client, ts, e2e, root="WS"):
+    """C -> WS -> ts -> DB and back, with end-to-end delay ``e2e``."""
+    g = ServiceGraph(client, root)
+    g.add_edge(root, ts, [0.005])
+    g.add_edge(ts, "DB", [e2e / 2])
+    spike = Spike(int(e2e * 1000), e2e, 0.9, 0.5)
+    g.add_edge(root, client, [e2e], [spike])
+    return g
+
+
+def result_for(graphs):
+    return PathmapResult(
+        {(g.client, g.root): g for g in graphs}, PathmapStats()
+    )
+
+
+class TestHelpers:
+    def test_path_latency_via(self):
+        g = graph_via("C1", "TS1", 0.050)
+        assert path_latency_via(g, "TS1") == pytest.approx(0.025)
+        assert path_latency_via(g, "TS9") is None
+
+    def test_response_latency_uses_strongest_spike(self):
+        g = graph_via("C1", "TS1", 0.050)
+        assert response_latency(g) == pytest.approx(0.050)
+
+    def test_response_latency_missing_edge(self):
+        g = ServiceGraph("C1", "WS")
+        g.add_edge("WS", "TS1", [0.005])
+        assert response_latency(g) is None
+
+
+class TestPathSelector:
+    def make(self):
+        router = LatencyAwareRouter(["TS1", "TS2"])
+        selector = PathSelector(
+            router, "bidding", "comment",
+            class_clients={"bidding": "C1", "comment": "C2"},
+        )
+        return router, selector
+
+    def test_bootstrap_assigns_defaults(self):
+        router, selector = self.make()
+        selector.on_refresh(0.0, result_for([]))
+        assert router.assignment("bidding") == "TS1"
+        assert router.assignment("comment") == "TS2"
+        assert selector.history == []  # bootstrap is not a measurement
+
+    def test_steers_priority_to_faster_path(self):
+        router, selector = self.make()
+        selector.on_refresh(0.0, result_for([]))  # bootstrap: bid->TS1
+        # bidding on TS1 measures 80ms; comment on TS2 measures 30ms.
+        result = result_for([
+            graph_via("C1", "TS1", 0.080),
+            graph_via("C2", "TS2", 0.030),
+        ])
+        selector.on_refresh(60.0, result)
+        assert router.assignment("bidding") == "TS2"
+        assert router.assignment("comment") == "TS1"
+        assert selector.history[-1].priority_target == "TS2"
+        assert selector.history[-1].latencies == pytest.approx(
+            {"TS1": 0.080, "TS2": 0.030}
+        )
+
+    def test_keeps_assignment_when_already_fastest(self):
+        router, selector = self.make()
+        selector.on_refresh(0.0, result_for([]))
+        result = result_for([
+            graph_via("C1", "TS1", 0.030),
+            graph_via("C2", "TS2", 0.080),
+        ])
+        selector.on_refresh(60.0, result)
+        assert router.assignment("bidding") == "TS1"
+
+    def test_skips_on_insufficient_signal(self):
+        router, selector = self.make()
+        selector.on_refresh(0.0, result_for([]))
+        result = result_for([graph_via("C1", "TS1", 0.080)])  # one path only
+        selector.on_refresh(60.0, result)
+        assert router.assignment("bidding") == "TS1"  # unchanged
+        assert selector.history == []
+
+    def test_needs_two_paths(self):
+        router = LatencyAwareRouter(["TS1", "TS2"])
+        with pytest.raises(AnalysisError):
+            PathSelector(router, "a", "b", paths=["TS1"])
+
+
+class TestIntegration:
+    """Abbreviated Table 1 scenario: selector beats static assignment when
+    one path is persistently slower."""
+
+    def test_selector_avoids_slow_path(self):
+        from repro import E2EProfEngine, PathmapConfig, build_rubis
+
+        cfg = PathmapConfig(window=15.0, refresh_interval=5.0, quantum=1e-3,
+                            sampling_window=50e-3, max_transaction_delay=2.0)
+        rubis = build_rubis(dispatch="latency_aware", seed=9, request_rate=10.0,
+                            config=cfg,
+                            service_means={"EJB1": 0.020, "EJB2": 0.020})
+        # EJB2 is persistently slow.
+        rubis.ejbs["EJB2"].set_extra_delay(lambda now: 0.080)
+        engine = E2EProfEngine(cfg)
+        engine.attach(rubis.topology)
+        selector = PathSelector(
+            rubis.dispatcher, "bidding", "comment",
+            class_clients={"bidding": "C1", "comment": "C2"},
+        )
+        selector.attach(engine)
+        rubis.run_until(240.0)
+        # Bidding must end (and mostly stay) on the healthy path TS1.
+        assert rubis.dispatcher.assignment("bidding") == "TS1"
+        bid = rubis.clients["bidding"].mean_latency(since=60.0)
+        com = rubis.clients["comment"].mean_latency(since=60.0)
+        assert bid < com

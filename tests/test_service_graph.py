@@ -1,0 +1,181 @@
+"""Tests for the service-graph data structures (Sections 3.1-3.2)."""
+
+import pytest
+
+from repro.core.service_graph import ServiceEdge, ServiceGraph, ServicePath
+from repro.core.spikes import Spike
+from repro.errors import AnalysisError
+
+
+def simple_chain():
+    """C -> WS -> TS -> DB with cumulative delays 0 / 5ms / 20ms."""
+    g = ServiceGraph("C", "WS")
+    g.add_edge("WS", "TS", [0.005])
+    g.add_edge("TS", "DB", [0.020])
+    return g
+
+
+class TestConstruction:
+    def test_client_edge_exists_implicitly(self):
+        g = ServiceGraph("C", "WS")
+        assert g.has_edge("C", "WS")
+        assert g.edge("C", "WS").delays == [0.0]
+
+    def test_add_edge_creates_nodes(self):
+        g = simple_chain()
+        assert g.nodes == {"C", "WS", "TS", "DB"}
+
+    def test_add_edge_requires_delays(self):
+        g = ServiceGraph("C", "WS")
+        with pytest.raises(AnalysisError):
+            g.add_edge("WS", "TS", [])
+
+    def test_re_adding_edge_merges_delays(self):
+        g = ServiceGraph("C", "WS")
+        g.add_edge("WS", "TS", [0.005])
+        g.add_edge("WS", "TS", [0.009, 0.005])
+        assert g.edge("WS", "TS").delays == [0.005, 0.009]
+
+    def test_edge_lookup_missing(self):
+        g = simple_chain()
+        with pytest.raises(AnalysisError):
+            g.edge("WS", "DB")
+
+    def test_successors_predecessors(self):
+        g = simple_chain()
+        assert g.successors("WS") == ["TS"]
+        assert g.predecessors("TS") == ["WS"]
+
+    def test_contains_and_len(self):
+        g = simple_chain()
+        assert "TS" in g
+        assert "X" not in g
+        assert len(g) == 4
+
+
+class TestEdge:
+    def test_min_max_delay(self):
+        e = ServiceEdge("A", "B", [0.003, 0.010])
+        assert e.min_delay == 0.003
+        assert e.max_delay == 0.010
+
+    def test_empty_delays_raise(self):
+        e = ServiceEdge("A", "B", [])
+        with pytest.raises(AnalysisError):
+            _ = e.min_delay
+
+    def test_strongest_spike(self):
+        spikes = [Spike(3, 0.003, 0.5, 0.1), Spike(10, 0.010, 0.9, 0.2)]
+        e = ServiceEdge("A", "B", [0.003, 0.010], spikes)
+        assert e.strongest_spike().lag == 10
+
+    def test_strongest_spike_empty(self):
+        assert ServiceEdge("A", "B", [0.003]).strongest_spike() is None
+
+
+class TestDelayAttribution:
+    def test_node_delay_is_out_minus_in(self):
+        g = simple_chain()
+        assert g.node_delay("TS") == pytest.approx(0.015)
+        assert g.node_delay("WS") == pytest.approx(0.005)
+
+    def test_client_has_no_delay(self):
+        assert simple_chain().node_delay("C") is None
+
+    def test_leaf_has_no_delay(self):
+        assert simple_chain().node_delay("DB") is None
+
+    def test_return_edge_to_client_not_counted_as_outgoing(self):
+        g = simple_chain()
+        g.add_edge("WS", "C", [0.040])  # the response edge
+        # WS's outgoing delay should still be the request edge (5ms),
+        # not the 40ms response edge.
+        assert g.node_delay("WS") == pytest.approx(0.005)
+
+    def test_node_delays_never_negative(self):
+        g = ServiceGraph("C", "WS")
+        g.add_edge("WS", "TS", [0.010])
+        g.add_edge("TS", "DB", [0.008])  # noisy inversion
+        assert g.node_delay("TS") == 0.0
+
+    def test_end_to_end_delay(self):
+        g = simple_chain()
+        g.add_edge("WS", "C", [0.045])
+        assert g.end_to_end_delay() == pytest.approx(0.045)
+
+    def test_node_delays_map(self):
+        delays = simple_chain().node_delays()
+        assert set(delays) == {"WS", "TS"}
+
+
+class TestPaths:
+    def test_single_chain_path(self):
+        paths = simple_chain().paths()
+        assert len(paths) == 1
+        assert paths[0].nodes == ("C", "WS", "TS", "DB")
+        assert paths[0].cumulative_delays == (0.0, 0.005, 0.020)
+        assert paths[0].total_delay == 0.020
+
+    def test_hop_delays(self):
+        path = simple_chain().paths()[0]
+        assert path.hop_delays() == pytest.approx((0.0, 0.005, 0.015))
+
+    def test_branching_paths(self):
+        g = ServiceGraph("C", "WS")
+        g.add_edge("WS", "TS1", [0.005])
+        g.add_edge("WS", "TS2", [0.006])
+        g.add_edge("TS1", "DB", [0.015])
+        g.add_edge("TS2", "DB", [0.016])
+        paths = g.paths()
+        assert len(paths) == 2
+        assert {p.nodes for p in paths} == {
+            ("C", "WS", "TS1", "DB"),
+            ("C", "WS", "TS2", "DB"),
+        }
+
+    def test_causality_filter(self):
+        # Edge TS->DB with delay *smaller* than arrival at TS cannot
+        # continue the path.
+        g = ServiceGraph("C", "WS")
+        g.add_edge("WS", "TS", [0.010])
+        g.add_edge("TS", "DB", [0.002])
+        paths = g.paths()
+        assert paths[0].nodes == ("C", "WS", "TS")
+
+    def test_cycle_unrolled_once(self):
+        # Response edges create a cycle; each node is visited once per path.
+        g = simple_chain()
+        g.add_edge("DB", "TS", [0.030])
+        g.add_edge("TS", "WS", [0.038])
+        g.add_edge("WS", "C", [0.042])
+        paths = g.paths()
+        assert len(paths) == 1
+        assert paths[0].nodes == ("C", "WS", "TS", "DB")
+
+    def test_max_paths_cap(self):
+        g = ServiceGraph("C", "WS")
+        for i in range(5):
+            g.add_edge("WS", f"T{i}", [0.001 * (i + 1)])
+        assert len(g.paths(max_paths=3)) <= 3
+
+    def test_service_path_validation(self):
+        with pytest.raises(AnalysisError):
+            ServicePath(("A",), ())
+        with pytest.raises(AnalysisError):
+            ServicePath(("A", "B"), (0.0, 0.1))
+
+    def test_str_rendering(self):
+        s = str(simple_chain().paths()[0])
+        assert "C" in s and "DB" in s and "ms" in s
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        g = simple_chain()
+        g.add_edge("WS", "C", [0.045])
+        restored = ServiceGraph.from_dict(g.to_dict())
+        assert restored.edge_set() == g.edge_set()
+        for edge in g.edges:
+            assert restored.edge(edge.src, edge.dst).delays == edge.delays
+        assert restored.client == g.client
+        assert restored.root == g.root

@@ -1,0 +1,83 @@
+"""Tests for SLA specification and monitoring."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.management.sla import SLA, SLAMonitor, SLAStatus
+
+
+class TestSLA:
+    def test_mean_target(self):
+        sla = SLA("bid", max_latency=0.1)
+        assert sla.measure([0.05, 0.15]) == pytest.approx(0.10)
+        assert sla.is_met([0.05, 0.15])
+        assert not sla.is_met([0.2, 0.3])
+
+    def test_percentile_target(self):
+        sla = SLA("bid", max_latency=0.1, percentile=95.0)
+        latencies = [0.05] * 99 + [1.0]
+        assert sla.measure(latencies) < 0.1
+        assert sla.is_met(latencies)
+        assert not sla.is_met([1.0] * 10)
+
+    def test_empty_samples_vacuously_met(self):
+        sla = SLA("bid", max_latency=0.1)
+        assert sla.is_met([])
+        assert sla.measure([]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SLA("bid", max_latency=0.0)
+        with pytest.raises(ConfigError):
+            SLA("bid", max_latency=0.1, percentile=0.0)
+        with pytest.raises(ConfigError):
+            SLA("bid", max_latency=0.1, percentile=100.0)
+
+
+class TestStatus:
+    def test_headroom(self):
+        status = SLAStatus(SLA("bid", 0.1), measured=0.07, sample_count=10)
+        assert status.met
+        assert status.headroom == pytest.approx(0.03)
+
+    def test_violation(self):
+        status = SLAStatus(SLA("bid", 0.1), measured=0.15, sample_count=10)
+        assert not status.met
+        assert status.headroom < 0
+
+    def test_no_samples_is_met(self):
+        status = SLAStatus(SLA("bid", 0.1), measured=0.0, sample_count=0)
+        assert status.met
+
+
+class TestMonitor:
+    def test_evaluate_all_classes(self):
+        monitor = SLAMonitor([SLA("bid", 0.1), SLA("comment", 0.5)])
+        statuses = monitor.evaluate({"bid": [0.05], "comment": [0.6]})
+        assert len(statuses) == 2
+        by_class = {s.sla.service_class: s for s in statuses}
+        assert by_class["bid"].met
+        assert not by_class["comment"].met
+
+    def test_violations_recorded(self):
+        monitor = SLAMonitor([SLA("bid", 0.1)])
+        monitor.evaluate({"bid": [0.5]})
+        monitor.evaluate({"bid": [0.05]})
+        assert len(monitor.violations()) == 1
+
+    def test_missing_class_data(self):
+        monitor = SLAMonitor([SLA("bid", 0.1)])
+        statuses = monitor.evaluate({})
+        assert statuses[0].met
+        assert statuses[0].sample_count == 0
+
+    def test_duplicate_sla_rejected(self):
+        with pytest.raises(ConfigError):
+            SLAMonitor([SLA("bid", 0.1), SLA("bid", 0.2)])
+
+    def test_sla_lookup(self):
+        monitor = SLAMonitor([SLA("bid", 0.1)])
+        assert monitor.sla_for("bid").max_latency == 0.1
+        with pytest.raises(ConfigError):
+            monitor.sla_for("nope")
+        assert monitor.classes == ["bid"]

@@ -1,0 +1,150 @@
+"""Tests for spike detection (Section 3.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.correlation import CorrelationSeries
+from repro.core.spikes import detect_spikes, earliest_spike, strongest_spike
+
+
+def corr(values, quantum=1e-3, degenerate=False):
+    return CorrelationSeries(np.asarray(values, float), quantum, len(values), degenerate)
+
+
+def flat_with_spikes(n, spikes, base=0.0):
+    values = np.full(n, base)
+    for pos, height in spikes:
+        values[pos] = height
+    return values
+
+
+class TestDetection:
+    def test_single_spike(self):
+        series = corr(flat_with_spikes(100, [(40, 1.0)]))
+        spikes = detect_spikes(series)
+        assert len(spikes) == 1
+        assert spikes[0].lag == 40
+        assert spikes[0].delay == pytest.approx(0.040)
+        assert spikes[0].height == 1.0
+
+    def test_threshold_is_mean_plus_sigma_std(self):
+        values = flat_with_spikes(100, [(40, 1.0)])
+        series = corr(values)
+        threshold = values.mean() + 3 * values.std()
+        spikes = detect_spikes(series, sigma=3.0)
+        assert spikes[0].prominence == pytest.approx(1.0 - threshold)
+
+    def test_below_threshold_ignored(self):
+        # Noise floor high enough that a small bump fails mean+3sigma.
+        rng = np.random.default_rng(0)
+        values = rng.normal(0.2, 0.1, 500)
+        values[100] = values.mean() + 1.0 * values.std()
+        spikes = detect_spikes(corr(values), sigma=3.0)
+        assert all(s.lag != 100 for s in spikes)
+
+    def test_multiple_spikes_sorted_by_lag(self):
+        series = corr(flat_with_spikes(200, [(150, 0.8), (30, 1.0)]))
+        spikes = detect_spikes(series)
+        assert [s.lag for s in spikes] == [30, 150]
+
+    def test_plateau_reports_centre(self):
+        values = np.zeros(50)
+        values[20:23] = 1.0
+        spikes = detect_spikes(corr(values))
+        assert len(spikes) == 1
+        assert spikes[0].lag == 21
+
+    def test_endpoint_spikes_detected(self):
+        spikes = detect_spikes(corr(flat_with_spikes(50, [(0, 1.0)])))
+        assert spikes and spikes[0].lag == 0
+        spikes = detect_spikes(corr(flat_with_spikes(50, [(49, 1.0)])))
+        assert spikes and spikes[0].lag == 49
+
+    def test_degenerate_series_has_no_spikes(self):
+        series = corr(flat_with_spikes(100, [(40, 1.0)]), degenerate=True)
+        assert detect_spikes(series) == []
+
+    def test_flat_series_has_no_spikes(self):
+        assert detect_spikes(corr(np.ones(100))) == []
+
+    def test_too_short_series(self):
+        assert detect_spikes(corr([1.0, 0.0])) == []
+
+    def test_min_height_floor(self):
+        # A tiny spike clears mean+3sigma on a near-flat series but not
+        # the absolute floor.
+        values = np.zeros(500)
+        values[100] = 0.05
+        assert detect_spikes(corr(values)) != []
+        assert detect_spikes(corr(values), min_height=0.1) == []
+        values[100] = 0.5
+        assert detect_spikes(corr(values), min_height=0.1) != []
+
+    def test_max_spikes_keeps_tallest(self):
+        series = corr(flat_with_spikes(300, [(50, 0.5), (150, 1.0), (250, 0.8)]))
+        spikes = detect_spikes(series, max_spikes=2)
+        assert [s.lag for s in spikes] == [150, 250]
+
+
+class TestResolutionWindow:
+    def test_close_spikes_keep_tallest(self):
+        series = corr(flat_with_spikes(100, [(40, 0.8), (43, 1.0)]))
+        spikes = detect_spikes(series, resolution_quanta=10)
+        assert [s.lag for s in spikes] == [43]
+
+    def test_far_spikes_both_survive(self):
+        series = corr(flat_with_spikes(100, [(20, 0.8), (60, 1.0)]))
+        spikes = detect_spikes(series, resolution_quanta=10)
+        assert [s.lag for s in spikes] == [20, 60]
+
+    def test_resolution_one_keeps_all(self):
+        series = corr(flat_with_spikes(100, [(40, 0.8), (42, 1.0)]))
+        spikes = detect_spikes(series, resolution_quanta=1)
+        assert [s.lag for s in spikes] == [40, 42]
+
+    def test_chain_suppression_is_greedy_by_height(self):
+        # 30(0.7) 35(1.0) 40(0.8): 35 wins its window, 30 and 40 both fall
+        # within it and are suppressed.
+        series = corr(flat_with_spikes(100, [(30, 0.7), (35, 1.0), (40, 0.8)]))
+        spikes = detect_spikes(series, resolution_quanta=6)
+        assert [s.lag for s in spikes] == [35]
+
+
+class TestHelpers:
+    def test_strongest_and_earliest(self):
+        series = corr(flat_with_spikes(100, [(10, 0.8), (50, 1.0)]))
+        spikes = detect_spikes(series)
+        assert strongest_spike(spikes).lag == 50
+        assert earliest_spike(spikes).lag == 10
+
+    def test_helpers_on_empty(self):
+        assert strongest_spike([]) is None
+        assert earliest_spike([]) is None
+
+
+class TestProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=199), min_size=1, max_size=5, unique=True),
+        st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_detected_spikes_respect_resolution(self, positions, resolution):
+        values = flat_with_spikes(200, [(p, 1.0 + 0.01 * p) for p in positions])
+        spikes = detect_spikes(corr(values), resolution_quanta=resolution)
+        lags = [s.lag for s in spikes]
+        assert lags == sorted(lags)
+        for a, b in zip(lags, lags[1:]):
+            assert b - a >= resolution
+
+    @given(st.lists(st.floats(min_value=0, max_value=1), min_size=10, max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_all_spikes_exceed_threshold(self, raw):
+        values = np.asarray(raw)
+        series = corr(values)
+        spikes = detect_spikes(series, sigma=3.0)
+        if values.std() > 0:
+            threshold = values.mean() + 3 * values.std()
+            for s in spikes:
+                assert s.height > threshold

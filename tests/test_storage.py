@@ -1,0 +1,101 @@
+"""Tests for trace file I/O (JSONL and CSV round-trips, malformed input)."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.tracing.records import AccessLogRecord, CaptureRecord
+from repro.tracing.storage import (
+    load_captures,
+    read_access_log_jsonl,
+    read_capture_csv,
+    read_capture_jsonl,
+    write_access_log_jsonl,
+    write_capture_csv,
+    write_capture_jsonl,
+)
+
+CAPTURES = [
+    CaptureRecord(1.0, "C", "WS", "WS", request_id=1, service_class="bid"),
+    CaptureRecord(1.5, "WS", "DB", "DB"),
+    CaptureRecord(2.25, "WS", "C", "WS", request_id=1),
+]
+
+LOGS = [
+    AccessLogRecord(1.0, "Q1", 7, event="recv"),
+    AccessLogRecord(1.2, "Q1", 7, event="send", peer="VAL"),
+]
+
+
+class TestCaptureJsonl:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert write_capture_jsonl(path, CAPTURES) == 3
+        back = list(read_capture_jsonl(path))
+        assert back == CAPTURES
+        assert back[0].request_id == 1
+        assert back[0].service_class == "bid"
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_capture_jsonl(path, CAPTURES)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(list(read_capture_jsonl(path))) == 3
+
+    def test_malformed_line_reports_position(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ts": 1.0}\n')
+        with pytest.raises(TraceError, match="bad.jsonl:1"):
+            list(read_capture_jsonl(path))
+
+    def test_non_json_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(TraceError):
+            list(read_capture_jsonl(path))
+
+
+class TestCaptureCsv:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        assert write_capture_csv(path, CAPTURES) == 3
+        back = list(read_capture_csv(path))
+        assert back == CAPTURES
+        # Exact float round-trip via repr().
+        assert back[2].timestamp == 2.25
+
+    def test_wrong_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n")
+        with pytest.raises(TraceError, match="header"):
+            list(read_capture_csv(path))
+
+    def test_malformed_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        write_capture_csv(path, CAPTURES[:1])
+        path.write_text(path.read_text() + "oops,WS\n")
+        with pytest.raises(TraceError):
+            list(read_capture_csv(path))
+
+
+class TestAccessLogJsonl:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        assert write_access_log_jsonl(path, LOGS) == 2
+        back = list(read_access_log_jsonl(path))
+        assert back == LOGS
+
+    def test_malformed(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ts": "x"}\n')
+        with pytest.raises(TraceError):
+            list(read_access_log_jsonl(path))
+
+
+class TestLoadDispatch:
+    def test_by_extension(self, tmp_path):
+        jsonl = tmp_path / "t.jsonl"
+        csvf = tmp_path / "t.csv"
+        write_capture_jsonl(jsonl, CAPTURES)
+        write_capture_csv(csvf, CAPTURES)
+        assert load_captures(jsonl) == CAPTURES
+        assert load_captures(csvf) == CAPTURES

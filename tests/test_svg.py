@@ -1,0 +1,123 @@
+"""Tests for the SVG renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.svg import render_svg, write_svg
+from repro.core.service_graph import ServiceGraph
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def tiered_graph():
+    g = ServiceGraph("C", "WS")
+    g.add_edge("WS", "TS", [0.003])
+    g.add_edge("TS", "EJB", [0.011])
+    g.add_edge("EJB", "DB", [0.031])
+    g.add_edge("DB", "EJB", [0.041])  # return edge
+    return g
+
+
+class TestRenderSvg:
+    def test_valid_xml(self):
+        root = ET.fromstring(render_svg(tiered_graph()))
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_all_nodes_labelled(self):
+        svg = render_svg(tiered_graph())
+        for node in ("C", "WS", "TS", "EJB", "DB"):
+            assert f">{node}</text>" in svg
+
+    def test_delay_labels_present(self):
+        svg = render_svg(tiered_graph())
+        assert "3.0ms" in svg
+        assert "31.0ms" in svg
+
+    def test_bottleneck_filled_grey(self):
+        root = ET.fromstring(render_svg(tiered_graph()))
+        grey_rects = [
+            el for el in root.iter(f"{SVG_NS}rect")
+            if el.get("fill") == "#d0d0d0"
+        ]
+        assert grey_rects  # EJB should be grey
+
+    def test_no_grey_when_marking_disabled(self):
+        root = ET.fromstring(render_svg(tiered_graph(), mark_bottlenecks=False))
+        grey = [
+            el for el in root.iter()
+            if el.get("fill") == "#d0d0d0"
+        ]
+        assert grey == []
+
+    def test_client_drawn_as_ellipse(self):
+        root = ET.fromstring(render_svg(tiered_graph()))
+        assert list(root.iter(f"{SVG_NS}ellipse"))
+
+    def test_return_edge_dashed(self):
+        root = ET.fromstring(render_svg(tiered_graph()))
+        dashed = [
+            el for el in root.iter(f"{SVG_NS}path")
+            if el.get("stroke-dasharray")
+        ]
+        assert dashed  # the DB -> EJB return edge
+
+    def test_forward_edge_count(self):
+        root = ET.fromstring(render_svg(tiered_graph()))
+        lines = list(root.iter(f"{SVG_NS}line"))
+        assert len(lines) == 4  # C->WS, WS->TS, TS->EJB, EJB->DB
+
+    def test_escaping(self):
+        g = ServiceGraph("C<1>", "WS&Co")
+        svg = render_svg(g, mark_bottlenecks=False)
+        assert "C&lt;1&gt;" in svg
+        assert "WS&amp;Co" in svg
+        ET.fromstring(svg)  # still valid XML
+
+    def test_write_svg(self, tmp_path):
+        path = tmp_path / "graph.svg"
+        write_svg(tiered_graph(), str(path))
+        assert path.read_text().startswith("<svg")
+
+    def test_real_graph_renders(self, affinity_result):
+        svg = render_svg(affinity_result.graph_for("C1"))
+        root = ET.fromstring(svg)
+        assert "EJB1" in svg
+        assert list(root.iter(f"{SVG_NS}rect"))
+
+
+class TestSeriesChart:
+    def make(self, **kwargs):
+        from repro.analysis.svg import render_series_svg
+
+        times = [60, 120, 180, 240]
+        series = {
+            "EJB2 (pathmap)": [0.026, 0.025, 0.041, 0.039],
+            "injected": [0.0, 0.0, 0.015, 0.015],
+        }
+        return render_series_svg(times, series, title="Figure 7", **kwargs)
+
+    def test_valid_xml_with_title_and_legend(self):
+        svg = self.make()
+        root = ET.fromstring(svg)
+        assert root.tag == f"{SVG_NS}svg"
+        assert "Figure 7" in svg
+        assert "EJB2 (pathmap)" in svg
+        assert "injected" in svg
+
+    def test_one_polyline_per_series(self):
+        root = ET.fromstring(self.make())
+        polylines = list(root.iter(f"{SVG_NS}polyline"))
+        assert len(polylines) == 2
+
+    def test_y_axis_in_milliseconds(self):
+        svg = self.make()
+        # Max value 41 ms * 1.1 headroom ~ 45: a 45 gridline label exists.
+        assert "45" in svg or "44" in svg
+
+    def test_empty_input_rejected(self):
+        from repro.analysis.svg import render_series_svg
+
+        with pytest.raises(ValueError):
+            render_series_svg([], {})
+

@@ -1,0 +1,96 @@
+"""Tests for the per-node tracer (Section 3.6)."""
+
+import pytest
+
+from repro.config import PathmapConfig
+from repro.errors import TraceError
+from repro.tracing.tracer import Tracer
+
+CFG = PathmapConfig(
+    window=1.0, refresh_interval=0.5, quantum=1e-3, sampling_window=5e-3,
+    max_transaction_delay=0.5,
+)
+
+
+class TestObservation:
+    def test_observes_own_packets_only(self):
+        tracer = Tracer("A")
+        tracer.observe(1.0, "A", "B")
+        tracer.observe(2.0, "C", "A")
+        with pytest.raises(TraceError):
+            tracer.observe(3.0, "X", "Y")
+        assert tracer.packet_count == 2
+
+    def test_clock_skew_shifts_timestamps(self):
+        tracer = Tracer("A", clock_skew=0.25)
+        record = tracer.observe(1.0, "A", "B")
+        assert record.timestamp == 1.25
+        assert tracer.timestamps("A", "B") == [1.25]
+
+    def test_edges_listing(self):
+        tracer = Tracer("A")
+        tracer.observe(1.0, "A", "B")
+        tracer.observe(1.0, "A", "C")
+        assert set(tracer.edges()) == {("A", "B"), ("A", "C")}
+
+    def test_timestamps_sorted(self):
+        tracer = Tracer("A")
+        tracer.observe(2.0, "A", "B")
+        tracer.observe(1.0, "A", "B")
+        assert tracer.timestamps("A", "B") == [1.0, 2.0]
+
+    def test_reset(self):
+        tracer = Tracer("A")
+        tracer.observe(1.0, "A", "B")
+        tracer.reset()
+        assert tracer.packet_count == 0
+        assert tracer.edges() == []
+
+
+class TestStreaming:
+    def test_flush_block_produces_rle_series(self):
+        tracer = Tracer("A")
+        for t in (0.100, 0.101, 0.300):
+            tracer.observe(t, "A", "B")
+        blocks = tracer.flush_block(CFG, window_start_quantum=0, block_quanta=500)
+        series = blocks[("A", "B")]
+        assert series.start == 0
+        assert series.length == 500
+        assert series.nnz > 0
+        # Density mass: 3 messages x 5-quantum boxcar.
+        assert series.energy() == pytest.approx(15.0)
+
+    def test_flush_drops_old_timestamps(self):
+        tracer = Tracer("A")
+        tracer.observe(0.100, "A", "B")
+        tracer.flush_block(CFG, 0, 500)
+        # Original timestamp is gone (0.1 < 0.5 - omega).
+        assert tracer.timestamps("A", "B") == []
+
+    def test_flush_keeps_boundary_margin(self):
+        tracer = Tracer("A")
+        tracer.observe(0.499, "A", "B")  # within omega of the block end
+        tracer.flush_block(CFG, 0, 500)
+        assert tracer.timestamps("A", "B") == [0.499]
+
+    def test_consecutive_blocks_cover_boundary_consistently(self):
+        # A message near a block boundary contributes to boxcars in both
+        # blocks, exactly as a single-window computation would.
+        from repro.core.timeseries import build_density_series
+
+        tracer = Tracer("A")
+        stamps = [0.498, 0.4995, 0.5005, 0.502]
+        for t in stamps:
+            tracer.observe(t, "A", "B")
+        block1 = tracer.flush_block(CFG, 0, 500)[("A", "B")]
+        block2 = tracer.flush_block(CFG, 500, 500)[("A", "B")]
+        combined = block1.to_sparse().concatenated(block2.to_sparse())
+        whole = build_density_series(stamps, CFG.quantum, CFG.sampling_quanta, 0, 1000)
+        assert combined == whole
+
+    def test_flush_empty_edge(self):
+        tracer = Tracer("A")
+        tracer.observe(0.1, "A", "B")
+        tracer.flush_block(CFG, 0, 500)
+        blocks = tracer.flush_block(CFG, 500, 500)
+        assert blocks[("A", "B")].num_runs == 0

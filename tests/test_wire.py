@@ -1,0 +1,100 @@
+"""Tests for the RLE wire format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rle import RunLengthSeries, rle_encode
+from repro.core.timeseries import DensityTimeSeries
+from repro.errors import TraceError
+from repro.tracing.wire import decode_block, encode_block, wire_sizes
+
+
+def rle_from_dense(dense, start=0):
+    return rle_encode(DensityTimeSeries.from_dense(dense, start, 1e-3))
+
+
+dense_arrays = st.lists(
+    st.sampled_from([0.0, 0.0, 1.0, 1.0, 2.0, 3.0]), min_size=0, max_size=80
+)
+
+
+class TestRoundTrip:
+    @given(dense_arrays, st.integers(min_value=-1000, max_value=1000))
+    @settings(max_examples=80, deadline=None)
+    def test_exact_roundtrip(self, dense, start):
+        original = rle_from_dense(dense, start)
+        decoded = decode_block(encode_block(original))
+        assert decoded.start == original.start
+        assert decoded.length == original.length
+        assert decoded.quantum == original.quantum
+        assert np.array_equal(decoded.starts, original.starts)
+        assert np.array_equal(decoded.counts, original.counts)
+        # Values pass through float32.
+        np.testing.assert_allclose(decoded.values, original.values, rtol=1e-6)
+
+    def test_empty_block(self):
+        original = RunLengthSeries.empty(500, 1000, 1e-3)
+        decoded = decode_block(encode_block(original))
+        assert decoded == original
+
+    def test_long_quiet_gap_is_cheap(self):
+        # One run, then a million-quantum gap, then another run.
+        series = RunLengthSeries(
+            np.array([0, 1_000_000]), np.array([3, 3]),
+            np.array([1.0, 2.0]), 0, 1_000_100, 1e-3,
+        )
+        encoded = encode_block(series)
+        assert len(encoded) < 60  # varint gap, not dense padding
+        assert decode_block(encoded) == series
+
+
+class TestValidation:
+    def test_bad_magic(self):
+        data = bytearray(encode_block(rle_from_dense([1.0])))
+        data[0:2] = b"XX"
+        with pytest.raises(TraceError):
+            decode_block(bytes(data))
+
+    def test_bad_version(self):
+        data = bytearray(encode_block(rle_from_dense([1.0])))
+        data[2] = 99
+        with pytest.raises(TraceError):
+            decode_block(bytes(data))
+
+    def test_truncated(self):
+        data = encode_block(rle_from_dense([1.0, 1.0, 0.0, 2.0]))
+        with pytest.raises(TraceError):
+            decode_block(data[:-2])
+
+    def test_trailing_garbage(self):
+        data = encode_block(rle_from_dense([1.0]))
+        with pytest.raises(TraceError):
+            decode_block(data + b"\x00")
+
+    def test_too_short_for_header(self):
+        with pytest.raises(TraceError):
+            decode_block(b"RL")
+
+
+class TestSizes:
+    def test_rle_wire_beats_alternatives_on_bursty_traffic(self):
+        # 60 s of quanta, short bursts: the paper's transmission claim.
+        rng = np.random.default_rng(0)
+        dense = np.zeros(60_000)
+        for start in rng.integers(0, 59_000, 40):
+            dense[start : start + 50] = 2.0
+        series = rle_encode(DensityTimeSeries.from_dense(dense, 0, 1e-3))
+        sizes = wire_sizes(series, message_count=40 * 4)
+        assert sizes["rle_wire"] < sizes["sparse"]
+        assert sizes["rle_wire"] < sizes["dense"] / 50
+        assert sizes["rle_wire"] < sizes["raw_timestamps"]
+
+    def test_sizes_fields(self):
+        series = rle_from_dense([1.0, 1.0, 0.0, 2.0])
+        sizes = wire_sizes(series, message_count=5)
+        assert set(sizes) == {"raw_timestamps", "dense", "sparse", "rle_wire"}
+        assert sizes["raw_timestamps"] == 40
+        assert sizes["dense"] == 16
+        assert sizes["sparse"] == 36

@@ -1,0 +1,147 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.des import Simulator
+from repro.simulation.distributions import Constant, Exponential
+from repro.simulation.network import Fabric
+from repro.simulation.nodes import ClientNode, ServiceNode
+from repro.simulation.workload import ClosedWorkload, OnOffWorkload, OpenWorkload
+
+
+def make_system():
+    sim = Simulator()
+    fabric = Fabric(sim, np.random.default_rng(0), default_latency=Constant(0.001))
+    server = ServiceNode(sim, fabric, "S", Constant(0.005), workers=8)
+    client = ClientNode(sim, fabric, "C", "cls", "S")
+    return sim, fabric, server, client
+
+
+class TestOpenWorkload:
+    def test_rate_is_respected(self):
+        sim, fabric, server, client = make_system()
+        OpenWorkload(sim, client, rate=50.0, rng=fabric.rng).start()
+        sim.run_until(60.0)
+        # Poisson(50/s) over 60 s: ~3000 +- a few hundred.
+        assert 2500 < client.sent < 3500
+
+    def test_stop_halts_arrivals(self):
+        sim, fabric, server, client = make_system()
+        workload = OpenWorkload(sim, client, rate=50.0, rng=fabric.rng)
+        workload.start()
+        sim.run_until(10.0)
+        sent = client.sent
+        workload.stop()
+        sim.run_until(20.0)
+        assert client.sent == sent
+
+    def test_restart_is_idempotent_while_running(self):
+        sim, fabric, server, client = make_system()
+        workload = OpenWorkload(sim, client, rate=50.0, rng=fabric.rng)
+        workload.start()
+        workload.start()  # no double arrivals
+        sim.run_until(10.0)
+        assert 300 < client.sent < 700
+
+    def test_bad_rate(self):
+        sim, fabric, server, client = make_system()
+        with pytest.raises(SimulationError):
+            OpenWorkload(sim, client, rate=0.0, rng=fabric.rng)
+
+    def test_arrivals_are_poisson_like(self):
+        # Exponential gaps: variance of inter-arrival ~ mean^2.
+        sim, fabric, server, client = make_system()
+        stamps = []
+        client.issue_request = lambda: stamps.append(sim.now) or 0  # type: ignore
+        OpenWorkload(sim, client, rate=100.0, rng=fabric.rng).start()
+        sim.run_until(100.0)
+        gaps = np.diff(stamps)
+        assert gaps.mean() == pytest.approx(0.01, rel=0.1)
+        assert gaps.std() == pytest.approx(gaps.mean(), rel=0.2)
+
+
+class TestOnOffWorkload:
+    def test_average_rate_matches_duty_cycle(self):
+        sim, fabric, server, client = make_system()
+        # ON at 100/s with 50% duty -> ~50/s average.
+        workload = OnOffWorkload(
+            sim, client, rate=100.0,
+            on_time=Constant(2.0), off_time=Constant(2.0),
+            rng=fabric.rng,
+        )
+        workload.start()
+        sim.run_until(120.0)
+        assert 4500 < client.sent < 7500
+
+    def test_quiet_zones_exist(self):
+        sim, fabric, server, client = make_system()
+        stamps = []
+        client.issue_request = lambda: stamps.append(sim.now) or 0  # type: ignore
+        OnOffWorkload(sim, client, rate=50.0,
+                      on_time=Constant(1.0), off_time=Constant(3.0),
+                      rng=fabric.rng).start()
+        sim.run_until(60.0)
+        gaps = np.diff(stamps)
+        # OFF phases leave multi-second holes in the arrival stream.
+        assert gaps.max() > 2.0
+        # ON phases are dense.
+        assert np.median(gaps) < 0.1
+
+    def test_stop(self):
+        sim, fabric, server, client = make_system()
+        workload = OnOffWorkload(sim, client, rate=50.0,
+                                 on_time=Constant(1.0), off_time=Constant(1.0),
+                                 rng=fabric.rng)
+        workload.start()
+        sim.run_until(10.0)
+        sent = client.sent
+        workload.stop()
+        sim.run_until(20.0)
+        assert client.sent == sent
+
+    def test_bad_rate(self):
+        sim, fabric, server, client = make_system()
+        with pytest.raises(SimulationError):
+            OnOffWorkload(sim, client, rate=0.0,
+                          on_time=Constant(1.0), off_time=Constant(1.0),
+                          rng=fabric.rng)
+
+
+class TestClosedWorkload:
+    def test_sessions_limit_concurrency(self):
+        sim, fabric, server, client = make_system()
+        ClosedWorkload(sim, client, sessions=5, think_time=Constant(0.0)).start()
+        sim.run_until(10.0)
+        # Each session has at most one request outstanding.
+        assert client.outstanding <= 5
+        assert client.completed > 100
+
+    def test_think_time_paces_sessions(self):
+        sim, fabric, server, client = make_system()
+        ClosedWorkload(sim, client, sessions=1, think_time=Constant(1.0)).start()
+        sim.run_until(10.5)
+        # One session, ~1s cycle -> about 10 requests.
+        assert 8 <= client.completed <= 11
+
+    def test_stop(self):
+        sim, fabric, server, client = make_system()
+        workload = ClosedWorkload(sim, client, sessions=3, think_time=Constant(0.1))
+        workload.start()
+        sim.run_until(5.0)
+        done = client.completed
+        workload.stop()
+        sim.run_until(10.0)
+        # In-flight requests may still complete, but no new ones start.
+        assert client.completed <= done + 3
+
+    def test_session_validation(self):
+        sim, fabric, server, client = make_system()
+        with pytest.raises(SimulationError):
+            ClosedWorkload(sim, client, sessions=0)
+
+    def test_default_think_time(self):
+        sim, fabric, server, client = make_system()
+        workload = ClosedWorkload(sim, client, sessions=2)
+        assert isinstance(workload.think_time, Exponential)
