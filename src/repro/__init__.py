@@ -42,11 +42,13 @@ from repro.errors import (
     ConfigError,
     CorrelationError,
     E2EProfError,
+    ObservabilityError,
     SeriesError,
     SimulationError,
     TopologyError,
     TraceError,
 )
+from repro.obs import MetricsRegistry, MetricsSample
 from repro.apps.delta import build_delta
 from repro.apps.rubis import build_rubis
 from repro.simulation.topology import Topology
@@ -69,6 +71,9 @@ __all__ = [
     "DensityTimeSeries",
     "E2EProfEngine",
     "E2EProfError",
+    "MetricsRegistry",
+    "MetricsSample",
+    "ObservabilityError",
     "Pathmap",
     "PathmapConfig",
     "PathmapResult",

@@ -13,6 +13,11 @@ The workflows the paper's operators would run, without writing Python::
     # audit clock skew across one traced edge
     python -m repro skew trace.jsonl --edge AP:DB --window 60 --quantum 1e-3
 
+    # engine self-observability: run an instrumented analysis and dump
+    # the metrics registry (JSON snapshot and/or Prometheus text)
+    python -m repro stats --format both -o metrics-snapshot.json
+    python -m repro stats trace.jsonl --clients C1,C2 --format prometheus
+
 Exit status is non-zero on any E2EProfError, with the message on stderr.
 """
 
@@ -70,9 +75,9 @@ def _config_from(args: argparse.Namespace) -> PathmapConfig:
     )
 
 
-def _load_collector(args: argparse.Namespace) -> TraceCollector:
+def _load_collector(args: argparse.Namespace, metrics=None) -> TraceCollector:
     clients = [c for c in (args.clients or "").split(",") if c]
-    collector = TraceCollector(client_nodes=clients)
+    collector = TraceCollector(client_nodes=clients, metrics=metrics)
     if getattr(args, "access_log", False):
         records = list(read_access_log_jsonl(args.trace))
         records.sort(key=lambda r: (r.timestamp, r.server, r.request_id))
@@ -210,6 +215,72 @@ def cmd_skew(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Run an instrumented analysis and dump the metrics registry.
+
+    Without a trace, runs the bundled RUBiS demo through the online
+    engine in wire-fidelity mode, which exercises every instrumented
+    subsystem (tracers, wire codec, incremental correlators, pathmap).
+    With a trace, replays it through the offline sliding-window analysis.
+    """
+    from repro.obs import MetricsRegistry, snapshot, to_prometheus
+
+    registry = MetricsRegistry(enabled=True)
+    latest_sample = None
+    if args.trace is None:
+        config = PathmapConfig(
+            window=args.window,
+            refresh_interval=args.window / 2.0,
+            quantum=args.quantum,
+            sampling_window=args.sampling_window or 50 * args.quantum,
+            max_transaction_delay=args.max_delay,
+        )
+        from repro.core.engine import E2EProfEngine
+
+        rubis = build_rubis(dispatch="affinity", seed=args.seed)
+        engine = E2EProfEngine(config, wire_fidelity=True, metrics=registry)
+        engine.attach(rubis.topology)
+        rubis.run_until(args.duration)
+        if engine.latest_sample is None:
+            raise E2EProfError(
+                f"no refresh fired: --duration {args.duration} is shorter "
+                f"than one refresh interval ({config.refresh_interval:.0f}s)"
+            )
+        latest_sample = engine.latest_sample
+    else:
+        from repro.core.offline import analyze_sliding
+
+        config = _config_from(args)
+        collector = _load_collector(args, metrics=registry)
+        stamps = [
+            t
+            for src, dst in collector.edges()
+            for t in collector.edge_timestamps(src, dst)
+        ]
+        start, end = min(stamps), max(stamps)
+        for _when, _result in analyze_sliding(
+            collector, config, start, end, method=args.method, metrics=registry
+        ):
+            pass
+
+    if args.format == "prometheus":
+        payload = to_prometheus(registry)
+    else:
+        doc = {"metrics": snapshot(registry)}
+        if latest_sample is not None:
+            doc["latest_sample"] = latest_sample.to_dict()
+        if args.format == "both":
+            doc["prometheus"] = to_prometheus(registry)
+        payload = json.dumps(doc, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload if payload.endswith("\n") else payload + "\n")
+        print(f"wrote metrics to {args.output}", file=sys.stderr)
+    else:
+        print(payload)
+    return 0
+
+
 def cmd_simulate_rubis(args: argparse.Namespace) -> int:
     rubis = build_rubis(dispatch=args.dispatch, seed=args.seed,
                         request_rate=args.rate)
@@ -297,6 +368,33 @@ def build_parser() -> argparse.ArgumentParser:
                       help="known one-way link latency to subtract (s)")
     _add_config_arguments(skew)
     skew.set_defaults(func=cmd_skew, access_log=False)
+
+    stats = sub.add_parser(
+        "stats",
+        help="run an instrumented analysis and dump engine metrics",
+    )
+    stats.add_argument("trace", nargs="?", default=None,
+                       help="trace to replay (default: run the RUBiS demo)")
+    stats.add_argument("--clients", default="",
+                       help="comma-separated client node ids (trace mode)")
+    stats.add_argument("--access-log", action="store_true",
+                       help="input is an access log, not packet captures")
+    stats.add_argument("--ingress", default="external",
+                       help="ingress source name for access logs")
+    stats.add_argument("--method", default="auto",
+                       choices=["auto", "dense", "sparse", "rle", "fft"])
+    stats.add_argument("--format", default="json",
+                       choices=["json", "prometheus", "both"],
+                       help="output format (default json; 'both' embeds the "
+                            "Prometheus text in the JSON document)")
+    stats.add_argument("-o", "--output", default=None,
+                       help="write to a file instead of stdout")
+    stats.add_argument("--seed", type=int, default=0,
+                       help="demo-mode simulation seed")
+    stats.add_argument("--duration", type=float, default=65.0,
+                       help="demo-mode simulated seconds (default 65)")
+    _add_config_arguments(stats)
+    stats.set_defaults(func=cmd_stats)
 
     rubis = sub.add_parser("simulate-rubis", help="generate a RUBiS packet trace")
     rubis.add_argument("-o", "--output", required=True)

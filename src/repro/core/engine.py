@@ -33,6 +33,8 @@ from repro.core.pathmap import Pathmap, PathmapResult, TraceWindow
 from repro.core.rle import RunLengthSeries
 from repro.core.timeseries import DensityTimeSeries
 from repro.errors import AnalysisError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sample import MetricsSample
 from repro.simulation.des import PeriodicTask
 from repro.simulation.topology import Topology
 from repro.tracing.records import NodeId
@@ -41,6 +43,7 @@ from repro.tracing.wire import decode_block, encode_block
 EdgeKey = Tuple[NodeId, NodeId]
 RefKey = Tuple[NodeId, NodeId]
 Subscriber = Callable[[float, PathmapResult], None]
+MetricsSubscriber = Callable[[float, PathmapResult, MetricsSample], None]
 
 
 class E2EProfEngine:
@@ -51,6 +54,7 @@ class E2EProfEngine:
         config: PathmapConfig,
         clients: Optional[Set[NodeId]] = None,
         wire_fidelity: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.config = config
         self._clients: Set[NodeId] = set(clients or ())
@@ -60,6 +64,11 @@ class E2EProfEngine:
         #: analysis needs (values pass through float32).
         self.wire_fidelity = wire_fidelity
         self.wire_bytes_received = 0
+        #: Self-observability registry. Defaults to a fresh **disabled**
+        #: registry, so the uninstrumented cost model of Figure 9 holds
+        #: unless an operator opts in (pass an enabled registry, or call
+        #: ``engine.metrics.enable()`` before ``attach``).
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._num_blocks = max(1, round(config.window / config.refresh_interval))
         self._block_quanta = config.refresh_quanta
         # Aligned per-edge block history (destination-side, RLE).
@@ -68,21 +77,70 @@ class E2EProfEngine:
         self._base_quantum: Optional[int] = None
         self._correlators: Dict[Tuple[RefKey, EdgeKey], IncrementalCorrelator] = {}
         self._subscribers: List[Subscriber] = []
-        self._pathmap = Pathmap(config, correlation_provider=self._provide_correlation)
+        self._metrics_subscribers: List[MetricsSubscriber] = []
+        self._pathmap = Pathmap(
+            config,
+            correlation_provider=self._provide_correlation,
+            metrics=self.metrics,
+        )
         self.latest_result: Optional[PathmapResult] = None
         self.latest_refresh_time: Optional[float] = None
         #: Wall-clock seconds the most recent refresh took (block ingest +
         #: incremental correlator updates + pathmap DFS). The Figure 9
         #: 'incremental' curve measures exactly this.
         self.last_refresh_seconds: float = 0.0
+        #: MetricsSample of the most recent refresh (None before the first).
+        self.latest_sample: Optional[MetricsSample] = None
         self._topology: Optional[Topology] = None
         self._task: Optional[PeriodicTask] = None
+        # Per-refresh correlator-cache tallies (plain ints: counted even
+        # with the registry disabled, so MetricsSamples are always real).
+        self._refresh_cache_hits = 0
+        self._refresh_cache_misses = 0
+        m = self.metrics
+        self._m_refresh = m.histogram(
+            "engine_refresh_seconds",
+            "Wall-clock seconds per engine refresh (ingest + correlators + DFS)",
+        )
+        self._m_pathmap = m.histogram(
+            "engine_pathmap_seconds", "Seconds of each refresh spent in the pathmap DFS"
+        )
+        self._m_fanout = m.histogram(
+            "engine_fanout_seconds", "Seconds spent fanning each result out to subscribers"
+        )
+        self._m_refreshes = m.counter("engine_refreshes_total", "Engine refreshes run")
+        self._m_blocks = m.counter(
+            "engine_blocks_ingested_total", "Streamed RLE blocks pulled from tracers"
+        )
+        self._m_wire_bytes = m.counter(
+            "engine_wire_bytes_total", "Wire-format bytes received (wire_fidelity mode)"
+        )
+        self._m_cache_hits = m.counter(
+            "engine_correlator_cache_hits_total",
+            "Correlations served by an existing incremental correlator",
+        )
+        self._m_cache_misses = m.counter(
+            "engine_correlator_cache_misses_total",
+            "Correlations that had to build a correlator from block history",
+        )
+        self._m_correlators = m.gauge(
+            "engine_correlators", "Live incremental correlators"
+        )
+        self._m_edges = m.gauge(
+            "engine_tracked_edges", "Edges with block history in the current window"
+        )
 
     # -- wiring ---------------------------------------------------------------------
 
     def subscribe(self, callback: Subscriber) -> None:
         """Receive ``(time, PathmapResult)`` after every refresh."""
         self._subscribers.append(callback)
+
+    def subscribe_metrics(self, callback: MetricsSubscriber) -> None:
+        """Receive ``(time, PathmapResult, MetricsSample)`` after every
+        refresh -- the engine's own health signals alongside its analysis
+        (see :mod:`repro.obs.sample`). Works with the registry disabled."""
+        self._metrics_subscribers.append(callback)
 
     def attach(self, topology: Topology, start_at: Optional[float] = None) -> None:
         """Drive refreshes from a simulated topology's clock.
@@ -94,6 +152,11 @@ class E2EProfEngine:
             raise AnalysisError("engine is already attached")
         self._topology = topology
         self._clients |= topology.collector.clients
+        if self.metrics.enabled:
+            # Only bound when observing is on: tracer.observe runs once per
+            # simulated packet, so unbound tracers pay nothing at all.
+            for tracer in topology.fabric.tracers.values():
+                tracer.bind_metrics(self.metrics)
         begin = start_at if start_at is not None else topology.sim.now
         tau = self.config.quantum
         # Anchor block boundaries one sampling window behind the wall
@@ -127,6 +190,10 @@ class E2EProfEngine:
         # Clients may be added while running (new service classes).
         self._clients |= self._topology.collector.clients
         block_start = self._base_quantum + self._refreshes * self._block_quanta
+        self._refresh_cache_hits = 0
+        self._refresh_cache_misses = 0
+        wire_metrics = self.metrics if self.metrics.enabled else None
+        wire_bytes_before = self.wire_bytes_received
 
         fresh: Dict[EdgeKey, RunLengthSeries] = {}
         for node_id, tracer in self._topology.fabric.tracers.items():
@@ -138,9 +205,9 @@ class E2EProfEngine:
                 # only for edges into untraced clients.
                 if node_id == dst or (dst in self._clients and node_id == src):
                     if self.wire_fidelity:
-                        payload = encode_block(block)
+                        payload = encode_block(block, metrics=wire_metrics)
                         self.wire_bytes_received += len(payload)
-                        block = decode_block(payload)
+                        block = decode_block(payload, metrics=wire_metrics)
                     fresh[edge] = block
 
         self._refreshes += 1
@@ -148,12 +215,41 @@ class E2EProfEngine:
         self._append_to_correlators()
 
         window = _EngineWindow(self)
+        pathmap_started = time.perf_counter()
         result = self._pathmap.analyze(window)
+        pathmap_seconds = time.perf_counter() - pathmap_started
         self.latest_result = result
         self.latest_refresh_time = now
         self.last_refresh_seconds = time.perf_counter() - started
+        self._m_refresh.observe(self.last_refresh_seconds)
+        self._m_pathmap.observe(pathmap_seconds)
+        self._m_refreshes.inc()
+        self._m_blocks.inc(len(fresh))
+        wire_bytes = self.wire_bytes_received - wire_bytes_before
+        self._m_wire_bytes.inc(wire_bytes)
+        self._m_correlators.set(len(self._correlators))
+        self._m_edges.set(len(self._blocks))
+        fanout_started = time.perf_counter()
         for subscriber in self._subscribers:
             subscriber(now, result)
+        fanout_seconds = time.perf_counter() - fanout_started
+        self._m_fanout.observe(fanout_seconds)
+        self.latest_sample = MetricsSample(
+            time=now,
+            refresh_seconds=self.last_refresh_seconds,
+            pathmap_seconds=pathmap_seconds,
+            fanout_seconds=fanout_seconds,
+            blocks_ingested=len(fresh),
+            wire_bytes=wire_bytes,
+            correlators=len(self._correlators),
+            cache_hits=self._refresh_cache_hits,
+            cache_misses=self._refresh_cache_misses,
+            correlations=result.stats.correlations,
+            spikes=result.stats.spikes,
+            nodes_visited=result.stats.nodes_visited,
+        )
+        for metrics_subscriber in self._metrics_subscribers:
+            metrics_subscriber(now, result, self.latest_sample)
         return result
 
     def _store_blocks(self, fresh: Dict[EdgeKey, RunLengthSeries], block_start: int) -> None:
@@ -191,7 +287,12 @@ class E2EProfEngine:
     ) -> CorrelationSeries:
         correlator = self._correlators.get((ref_key, edge_key))
         if correlator is None:
+            self._refresh_cache_misses += 1
+            self._m_cache_misses.inc()
             correlator = self._create_correlator(ref_key, edge_key)
+        else:
+            self._refresh_cache_hits += 1
+            self._m_cache_hits.inc()
         return correlator.correlation()
 
     def _create_correlator(self, ref_key: RefKey, edge_key: EdgeKey) -> IncrementalCorrelator:
@@ -205,6 +306,7 @@ class E2EProfEngine:
             max_lag=self.config.max_lag_quanta,
             num_blocks=self._num_blocks,
             quantum=self.config.quantum,
+            metrics=self.metrics,
         )
         for ref_block, edge_block in zip(ref_blocks, edge_blocks):
             correlator.append(ref_block, edge_block)

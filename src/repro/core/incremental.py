@@ -20,9 +20,12 @@ concatenated window, which is the invariant the test suite checks.
 from __future__ import annotations
 
 import collections
-from typing import Deque, Dict, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Deque, Dict, Optional, Tuple, Union
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
 
 from repro.core.correlation import (
     CorrelationSeries,
@@ -58,6 +61,14 @@ class IncrementalCorrelator:
         ``m = W / dW`` -- how many refresh intervals make up the window.
     quantum:
         Quantum duration in seconds.
+    metrics:
+        Optional :class:`~repro.obs.registry.MetricsRegistry` receiving
+        ``correlator_pair_products_total`` (block-pair lag-product vectors
+        actually computed), ``correlator_correlations_served_total``
+        (queries answered from the cached aggregates),
+        ``correlator_evictions_total`` and the ``correlator_window_blocks``
+        gauge. Many correlators may share one registry; the counters
+        aggregate across them.
 
     Usage::
 
@@ -67,7 +78,13 @@ class IncrementalCorrelator:
             series = corr.correlation()
     """
 
-    def __init__(self, max_lag: int, num_blocks: int, quantum: float) -> None:
+    def __init__(
+        self,
+        max_lag: int,
+        num_blocks: int,
+        quantum: float,
+        metrics: Optional["MetricsRegistry"] = None,
+    ) -> None:
         if max_lag < 0:
             raise CorrelationError(f"max_lag must be non-negative, got {max_lag}")
         if num_blocks < 1:
@@ -93,6 +110,28 @@ class IncrementalCorrelator:
         self._x_energy = 0.0
         self._y_total = 0.0
         self._y_energy = 0.0
+        if metrics is not None:
+            self._m_pairs = metrics.counter(
+                "correlator_pair_products_total",
+                "Block-pair lag-product vectors computed (not served from cache)",
+            )
+            self._m_served = metrics.counter(
+                "correlator_correlations_served_total",
+                "Correlation queries answered from cached lag-product aggregates",
+            )
+            self._m_evictions = metrics.counter(
+                "correlator_evictions_total",
+                "Blocks evicted from sliding correlator windows",
+            )
+            self._m_depth = metrics.gauge(
+                "correlator_window_blocks",
+                "Window depth (blocks) of the most recently updated correlator",
+            )
+        else:
+            self._m_pairs = None
+            self._m_served = None
+            self._m_evictions = None
+            self._m_depth = None
 
     # -- bookkeeping ---------------------------------------------------------
 
@@ -159,16 +198,19 @@ class IncrementalCorrelator:
         # New pairs: (x_p, y_new) for every live x block p within lag reach
         # (older x blocks cannot reach the new y quanta within max_lag).
         reach = self.block_reach
+        computed = 0
         for p_id, p_block in self._x_blocks:
             if block_id - p_id > reach:
                 continue
             vec = _pair_products(p_block, y_block, self.max_lag)
             self._pair_cache[(p_id, block_id)] = vec
             self._lag_products += vec
+            computed += 1
         # The diagonal pair (x_new, y_new).
         vec = _pair_products(x_block, y_block, self.max_lag)
         self._pair_cache[(block_id, block_id)] = vec
         self._lag_products += vec
+        computed += 1
 
         self._x_blocks.append((block_id, x_block))
         self._y_blocks.append((block_id, y_block))
@@ -179,6 +221,9 @@ class IncrementalCorrelator:
 
         while len(self._x_blocks) > self.num_blocks:
             self._evict_oldest()
+        if self._m_pairs is not None:
+            self._m_pairs.inc(computed)
+            self._m_depth.set(len(self._x_blocks))
 
     def _evict_oldest(self) -> None:
         old_id, old_x = self._x_blocks.popleft()
@@ -194,6 +239,8 @@ class IncrementalCorrelator:
         stale = [key for key in self._pair_cache if old_id in key]
         for key in stale:
             self._lag_products -= self._pair_cache.pop(key)
+        if self._m_evictions is not None:
+            self._m_evictions.inc()
 
     # -- queries ----------------------------------------------------------------
 
@@ -245,6 +292,8 @@ class IncrementalCorrelator:
         """
         if not self._x_blocks:
             raise CorrelationError("no blocks appended yet")
+        if self._m_served is not None:
+            self._m_served.inc()
         n = self.window_length
         d_max = min(self.max_lag, n - 1)
         lags = np.arange(d_max + 1, dtype=np.int64)

@@ -10,12 +10,16 @@ online engine emits, from data at rest.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, List, Optional, Tuple
+import time
+from typing import TYPE_CHECKING, Callable, Iterator, List, Optional, Tuple
 
 from repro.config import PathmapConfig
 from repro.core.pathmap import PathmapResult, compute_service_graphs
 from repro.errors import AnalysisError
 from repro.tracing.collector import TraceCollector
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
 
 
 def analyze_sliding(
@@ -25,6 +29,7 @@ def analyze_sliding(
     end_time: float,
     method: str = "auto",
     step: Optional[float] = None,
+    metrics: Optional["MetricsRegistry"] = None,
 ) -> Iterator[Tuple[float, PathmapResult]]:
     """Yield ``(refresh_time, PathmapResult)`` for every refresh in
     ``[start_time + W, end_time]``.
@@ -49,11 +54,23 @@ def analyze_sliding(
             "replay range shorter than one analysis window "
             f"({end_time - start_time:.1f}s < {config.window:.1f}s)"
         )
+    hist = (
+        metrics.histogram(
+            "replay_refresh_seconds",
+            "Wall-clock seconds per offline replay refresh",
+        )
+        if metrics is not None
+        else None
+    )
     while refresh <= end_time:
+        started = time.perf_counter()
         window = collector.window(
             config, end_time=refresh, start_time=refresh - config.window
         )
-        yield refresh, compute_service_graphs(window, config, method=method)
+        result = compute_service_graphs(window, config, method=method, metrics=metrics)
+        if hist is not None:
+            hist.observe(time.perf_counter() - started)
+        yield refresh, result
         refresh += step
 
 
@@ -65,13 +82,16 @@ def replay_into(
     *subscribers: Callable[[float, PathmapResult], None],
     method: str = "auto",
     step: Optional[float] = None,
+    metrics: Optional["MetricsRegistry"] = None,
 ) -> List[Tuple[float, PathmapResult]]:
     """Run :func:`analyze_sliding` and feed every refresh to the given
     subscribers (change detectors, anomaly detectors, monitors...), so the
     exact online tooling runs against offline data. Returns the collected
     (time, result) list."""
     out: List[Tuple[float, PathmapResult]] = []
-    for when, result in analyze_sliding(collector, config, start_time, end_time, method, step):
+    for when, result in analyze_sliding(
+        collector, config, start_time, end_time, method, step, metrics=metrics
+    ):
         for subscriber in subscribers:
             subscriber(when, result)
         out.append((when, result))

@@ -25,13 +25,16 @@ import abc
 import concurrent.futures
 import dataclasses
 import time
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.config import PathmapConfig
 from repro.core.correlation import CorrelationSeries, SeriesLike, cross_correlate
 from repro.core.service_graph import NodeId, ServiceGraph
 from repro.core.spikes import Spike, detect_spikes
 from repro.errors import AnalysisError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
 
 
 class TraceWindow(abc.ABC):
@@ -75,6 +78,7 @@ class PathmapStats:
     spikes: int = 0
     edges_discovered: int = 0
     graphs: int = 0
+    nodes_visited: int = 0
     elapsed_seconds: float = 0.0
 
 
@@ -126,6 +130,13 @@ class Pathmap:
         ``(reference_series, edge_series, (client, root), (src, dst))`` and
         returns a :class:`~repro.core.correlation.CorrelationSeries`. Used
         by the online engine to substitute cached incremental correlators.
+    metrics:
+        Optional :class:`~repro.obs.registry.MetricsRegistry` receiving,
+        per analysis pass, the DFS work counters
+        (``pathmap_correlations_total``, ``pathmap_spikes_total``,
+        ``pathmap_edges_total``, ``pathmap_nodes_visited_total``) and a
+        per-service-class wall-time histogram
+        (``pathmap_class_seconds{class="C1@WS"}``).
     """
 
     def __init__(
@@ -133,10 +144,12 @@ class Pathmap:
         config: PathmapConfig,
         method: str = "auto",
         correlation_provider: Optional[CorrelationProvider] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         self.config = config
         self.method = method
         self._provider = correlation_provider or self._default_provider
+        self._metrics = metrics
 
     def _default_provider(
         self,
@@ -171,12 +184,19 @@ class Pathmap:
 
         def analyze_pair(pair: Tuple[NodeId, NodeId]) -> Tuple[Tuple[NodeId, NodeId], ServiceGraph, PathmapStats]:
             client, root = pair
+            pair_started = time.perf_counter()
             graph = ServiceGraph(client, root)
             local = PathmapStats()
             reference = window.edge_series(client, root)
             visited: Set[NodeId] = set()
             self._compute_path(graph, reference, root, visited, window, local)
             local.graphs = 1
+            if self._metrics is not None:
+                self._metrics.histogram(
+                    "pathmap_class_seconds",
+                    "Wall-clock seconds to compute one service class's graph",
+                    labels={"class": f"{client}@{root}"},
+                ).observe(time.perf_counter() - pair_started)
             return pair, graph, local
 
         graphs: Dict[Tuple[NodeId, NodeId], ServiceGraph] = {}
@@ -191,8 +211,29 @@ class Pathmap:
             stats.spikes += local.spikes
             stats.edges_discovered += local.edges_discovered
             stats.graphs += local.graphs
+            stats.nodes_visited += local.nodes_visited
         stats.elapsed_seconds = time.perf_counter() - started
+        if self._metrics is not None:
+            self._record_stats(stats)
         return PathmapResult(graphs, stats)
+
+    def _record_stats(self, stats: PathmapStats) -> None:
+        m = self._metrics
+        m.counter(
+            "pathmap_correlations_total", "Edge correlations evaluated by the DFS"
+        ).inc(stats.correlations)
+        m.counter(
+            "pathmap_spikes_total", "Correlation spikes detected"
+        ).inc(stats.spikes)
+        m.counter(
+            "pathmap_edges_total", "Causal edges discovered"
+        ).inc(stats.edges_discovered)
+        m.counter(
+            "pathmap_nodes_visited_total", "Nodes the DFS recursed into"
+        ).inc(stats.nodes_visited)
+        m.histogram(
+            "pathmap_analysis_seconds", "Wall-clock seconds per full analysis pass"
+        ).observe(stats.elapsed_seconds)
 
     # -- Algorithm 1: ComputePath --------------------------------------------------
 
@@ -206,6 +247,7 @@ class Pathmap:
         stats: PathmapStats,
     ) -> None:
         visited.add(node)
+        stats.nodes_visited += 1
         ref_key = (graph.client, graph.root)
         for dest in window.destinations_of(node):
             # Response edges back to client nodes are correlated too (they
@@ -248,6 +290,9 @@ def compute_service_graphs(
     config: PathmapConfig,
     method: str = "auto",
     workers: int = 1,
+    metrics: Optional["MetricsRegistry"] = None,
 ) -> PathmapResult:
     """Convenience wrapper: one-shot pathmap analysis of a window."""
-    return Pathmap(config, method=method).analyze(window, workers=workers)
+    return Pathmap(config, method=method, metrics=metrics).analyze(
+        window, workers=workers
+    )

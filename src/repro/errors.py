@@ -37,3 +37,7 @@ class SimulationError(E2EProfError):
 
 class AnalysisError(E2EProfError):
     """Service-path analysis failed (no front-end, empty window...)."""
+
+
+class ObservabilityError(E2EProfError):
+    """A metrics instrument was misused (bad name, kind clash, bad bucket)."""

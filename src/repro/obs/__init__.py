@@ -1,0 +1,50 @@
+"""repro.obs -- self-observability for the analyzer (metrics + profiling).
+
+The paper's core claim is that the pathmap analyzer is cheap enough to run
+*online* (the flat 'incremental' curve of Figure 9, Section 3.7). This
+package lets the reproduction **prove that about itself, continuously**: a
+dependency-free metrics registry (counters, gauges, fixed-bucket
+histograms, ``perf_counter`` timers) that the engine, correlators, wire
+codec, collector and tracers report into.
+
+Key properties:
+
+* **Off by default.** Every instrumented component defaults to a disabled
+  registry; a disabled instrument mutation is one attribute check. The
+  overhead-guard test pins the disabled path at well under 5% of engine
+  refresh time.
+* **Exact under threads.** Enabled instruments take a per-instrument lock,
+  so concurrent updates never lose increments.
+* **Three expositions.** ``registry.snapshot()`` (JSON-able),
+  ``registry.to_prometheus()`` (text format 0.0.4), and per-refresh
+  :class:`MetricsSample` objects pushed to engine subscribers.
+
+See ``docs/OBSERVABILITY.md`` for the metric catalogue and wiring recipes,
+and the ``repro stats`` CLI subcommand for a one-shot exposition.
+"""
+
+from repro.obs.exposition import snapshot, to_prometheus
+from repro.obs.instruments import (
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    Timer,
+)
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+from repro.obs.sample import MetricsSample
+
+__all__ = [
+    "Counter",
+    "DEFAULT_COUNT_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSample",
+    "NULL_REGISTRY",
+    "Timer",
+    "snapshot",
+    "to_prometheus",
+]

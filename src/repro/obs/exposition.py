@@ -1,0 +1,91 @@
+"""Exposition formats for a metrics registry.
+
+Two renderings of the same instrument state:
+
+* :func:`snapshot` -- a nested, JSON-able dict, for programmatic consumers
+  (the ``repro stats`` CLI writes this as the artifact format);
+* :func:`to_prometheus` -- the Prometheus text format (0.0.4), so a real
+  scrape endpoint can be wired up with ``print`` and an HTTP handler.
+
+Both group labeled instruments under their metric name, and both are pure
+reads: they never mutate instrument state and can run concurrently with
+updates (values may be mid-refresh torn across *different* instruments,
+which scrape-based monitoring tolerates by design).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.obs.instruments import Counter, Gauge, Histogram, Instrument, format_bound
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.registry import MetricsRegistry
+
+
+def snapshot(registry: "MetricsRegistry") -> dict:
+    """JSON-able snapshot: ``{metric name: {labels repr: state dict}}``.
+
+    Unlabeled instruments use the empty string as their labels key, so the
+    shape is uniform regardless of labeling.
+    """
+    out: Dict[str, Dict[str, dict]] = {}
+    for inst in registry.instruments():
+        state = inst.snapshot()
+        if inst.help:
+            state["help"] = inst.help
+        out.setdefault(inst.name, {})[_labels_repr(inst)] = state
+    return out
+
+
+def to_prometheus(registry: "MetricsRegistry") -> str:
+    """Prometheus text exposition of every instrument in the registry."""
+    lines: List[str] = []
+    seen_header = set()
+    prefix = registry.namespace + "_" if registry.namespace else ""
+    for inst in registry.instruments():
+        full = prefix + inst.name
+        if inst.name not in seen_header:
+            seen_header.add(inst.name)
+            if inst.help:
+                lines.append(f"# HELP {full} {_escape_help(inst.help)}")
+            lines.append(f"# TYPE {full} {inst.kind}")
+        if isinstance(inst, (Counter, Gauge)):
+            lines.append(f"{full}{_label_str(inst)} {_fmt(inst.value)}")
+        elif isinstance(inst, Histogram):
+            for bound, cum in inst.cumulative_buckets().items():
+                lines.append(
+                    f"{full}_bucket{_label_str(inst, le=bound)} {cum}"
+                )
+            lines.append(f"{full}_sum{_label_str(inst)} {_fmt(inst.sum)}")
+            lines.append(f"{full}_count{_label_str(inst)} {inst.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _labels_repr(inst: Instrument) -> str:
+    return ",".join(f"{k}={v}" for k, v in inst.labels)
+
+
+def _label_str(inst: Instrument, le: str = "") -> str:
+    pairs = [f'{k}="{_escape_label(v)}"' for k, v in inst.labels]
+    if le:
+        pairs.append(f'le="{le}"')
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+# Re-exported for histogram bucket rendering elsewhere.
+__all__ = ["snapshot", "to_prometheus", "format_bound"]

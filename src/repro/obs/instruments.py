@@ -1,0 +1,279 @@
+"""Metric instruments: counters, gauges, histograms and timers.
+
+These are the building blocks of :class:`repro.obs.registry.MetricsRegistry`.
+Every instrument shares one design constraint, imposed by the engine's hot
+path (paper Section 3.7: the analyzer must be cheap enough to run *online*):
+when the owning registry is disabled -- the default -- every mutating method
+returns after a single attribute check, takes no lock, and allocates nothing.
+The overhead-guard test in ``tests/test_obs.py`` pins this property.
+
+When the registry is enabled, updates are exact under concurrency: each
+instrument guards its state with its own lock, so hammering one counter from
+many threads never loses an increment (also pinned by the test suite).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import ObservabilityError
+
+#: Canonical key form of a label set: sorted ``(key, value)`` pairs.
+LabelsKey = Tuple[Tuple[str, str], ...]
+
+#: Default histogram boundaries for wall-clock durations in seconds.
+#: Spans 100 us (one correlation on a quiet edge) to 10 s (a full-window
+#: analysis far behind its refresh interval).
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Default histogram boundaries for small non-negative counts (e.g. RLE
+#: runs per streamed block).
+DEFAULT_COUNT_BUCKETS: Tuple[float, ...] = (
+    0, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+)
+
+
+class Switch:
+    """Shared on/off flag between a registry and its instruments.
+
+    A plain mutable holder (not a property on the registry) so the disabled
+    fast path is one attribute load on a tiny object.
+    """
+
+    __slots__ = ("on",)
+
+    def __init__(self, on: bool = False) -> None:
+        self.on = bool(on)
+
+
+def labels_key(labels: Optional[Dict[str, str]]) -> LabelsKey:
+    """Canonicalize a label dict into a hashable, order-independent key."""
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Instrument:
+    """Common state shared by every instrument kind."""
+
+    kind = "untyped"
+    __slots__ = ("name", "help", "labels", "_switch", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labels: LabelsKey,
+        switch: Switch,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self._switch = switch
+        self._lock = threading.Lock()
+
+    def snapshot(self) -> dict:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+
+class Counter(Instrument):
+    """A monotonically increasing total."""
+
+    kind = "counter"
+    __slots__ = ("_value",)
+
+    def __init__(self, name: str, help: str, labels: LabelsKey, switch: Switch) -> None:
+        super().__init__(name, help, labels, switch)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if not self._switch.on:
+            return
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc({amount}))"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "value": self._value}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class Gauge(Instrument):
+    """An instantaneous value that can move in both directions."""
+
+    kind = "gauge"
+    __slots__ = ("_value",)
+
+    def __init__(self, name: str, help: str, labels: LabelsKey, switch: Switch) -> None:
+        super().__init__(name, help, labels, switch)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        if not self._switch.on:
+            return
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not self._switch.on:
+            return
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "value": self._value}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class Histogram(Instrument):
+    """A distribution over fixed, cumulative bucket boundaries.
+
+    ``buckets`` are upper bounds (``le`` in Prometheus terms); an implicit
+    ``+Inf`` bucket always exists, so ``observe`` never drops a sample.
+    """
+
+    kind = "histogram"
+    __slots__ = ("buckets", "_bucket_counts", "_count", "_sum", "_min", "_max")
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labels: LabelsKey,
+        switch: Switch,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labels, switch)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ObservabilityError(f"histogram {name!r} needs at least one bucket")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ObservabilityError(
+                f"histogram {name!r} buckets must be strictly increasing: {bounds}"
+            )
+        self.buckets = bounds
+        self._bucket_counts = [0] * (len(bounds) + 1)  # last slot: +Inf
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        if not self._switch.on:
+            return
+        value = float(value)
+        # Linear scan: bucket lists are short (<= ~16) and the common case
+        # (fast refreshes) lands in the first few slots.
+        slot = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                slot = i
+                break
+        with self._lock:
+            self._bucket_counts[slot] += 1
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    def time(self) -> "Timer":
+        """Context manager that observes the elapsed ``perf_counter`` time."""
+        return Timer(self)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def cumulative_buckets(self) -> Dict[str, int]:
+        """Bucket upper bound -> cumulative count (Prometheus semantics)."""
+        out: Dict[str, int] = {}
+        running = 0
+        for bound, n in zip(self.buckets, self._bucket_counts):
+            running += n
+            out[format_bound(bound)] = running
+        out["+Inf"] = running + self._bucket_counts[-1]
+        return out
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": self.kind,
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+            "buckets": self.cumulative_buckets(),
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._bucket_counts = [0] * (len(self.buckets) + 1)
+            self._count = 0
+            self._sum = 0.0
+            self._min = None
+            self._max = None
+
+
+class Timer:
+    """Times a ``with`` block on ``perf_counter`` into a histogram.
+
+    Built for convenience paths (CLI, subscribers). The engine's own hot
+    path calls ``perf_counter`` + ``observe`` directly, which is cheaper
+    than a context-manager frame when the registry is disabled.
+    """
+
+    __slots__ = ("_histogram", "_started")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+        self._started = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        self._histogram.observe(time.perf_counter() - self._started)
+        return False
+
+
+def format_bound(bound: float) -> str:
+    """Render a bucket bound the way Prometheus does (no trailing zeros)."""
+    if bound == int(bound) and abs(bound) < 1e15:
+        return str(int(bound))
+    return repr(bound)

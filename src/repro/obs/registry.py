@@ -1,0 +1,180 @@
+"""The metrics registry: named instruments, toggled as one unit.
+
+A :class:`MetricsRegistry` is a thread-safe, dependency-free factory and
+container for :mod:`repro.obs.instruments`. Registries start **disabled**:
+every instrument mutation is then a single attribute check (the paper's
+analyzer must stay cheap enough to run online, so self-observation may not
+tax the hot path it observes). Enabling a registry flips one shared switch;
+all instruments created from it -- before or after -- start recording.
+
+Usage::
+
+    registry = MetricsRegistry(enabled=True)
+    refreshes = registry.counter("engine_refreshes_total", "Refreshes run")
+    latency = registry.histogram("engine_refresh_seconds", "Refresh wall time")
+    refreshes.inc()
+    with registry.timer("engine_refresh_seconds"):
+        ...  # timed work
+    registry.snapshot()        # JSON-able dict
+    registry.to_prometheus()   # Prometheus text exposition
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.errors import ObservabilityError
+from repro.obs.instruments import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    Instrument,
+    LabelsKey,
+    Switch,
+    Timer,
+    labels_key,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+class MetricsRegistry:
+    """A named collection of metric instruments with one on/off switch.
+
+    Parameters
+    ----------
+    enabled:
+        Whether instruments record anything. Defaults to **False**: an
+        instrumented component pays (almost) nothing until an operator
+        opts in.
+    namespace:
+        Prefix applied to metric names in the Prometheus exposition
+        (``namespace_name``). The JSON snapshot uses bare names.
+    """
+
+    def __init__(self, enabled: bool = False, namespace: str = "repro") -> None:
+        if not _NAME_RE.match(namespace):
+            raise ObservabilityError(f"invalid metrics namespace {namespace!r}")
+        self.namespace = namespace
+        self._switch = Switch(enabled)
+        self._lock = threading.Lock()
+        self._instruments: Dict[Tuple[str, LabelsKey], Instrument] = {}
+
+    # -- switch ----------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._switch.on
+
+    def enable(self) -> None:
+        """Start recording on every instrument of this registry."""
+        self._switch.on = True
+
+    def disable(self) -> None:
+        """Stop recording; instruments keep their accumulated state."""
+        self._switch.on = False
+
+    # -- instrument factory ----------------------------------------------------
+
+    def _get_or_create(
+        self,
+        cls: type,
+        name: str,
+        help: str,
+        labels: Optional[Dict[str, str]],
+        **kwargs: object,
+    ) -> Instrument:
+        if not _NAME_RE.match(name):
+            raise ObservabilityError(f"invalid metric name {name!r}")
+        key = (name, labels_key(labels))
+        # Fast path without the lock: instruments are never removed, so a
+        # hit is always safe to return.
+        found = self._instruments.get(key)
+        if found is None:
+            with self._lock:
+                found = self._instruments.get(key)
+                if found is None:
+                    found = cls(name, help, key[1], self._switch, **kwargs)
+                    self._instruments[key] = found
+        if not isinstance(found, cls):
+            raise ObservabilityError(
+                f"metric {name!r} already registered as {found.kind}, "
+                f"requested {cls.kind}"  # type: ignore[attr-defined]
+            )
+        return found
+
+    def counter(
+        self, name: str, help: str = "", labels: Optional[Dict[str, str]] = None
+    ) -> Counter:
+        """Get or create a monotonically increasing counter."""
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(
+        self, name: str, help: str = "", labels: Optional[Dict[str, str]] = None
+    ) -> Gauge:
+        """Get or create a point-in-time gauge."""
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Dict[str, str]] = None,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        """Get or create a fixed-bucket histogram."""
+        return self._get_or_create(Histogram, name, help, labels, buckets=buckets)
+
+    def timer(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Dict[str, str]] = None,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Timer:
+        """Context manager timing a block into the named histogram."""
+        return self.histogram(name, help, labels, buckets).time()
+
+    # -- introspection ---------------------------------------------------------
+
+    def instruments(self) -> Iterable[Instrument]:
+        """All instruments, sorted by (name, labels) for stable output."""
+        with self._lock:
+            items = sorted(self._instruments.items())
+        return [inst for _, inst in items]
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return any(key[0] == name for key in self._instruments)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._instruments)
+
+    def reset(self) -> None:
+        """Zero every instrument (state, not registration)."""
+        for inst in self.instruments():
+            inst.reset()
+
+    # -- exposition (delegates; see repro.obs.exposition) ----------------------
+
+    def snapshot(self) -> dict:
+        """JSON-able snapshot of every instrument's current state."""
+        from repro.obs.exposition import snapshot
+
+        return snapshot(self)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (version 0.0.4 format)."""
+        from repro.obs.exposition import to_prometheus
+
+        return to_prometheus(self)
+
+
+#: Process-wide disabled registry: the default sink for instrumented
+#: components whose caller did not supply one. Never enable this in library
+#: code -- operators opt in by passing their own enabled registry.
+NULL_REGISTRY = MetricsRegistry(enabled=False)

@@ -16,7 +16,7 @@ capture: ``client -> frontend`` uses the front end's receive timestamps,
 from __future__ import annotations
 
 import bisect
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -26,6 +26,9 @@ from repro.core.rle import rle_encode
 from repro.core.timeseries import build_density_series
 from repro.errors import TraceError
 from repro.tracing.records import CaptureRecord, NodeId
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
 
 EdgeKey = Tuple[NodeId, NodeId]
 
@@ -40,14 +43,34 @@ class TraceCollector:
         end knows which clients map to which service classes, so the
         analyzer is configured with the client set (it is the only
         non-black-box input).
+    metrics:
+        Optional :class:`~repro.obs.registry.MetricsRegistry` receiving
+        ``collector_records_ingested_total`` and
+        ``collector_windows_total``.
     """
 
-    def __init__(self, client_nodes: Iterable[NodeId] = ()) -> None:
+    def __init__(
+        self,
+        client_nodes: Iterable[NodeId] = (),
+        metrics: Optional["MetricsRegistry"] = None,
+    ) -> None:
         self._clients: Set[NodeId] = set(client_nodes)
         # (src, dst) -> sorted capture timestamps, per observing side.
         self._at_src: Dict[EdgeKey, List[float]] = {}
         self._at_dst: Dict[EdgeKey, List[float]] = {}
         self._sorted = True
+        if metrics is not None:
+            self._m_records = metrics.counter(
+                "collector_records_ingested_total",
+                "Capture records ingested by the trace collector",
+            )
+            self._m_windows = metrics.counter(
+                "collector_windows_total",
+                "Analysis windows materialized by the trace collector",
+            )
+        else:
+            self._m_records = None
+            self._m_windows = None
 
     # -- ingestion -------------------------------------------------------------
 
@@ -63,6 +86,8 @@ class TraceCollector:
         store = self._at_dst if record.observed_at_destination else self._at_src
         store.setdefault(record.edge, []).append(record.timestamp)
         self._sorted = False
+        if self._m_records is not None:
+            self._m_records.inc()
 
     def ingest_many(self, records: Iterable[CaptureRecord]) -> int:
         """Add many capture records; returns how many were ingested."""
@@ -146,6 +171,8 @@ class TraceCollector:
             raise TraceError(
                 f"empty window: start {start_time} >= end {end_time}"
             )
+        if self._m_windows is not None:
+            self._m_windows.inc()
         return CollectedTraceWindow(self, config, start_time, end_time, use_rle)
 
 

@@ -16,9 +16,12 @@ module would stream them.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.config import PathmapConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
 from repro.core.rle import RunLengthSeries, rle_encode
 from repro.core.timeseries import build_density_series
 from repro.errors import TraceError
@@ -44,6 +47,25 @@ class Tracer:
         self.clock_skew = float(clock_skew)
         self._timestamps: Dict[EdgeKey, List[float]] = {}
         self._count = 0
+        # Metrics stay unbound (zero cost on the per-packet path) until an
+        # observer opts in via bind_metrics.
+        self._m_packets = None
+        self._m_flushes = None
+
+    def bind_metrics(self, metrics: "MetricsRegistry") -> None:
+        """Report ``tracer_packets_observed_total`` and
+        ``tracer_blocks_flushed_total`` into ``metrics`` from now on.
+
+        The online engine binds its registry to every tracer on ``attach``
+        when that registry is enabled; unbound tracers skip metric work
+        entirely (``observe`` runs once per simulated packet).
+        """
+        self._m_packets = metrics.counter(
+            "tracer_packets_observed_total", "Packets captured by per-node tracers"
+        )
+        self._m_flushes = metrics.counter(
+            "tracer_blocks_flushed_total", "RLE blocks flushed by per-node tracers"
+        )
 
     # -- capture ---------------------------------------------------------------
 
@@ -59,6 +81,8 @@ class Tracer:
         local = timestamp + self.clock_skew
         self._timestamps.setdefault((src, dst), []).append(local)
         self._count += 1
+        if self._m_packets is not None:
+            self._m_packets.inc()
         return CaptureRecord(local, src, dst, self.node)
 
     @property
@@ -97,6 +121,8 @@ class Tracer:
             )
             blocks[edge] = rle_encode(series)
         self._drop_before((window_start_quantum + block_quanta) * tau - config.sampling_window)
+        if self._m_flushes is not None:
+            self._m_flushes.inc(len(blocks))
         return blocks
 
     def _drop_before(self, cutoff: float) -> None:

@@ -27,12 +27,15 @@ quiet zones cost one small varint instead of an absolute index.
 from __future__ import annotations
 
 import struct
-from typing import List, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.rle import RunLengthSeries
-from repro.errors import TraceError
+from repro.errors import SeriesError, TraceError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
 
 MAGIC = b"RL"
 VERSION = 1
@@ -69,8 +72,14 @@ def _decode_varint(data: bytes, pos: int) -> Tuple[int, int]:
             raise TraceError("varint overflow in wire block")
 
 
-def encode_block(series: RunLengthSeries) -> bytes:
-    """Serialize one RLE block to its wire representation."""
+def encode_block(
+    series: RunLengthSeries, metrics: Optional["MetricsRegistry"] = None
+) -> bytes:
+    """Serialize one RLE block to its wire representation.
+
+    ``metrics`` (optional) receives ``wire_blocks_encoded_total``,
+    ``wire_bytes_encoded_total`` and the ``wire_runs_per_block`` histogram.
+    """
     out = bytearray(
         _HEADER.pack(
             MAGIC, VERSION, series.quantum, series.start, series.length,
@@ -83,11 +92,23 @@ def encode_block(series: RunLengthSeries) -> bytes:
         _encode_varint(run.count, out)
         out += struct.pack("<f", run.value)
         previous_end = run.start + run.count
+    if metrics is not None:
+        _wire_metrics(metrics, "encoded", len(out), series.num_runs)
     return bytes(out)
 
 
-def decode_block(data: bytes) -> RunLengthSeries:
-    """Exact inverse of :func:`encode_block` (float32 value precision)."""
+def decode_block(
+    data: bytes, metrics: Optional["MetricsRegistry"] = None
+) -> RunLengthSeries:
+    """Exact inverse of :func:`encode_block` (float32 value precision).
+
+    Truncated or corrupted payloads raise :class:`~repro.errors.TraceError`
+    -- never a bare ``struct.error`` or a series-construction error -- so a
+    streaming analyzer can drop the block and keep its refresh loop alive.
+
+    ``metrics`` (optional) receives ``wire_blocks_decoded_total``,
+    ``wire_bytes_decoded_total`` and the ``wire_runs_per_block`` histogram.
+    """
     if len(data) < _HEADER.size:
         raise TraceError("wire block shorter than header")
     magic, version, quantum, start, length, num_runs = _HEADER.unpack_from(data, 0)
@@ -95,6 +116,10 @@ def decode_block(data: bytes) -> RunLengthSeries:
         raise TraceError(f"bad wire magic {magic!r}")
     if version != VERSION:
         raise TraceError(f"unsupported wire version {version}")
+    if not quantum > 0.0:  # also rejects NaN from corrupted header bytes
+        raise TraceError(f"corrupt wire block: bad quantum {quantum!r}")
+    if length < 0:
+        raise TraceError(f"corrupt wire block: negative length {length}")
     pos = _HEADER.size
     starts: List[int] = []
     counts: List[int] = []
@@ -114,14 +139,41 @@ def decode_block(data: bytes) -> RunLengthSeries:
         previous_end = run_start + count
     if pos != len(data):
         raise TraceError(f"{len(data) - pos} trailing bytes in wire block")
-    return RunLengthSeries(
-        np.array(starts, dtype=np.int64),
-        np.array(counts, dtype=np.int64),
-        np.array(values, dtype=np.float64),
-        start,
-        length,
-        quantum,
-    )
+    try:
+        block = RunLengthSeries(
+            np.array(starts, dtype=np.int64),
+            np.array(counts, dtype=np.int64),
+            np.array(values, dtype=np.float64),
+            start,
+            length,
+            quantum,
+        )
+    except SeriesError as exc:
+        # Corruption that survives the framing checks (flipped value bytes,
+        # runs escaping the window) surfaces as the documented wire error.
+        raise TraceError(f"corrupt wire block: {exc}") from exc
+    if metrics is not None:
+        _wire_metrics(metrics, "decoded", len(data), block.num_runs)
+    return block
+
+
+def _wire_metrics(
+    metrics: "MetricsRegistry", direction: str, num_bytes: int, num_runs: int
+) -> None:
+    """Record one block's codec counters into a registry."""
+    from repro.obs.instruments import DEFAULT_COUNT_BUCKETS
+
+    metrics.counter(
+        f"wire_blocks_{direction}_total", f"RLE blocks {direction}"
+    ).inc()
+    metrics.counter(
+        f"wire_bytes_{direction}_total", f"Wire-format bytes {direction}"
+    ).inc(num_bytes)
+    metrics.histogram(
+        "wire_runs_per_block",
+        "RLE runs per block crossing the wire codec",
+        buckets=DEFAULT_COUNT_BUCKETS,
+    ).observe(num_runs)
 
 
 def wire_sizes(series: RunLengthSeries, message_count: int = 0) -> dict:

@@ -6,11 +6,29 @@ integration tests that inspect their results don't re-run them.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro import PathmapConfig, compute_service_graphs
 from repro.apps.rubis import build_rubis
+
+try:  # hypothesis is optional; property tests importorskip it themselves
+    from hypothesis import HealthCheck, settings as hypothesis_settings
+
+    # "ci" (the default) derandomizes so CI failures always reproduce;
+    # set HYPOTHESIS_PROFILE=dev locally for fresh random examples.
+    hypothesis_settings.register_profile(
+        "ci",
+        derandomize=True,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    hypothesis_settings.register_profile("dev", deadline=None)
+    hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
+except ImportError:  # pragma: no cover - container always has hypothesis
+    pass
 
 #: Analysis parameters shared by the integration fixtures: the paper's
 #: tau/omega with a window sized for fast tests.

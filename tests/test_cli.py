@@ -144,6 +144,53 @@ class TestRender:
         assert "EJB1" in content
 
 
+@pytest.mark.slow
+class TestStats:
+    def test_demo_mode_json(self, capsys):
+        code = main(["stats", "--duration", "65", "--window", "60"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        metrics = doc["metrics"]
+        for family in (
+            "engine_refresh_seconds",
+            "engine_correlator_cache_hits_total",
+            "engine_correlator_cache_misses_total",
+            "wire_blocks_decoded_total",
+            "pathmap_spikes_total",
+        ):
+            assert family in metrics, family
+        assert metrics["engine_refresh_seconds"][""]["count"] >= 1
+        assert doc["latest_sample"]["blocks_ingested"] > 0
+
+    def test_demo_mode_both_to_file(self, tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        code = main([
+            "stats", "--duration", "65", "--window", "60",
+            "--format", "both", "-o", str(out),
+        ])
+        assert code == 0
+        assert "wrote metrics" in capsys.readouterr().err
+        doc = json.loads(out.read_text())
+        assert "repro_engine_refresh_seconds_bucket" in doc["prometheus"]
+        assert doc["prometheus"].rstrip().splitlines()[-1].startswith("repro_")
+
+    def test_trace_mode_prometheus(self, rubis_trace, capsys):
+        code = main([
+            "stats", str(rubis_trace), "--clients", "C1,C2",
+            "--window", "60", "--format", "prometheus",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_pathmap_analysis_seconds histogram" in out
+        assert "repro_collector_records_ingested_total" in out
+        assert "repro_replay_refresh_seconds_count" in out
+
+    def test_too_short_duration_is_an_error(self, capsys):
+        code = main(["stats", "--duration", "5", "--window", "60"])
+        assert code == 2
+        assert "no refresh fired" in capsys.readouterr().err
+
+
 class TestSkew:
     def test_skew_report(self, rubis_trace, capsys):
         code = main([

@@ -1,0 +1,152 @@
+"""Property tests: the four correlation kernels are interchangeable.
+
+The paper's optimizations (sparse, RLE, FFT -- Section 3.5) are only
+valid if they compute the *same* normalized cross-correlation as the
+dense reference. Hypothesis generates adversarial density pairs; the
+fixed edge cases cover the degenerate inputs the generators rarely hit
+(all-zero signals, a single aligned spike, the max-lag boundary).
+"""
+
+import numpy as np
+import pytest
+
+pytest.importorskip("hypothesis")
+from hypothesis import given, strategies as st
+
+from repro.core.correlation import (
+    correlate_dense,
+    correlate_fft,
+    correlate_rle,
+    correlate_sparse,
+)
+from repro.core.rle import rle_encode
+from repro.core.timeseries import DensityTimeSeries
+
+QUANTUM = 1e-3
+
+#: The direct variants reorder exact arithmetic; FFT goes through a
+#: transform and earns a looser bound.
+DIRECT_TOL = dict(rtol=1e-7, atol=1e-8)
+FFT_TOL = dict(rtol=1e-5, atol=1e-6)
+
+VARIANTS = [
+    ("sparse", correlate_sparse, DIRECT_TOL),
+    ("rle", correlate_rle, DIRECT_TOL),
+    ("fft", correlate_fft, FFT_TOL),
+]
+
+
+def series(dense, start=0):
+    return DensityTimeSeries.from_dense(
+        np.asarray(dense, dtype=np.float64), start, QUANTUM
+    )
+
+
+def assert_variants_agree(x, y, max_lag=None):
+    ref = correlate_dense(x, y, max_lag)
+    for name, fn, tol in VARIANTS:
+        got = fn(x, y, max_lag)
+        assert got.n == ref.n, name
+        assert got.degenerate == ref.degenerate, name
+        assert got.quantum == ref.quantum, name
+        np.testing.assert_allclose(
+            got.values, ref.values, err_msg=f"method {name}", **tol
+        )
+
+
+#: Mostly-zero non-negative densities, like real sqrt-count signals.
+#: Quarter-integers are exact in float64, so a constant signal has
+#: *exactly* zero variance in every variant (all agree it's degenerate)
+#: and any non-constant signal is well-conditioned -- arbitrary floats
+#: would let 1e-16 variance residues turn the normalization into 0/0
+#: noise that legitimately differs between summation orders.
+density_values = st.lists(
+    st.one_of(
+        st.just(0.0),
+        st.integers(min_value=0, max_value=200).map(lambda k: k / 4.0),
+    ),
+    min_size=2,
+    max_size=96,
+)
+
+
+class TestPropertyAgreement:
+    @given(xs=density_values, ys=density_values, lag=st.integers(0, 128))
+    def test_all_variants_agree(self, xs, ys, lag):
+        n = min(len(xs), len(ys))
+        x = series(xs[:n])
+        y = series(ys[:n])
+        assert_variants_agree(x, y, max_lag=lag)
+
+    @given(xs=density_values, ys=density_values)
+    def test_full_lag_range_agrees(self, xs, ys):
+        n = min(len(xs), len(ys))
+        assert_variants_agree(series(xs[:n]), series(ys[:n]), max_lag=None)
+
+    @given(
+        xs=density_values,
+        ys=density_values,
+        start=st.integers(-1000, 1000),
+        lag=st.integers(0, 64),
+    )
+    def test_window_start_is_irrelevant(self, xs, ys, start, lag):
+        """Correlation depends on relative lag only, not absolute indices."""
+        n = min(len(xs), len(ys))
+        at_zero = correlate_sparse(series(xs[:n]), series(ys[:n]), lag)
+        shifted = correlate_sparse(
+            series(xs[:n], start), series(ys[:n], start), lag
+        )
+        np.testing.assert_allclose(shifted.values, at_zero.values, **DIRECT_TOL)
+        assert_variants_agree(series(xs[:n], start), series(ys[:n], start), lag)
+
+    @given(xs=density_values, lag=st.integers(0, 64))
+    def test_rle_input_equals_sparse_input(self, xs, lag):
+        """Feeding pre-encoded RLE blocks must not change any variant."""
+        x = series(xs)
+        y = series(list(reversed(xs)))
+        ref = correlate_dense(x, y, lag)
+        got = correlate_rle(rle_encode(x), rle_encode(y), lag)
+        assert got.degenerate == ref.degenerate
+        np.testing.assert_allclose(got.values, ref.values, **DIRECT_TOL)
+
+
+class TestEdgeCases:
+    def test_all_zero_is_degenerate_everywhere(self):
+        x = series([0.0] * 40)
+        y = series([0.0] * 40)
+        ref = correlate_dense(x, y, 10)
+        assert ref.degenerate
+        assert not np.any(ref.values)
+        assert_variants_agree(x, y, max_lag=10)
+
+    def test_one_constant_signal_is_degenerate(self):
+        x = series([3.0] * 30)  # zero variance
+        y = series([0.0, 1.0, 0.0, 2.0] * 7 + [0.0, 1.0])
+        assert correlate_dense(x, y, 5).degenerate
+        assert_variants_agree(x, y, max_lag=5)
+
+    def test_single_spike_pair_peaks_at_offset(self):
+        n, offset = 64, 9
+        xs = [0.0] * n
+        ys = [0.0] * n
+        xs[5] = 4.0
+        ys[5 + offset] = 2.0
+        x, y = series(xs), series(ys)
+        ref = correlate_dense(x, y, n - 1)
+        assert int(np.argmax(ref.values)) == offset
+        assert_variants_agree(x, y, max_lag=n - 1)
+
+    def test_max_lag_boundary(self):
+        rng = np.random.default_rng(0)
+        dense = rng.integers(0, 4, size=32).astype(float)
+        x, y = series(dense), series(dense[::-1].copy())
+        # Exactly n-1, and beyond n-1 (every variant must clip identically).
+        for lag in (31, 32, 10_000):
+            assert_variants_agree(x, y, max_lag=lag)
+            assert correlate_dense(x, y, lag).max_lag == 31
+
+    def test_zero_max_lag(self):
+        x = series([1.0, 0.0, 2.0, 0.0])
+        y = series([0.0, 2.0, 0.0, 1.0])
+        assert_variants_agree(x, y, max_lag=0)
+        assert correlate_sparse(x, y, 0).values.size == 1

@@ -15,6 +15,8 @@ from repro.core.offline import analyze_sliding
 from repro.tracing.access_log import access_log_to_captures
 from repro.tracing.collector import TraceCollector
 
+pytestmark = pytest.mark.slow
+
 CFG = PathmapConfig(
     window=3600.0,
     refresh_interval=600.0,

@@ -15,6 +15,8 @@ from repro.core.pathmap import compute_service_graphs
 from repro.tracing.access_log import access_log_to_captures
 from repro.tracing.collector import TraceCollector
 
+pytestmark = pytest.mark.slow
+
 #: Scaled-down analysis window for test speed (same tau/omega ratios as
 #: the paper's Delta configuration).
 CFG = PathmapConfig(

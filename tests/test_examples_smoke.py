@@ -10,6 +10,8 @@ import sys
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
 
 FAST_EXAMPLES = [

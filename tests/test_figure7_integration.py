@@ -7,6 +7,8 @@ import pytest
 from repro import ChangeDetector, E2EProfEngine, PathmapConfig, build_rubis
 from repro.apps.faults import staircase_delay
 
+pytestmark = pytest.mark.slow
+
 CFG = PathmapConfig(
     window=30.0,
     refresh_interval=30.0,

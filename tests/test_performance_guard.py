@@ -13,6 +13,8 @@ import pytest
 from repro import E2EProfEngine, PathmapConfig, build_rubis
 from repro.core.pathmap import compute_service_graphs
 
+pytestmark = pytest.mark.slow
+
 CFG = PathmapConfig(
     window=180.0,
     refresh_interval=60.0,

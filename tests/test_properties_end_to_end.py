@@ -18,6 +18,8 @@ from repro.simulation.distributions import Erlang
 from repro.simulation.nodes import StaticRouter
 from repro.simulation.topology import Topology
 
+pytestmark = pytest.mark.slow
+
 CFG = PathmapConfig(
     window=40.0,
     refresh_interval=40.0,

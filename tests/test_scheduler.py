@@ -98,6 +98,7 @@ class TestPathSelector:
             PathSelector(router, "a", "b", paths=["TS1"])
 
 
+@pytest.mark.slow
 class TestIntegration:
     """Abbreviated Table 1 scenario: selector beats static assignment when
     one path is persistently slower."""

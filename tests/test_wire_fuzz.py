@@ -1,0 +1,124 @@
+"""Fuzz and round-trip tests for the RLE wire codec (tracing.wire).
+
+The codec's documented contract: ``decode_block`` returns a
+:class:`RunLengthSeries` or raises :class:`TraceError` -- never a bare
+``struct.error``, a series-construction error, or any other exception --
+so a streaming analyzer can drop a bad block and keep its refresh loop
+alive. Hypothesis hammers that contract with truncations and byte flips.
+"""
+
+import numpy as np
+import pytest
+
+pytest.importorskip("hypothesis")
+from hypothesis import given, strategies as st
+
+from repro.core.rle import rle_encode
+from repro.core.timeseries import DensityTimeSeries
+from repro.errors import E2EProfError, TraceError
+from repro.tracing.wire import decode_block, encode_block
+
+QUANTUM = 1e-3
+
+#: Float32-exact density values, so decode reproduces the series exactly
+#: (the wire carries float32) and re-encoding is byte-identical.
+wire_blocks = st.builds(
+    lambda dense, start: rle_encode(
+        DensityTimeSeries.from_dense(
+            np.asarray(dense, dtype=np.float64), start, QUANTUM
+        )
+    ),
+    dense=st.lists(
+        st.one_of(
+            st.just(0.0),
+            st.integers(min_value=0, max_value=1024).map(lambda k: k / 8.0),
+        ),
+        min_size=0,
+        max_size=80,
+    ),
+    start=st.integers(-10_000, 10_000),
+)
+
+
+class TestRoundTrip:
+    @given(block=wire_blocks)
+    def test_roundtrip_reproduces_series(self, block):
+        decoded = decode_block(encode_block(block))
+        assert decoded.start == block.start
+        assert decoded.length == block.length
+        assert decoded.quantum == block.quantum
+        assert decoded.num_runs == block.num_runs
+        np.testing.assert_array_equal(decoded.starts, block.starts)
+        np.testing.assert_array_equal(decoded.counts, block.counts)
+        np.testing.assert_array_equal(decoded.values, block.values)
+
+    @given(block=wire_blocks)
+    def test_reencode_is_byte_identical(self, block):
+        payload = encode_block(block)
+        assert encode_block(decode_block(payload)) == payload
+
+    def test_empty_block_roundtrips(self):
+        block = rle_encode(DensityTimeSeries.empty(5, 12, QUANTUM))
+        payload = encode_block(block)
+        decoded = decode_block(payload)
+        assert decoded.num_runs == 0
+        assert decoded.length == 12
+        assert encode_block(decoded) == payload
+
+
+class TestCorruption:
+    def test_trace_error_is_an_e2eprof_error(self):
+        assert issubclass(TraceError, E2EProfError)
+
+    @given(block=wire_blocks, data=st.data())
+    def test_any_truncation_raises_trace_error(self, block, data):
+        payload = encode_block(block)
+        cut = data.draw(st.integers(0, len(payload) - 1))
+        with pytest.raises(TraceError):
+            decode_block(payload[:cut])
+
+    def test_every_single_byte_truncation_of_one_block(self):
+        """Exhaustive prefix sweep on a representative block."""
+        block = rle_encode(
+            DensityTimeSeries.from_dense(
+                [0.0, 2.0, 2.0, 0.0, 0.0, 1.5, 0.0, 3.0], 100, QUANTUM
+            )
+        )
+        payload = encode_block(block)
+        for cut in range(len(payload)):
+            with pytest.raises(TraceError):
+                decode_block(payload[:cut])
+
+    @given(block=wire_blocks, data=st.data())
+    def test_byte_flips_never_escape_trace_error(self, block, data):
+        """A flipped byte either still decodes to a valid series (e.g. a
+        flipped value bit) or raises the documented TraceError -- no other
+        exception type may escape."""
+        payload = bytearray(encode_block(block))
+        pos = data.draw(st.integers(0, len(payload) - 1))
+        flip = data.draw(st.integers(1, 255))
+        payload[pos] ^= flip
+        try:
+            decoded = decode_block(bytes(payload))
+        except TraceError:
+            return
+        # Survived: must be a structurally sound series.
+        assert decoded.length >= 0
+        assert decoded.num_runs >= 0
+        assert np.all(decoded.counts >= 1)
+
+    @given(block=wire_blocks, junk=st.binary(min_size=1, max_size=16))
+    def test_trailing_junk_raises(self, block, junk):
+        with pytest.raises(TraceError):
+            decode_block(encode_block(block) + junk)
+
+    def test_bad_magic_and_version(self):
+        payload = bytearray(
+            encode_block(rle_encode(DensityTimeSeries.empty(0, 4, QUANTUM)))
+        )
+        wrong_magic = b"XX" + bytes(payload[2:])
+        with pytest.raises(TraceError):
+            decode_block(wrong_magic)
+        payload[2] = 99  # version byte
+        with pytest.raises(TraceError):
+            decode_block(bytes(payload))
