@@ -26,6 +26,13 @@ Quickstart::
     print(result.graph_for("C1"))
 """
 
+import logging as _logging
+
+# Library-friendly logging: every module under repro logs through its
+# module logger, and the package root swallows records unless the
+# application configures handlers (or passes --log-level to the CLI).
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
+
 from repro.config import DELTA_CONFIG, PathmapConfig, RUBIS_CONFIG
 from repro.core.bottleneck import BottleneckReport, find_bottlenecks
 from repro.core.change_detection import ChangeDetector, ChangeEvent
@@ -48,7 +55,18 @@ from repro.errors import (
     TopologyError,
     TraceError,
 )
-from repro.obs import MetricsRegistry, MetricsSample
+from repro.obs import (
+    DiagnosticEvent,
+    EventBus,
+    FlightRecorder,
+    MetricsRegistry,
+    MetricsSample,
+    RefreshFrame,
+    Span,
+    SpanTracer,
+    chrome_trace,
+    write_chrome_trace,
+)
 from repro.apps.delta import build_delta
 from repro.apps.rubis import build_rubis
 from repro.simulation.topology import Topology
@@ -69,11 +87,17 @@ __all__ = [
     "CorrelationSeries",
     "DELTA_CONFIG",
     "DensityTimeSeries",
+    "DiagnosticEvent",
     "E2EProfEngine",
     "E2EProfError",
+    "EventBus",
+    "FlightRecorder",
     "MetricsRegistry",
     "MetricsSample",
     "ObservabilityError",
+    "RefreshFrame",
+    "Span",
+    "SpanTracer",
     "Pathmap",
     "PathmapConfig",
     "PathmapResult",
@@ -94,6 +118,7 @@ __all__ = [
     "build_delta",
     "build_density_series",
     "build_rubis",
+    "chrome_trace",
     "compute_service_graphs",
     "cross_correlate",
     "detect_spikes",
@@ -101,4 +126,5 @@ __all__ = [
     "find_bottlenecks",
     "rle_decode",
     "rle_encode",
+    "write_chrome_trace",
 ]

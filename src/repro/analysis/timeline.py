@@ -1,0 +1,224 @@
+"""Render flight-record dumps as human-readable timelines.
+
+The Chrome trace export (:mod:`repro.obs.export`) targets Perfetto; this
+module covers the terminal and the browser without any tooling: an ASCII
+Gantt chart of each recorded refresh's span tree (with its diagnostic
+events inlined), and an equivalent standalone SVG. Both operate on the
+JSON-able dump produced by ``engine.dump_flight_record()`` /
+:meth:`repro.obs.flight.FlightRecorder.dump`, fresh or reloaded from disk.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Optional
+
+#: Characters of the label column in the ASCII chart.
+_LABEL_WIDTH = 34
+#: Span-tree depth beyond which indentation stops growing (cycle guard).
+_MAX_DEPTH = 16
+
+_ROW_HEIGHT = 18
+_SVG_MARGIN = 16
+_SVG_LABEL_PX = 240
+_SVG_BAR_PX = 520
+
+_CATEGORY_COLORS = {
+    "engine": "#1f77b4",
+    "pathmap": "#2ca02c",
+    "tracer": "#ff7f0e",
+    "correlator": "#9467bd",
+    "replay": "#17becf",
+}
+_DEFAULT_COLOR = "#8c564b"
+_EVENT_COLOR = "#d62728"
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def _span_color(name: str) -> str:
+    prefix = name.split(".", 1)[0]
+    return _CATEGORY_COLORS.get(prefix, _DEFAULT_COLOR)
+
+
+def _span_label(span: dict) -> str:
+    """Span name plus its most identifying attribute, if any."""
+    attrs = span.get("attributes", {})
+    for key in ("service_class", "edge", "node", "subscriber"):
+        if key in attrs:
+            return f"{span['name']} [{attrs[key]}]"
+    return span["name"]
+
+
+def _ordered_with_depth(spans: List[dict]) -> List[tuple]:
+    """Spans sorted by start time, each paired with its nesting depth."""
+    by_id = {s["span_id"]: s for s in spans}
+    depths: Dict[int, int] = {}
+
+    def depth_of(span: dict) -> int:
+        cached = depths.get(span["span_id"])
+        if cached is not None:
+            return cached
+        depth = 0
+        current = span
+        while current.get("parent_id") in by_id and depth < _MAX_DEPTH:
+            current = by_id[current["parent_id"]]
+            depth += 1
+        depths[span["span_id"]] = depth
+        return depth
+
+    ordered = sorted(spans, key=lambda s: (s["start"], s["span_id"]))
+    return [(span, depth_of(span)) for span in ordered]
+
+
+def _event_label(event: dict) -> str:
+    attrs = event.get("attributes", {})
+    detail = ", ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+    text = f"{event['kind']} @ t={event['time']:.3f}"
+    return f"{text} ({detail})" if detail else text
+
+
+def render_timeline_ascii(
+    dump: dict, width: int = 100, last: Optional[int] = None
+) -> str:
+    """ASCII Gantt chart of a flight-record dump, one block per refresh.
+
+    Each span is a row: indented label, a bar positioned within the
+    refresh's own time extent, and the span's duration. Diagnostic events
+    follow their refresh as ``*`` lines. Frames recorded with tracing off
+    still show their sample numbers and events.
+    """
+    frames = dump.get("frames", [])
+    if last is not None:
+        frames = frames[len(frames) - min(last, len(frames)):]
+    bar_width = max(10, width - _LABEL_WIDTH - 12)
+    lines: List[str] = []
+    if not frames:
+        return "(empty flight record)"
+    for frame in frames:
+        spans = frame.get("spans", [])
+        events = frame.get("events", [])
+        lines.append(
+            f"refresh {frame.get('sequence', '?')} @ t={frame.get('time', 0.0):.3f}"
+            f"  ({len(spans)} spans, {len(events)} events)"
+        )
+        sample = frame.get("sample") or {}
+        if sample:
+            lines.append(
+                f"  sample: refresh {_format_seconds(sample.get('refresh_seconds', 0.0))}"
+                f", pathmap {_format_seconds(sample.get('pathmap_seconds', 0.0))}"
+                f", {sample.get('blocks_ingested', 0)} blocks"
+                f", {sample.get('correlators', 0)} correlators"
+                f", {sample.get('spikes', 0)} spikes"
+            )
+        if spans:
+            t0 = min(s["start"] for s in spans)
+            t1 = max((s["end"] if s["end"] is not None else s["start"]) for s in spans)
+            extent = max(t1 - t0, 1e-9)
+            for span, depth in _ordered_with_depth(spans):
+                end = span["end"] if span["end"] is not None else span["start"]
+                label = ("  " * min(depth, _MAX_DEPTH) + _span_label(span))[:_LABEL_WIDTH]
+                begin_col = int((span["start"] - t0) / extent * bar_width)
+                end_col = int((end - t0) / extent * bar_width)
+                end_col = max(end_col, begin_col + 1)
+                bar = " " * begin_col + "#" * (end_col - begin_col)
+                duration = _format_seconds(max(end - span["start"], 0.0))
+                error = "  !" + span["error"] if span.get("error") else ""
+                lines.append(
+                    f"  {label:<{_LABEL_WIDTH}} |{bar:<{bar_width}}| {duration}{error}"
+                )
+        for event in events:
+            lines.append(f"  * {_event_label(event)}")
+        lines.append("")
+    return "\n".join(lines).rstrip("\n") + "\n"
+
+
+def render_timeline_svg(dump: dict, last: Optional[int] = None) -> str:
+    """Standalone SVG Gantt chart of a flight-record dump.
+
+    Same layout as the ASCII chart -- one band per refresh, one bar per
+    span, diagnostic events as markers -- styled like the other
+    :mod:`repro.analysis` renderers (monospace, dependency-free).
+    """
+    frames = dump.get("frames", [])
+    if last is not None:
+        frames = frames[len(frames) - min(last, len(frames)):]
+
+    rows: List[tuple] = []  # ("header"|"span"|"event", payload)
+    for frame in frames:
+        spans = frame.get("spans", [])
+        rows.append(("header", frame))
+        if spans:
+            t0 = min(s["start"] for s in spans)
+            t1 = max((s["end"] if s["end"] is not None else s["start"]) for s in spans)
+            extent = max(t1 - t0, 1e-9)
+            for span, depth in _ordered_with_depth(spans):
+                rows.append(("span", (span, depth, t0, extent)))
+        for event in frame.get("events", []):
+            rows.append(("event", event))
+
+    width = _SVG_MARGIN * 2 + _SVG_LABEL_PX + _SVG_BAR_PX + 90
+    height = _SVG_MARGIN * 2 + max(1, len(rows)) * _ROW_HEIGHT
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace" font-size="11">',
+        "<title>repro flight-record timeline</title>",
+    ]
+    x_bar = _SVG_MARGIN + _SVG_LABEL_PX
+    y = _SVG_MARGIN
+    for kind, payload in rows:
+        mid = y + _ROW_HEIGHT - 6
+        if kind == "header":
+            frame = payload
+            parts.append(
+                f'<text x="{_SVG_MARGIN}" y="{mid}" font-weight="bold">'
+                f"refresh {frame.get('sequence', '?')} @ "
+                f"t={frame.get('time', 0.0):.3f} "
+                f"({len(frame.get('spans', []))} spans, "
+                f"{len(frame.get('events', []))} events)</text>"
+            )
+        elif kind == "span":
+            span, depth, t0, extent = payload
+            end = span["end"] if span["end"] is not None else span["start"]
+            x0 = x_bar + (span["start"] - t0) / extent * _SVG_BAR_PX
+            bar = max((end - span["start"]) / extent * _SVG_BAR_PX, 1.5)
+            label = (" " * 2 * min(depth, _MAX_DEPTH)) + _span_label(span)
+            parts.append(
+                f'<text x="{_SVG_MARGIN}" y="{mid}">{html.escape(label)}</text>'
+            )
+            parts.append(
+                f'<rect x="{x0:.1f}" y="{y + 3}" width="{bar:.1f}" '
+                f'height="{_ROW_HEIGHT - 7}" fill="{_span_color(span["name"])}" '
+                f'fill-opacity="0.8"><title>{html.escape(_span_label(span))}: '
+                f"{_format_seconds(max(end - span['start'], 0.0))}</title></rect>"
+            )
+            parts.append(
+                f'<text x="{x0 + bar + 4:.1f}" y="{mid}" fill="#555">'
+                f"{_format_seconds(max(end - span['start'], 0.0))}</text>"
+            )
+        else:
+            event = payload
+            parts.append(
+                f'<circle cx="{_SVG_MARGIN + 4}" cy="{mid - 4}" r="3" '
+                f'fill="{_EVENT_COLOR}"/>'
+            )
+            parts.append(
+                f'<text x="{_SVG_MARGIN + 12}" y="{mid}" fill="{_EVENT_COLOR}">'
+                f"{html.escape(_event_label(event))}</text>"
+            )
+        y += _ROW_HEIGHT
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def write_timeline_svg(dump: dict, path: str, last: Optional[int] = None) -> None:
+    """Render and save the SVG timeline to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_timeline_svg(dump, last=last))
+        handle.write("\n")

@@ -18,6 +18,14 @@ The workflows the paper's operators would run, without writing Python::
     python -m repro stats --format both -o metrics-snapshot.json
     python -m repro stats trace.jsonl --clients C1,C2 --format prometheus
 
+    # self-tracing: record a span/event timeline of the pipeline and
+    # export it (Chrome/Perfetto trace, ASCII or SVG Gantt, raw JSON)
+    python -m repro timeline --demo --format chrome -o trace.json
+    python -m repro timeline trace.jsonl --clients C1,C2 --format ascii
+
+Pass ``--log-level debug`` (before the subcommand) to see the pipeline's
+stdlib-logging diagnostics on stderr.
+
 Exit status is non-zero on any E2EProfError, with the message on stderr.
 """
 
@@ -25,7 +33,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
+import time
 from typing import Optional, Sequence
 
 from repro.analysis.render import render_ascii, render_dot
@@ -281,6 +291,114 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_timeline(args: argparse.Namespace) -> int:
+    """Record a span/event timeline of the pipeline and export it.
+
+    Without a trace (or with ``--demo``), runs the bundled RUBiS demo
+    through the online engine with span tracing enabled and the standard
+    detectors subscribed, then exports the engine's flight record. With a
+    trace, replays it through the offline sliding-window analysis under
+    the same tracing, building one flight-record frame per refresh.
+    """
+    from repro.analysis.timeline import render_timeline_ascii, render_timeline_svg
+    from repro.obs import chrome_trace
+
+    if args.trace is None or args.demo:
+        from repro.core.anomaly import AnomalyDetector
+        from repro.core.change_detection import ChangeDetector
+        from repro.core.engine import E2EProfEngine
+        from repro.management.monitor import LatencyMonitor
+
+        config = PathmapConfig(
+            window=args.window,
+            refresh_interval=args.window / 2.0,
+            quantum=args.quantum,
+            sampling_window=args.sampling_window or 50 * args.quantum,
+            max_transaction_delay=args.max_delay,
+        )
+        rubis = build_rubis(dispatch="affinity", seed=args.seed)
+        engine = E2EProfEngine(config, wire_fidelity=True)
+        engine.tracer.enable()
+        ChangeDetector().subscribe_to(engine)
+        AnomalyDetector().subscribe_to(engine)
+        LatencyMonitor().subscribe_to(engine)
+        engine.attach(rubis.topology)
+        rubis.run_until(args.duration)
+        if engine.latest_sample is None:
+            raise E2EProfError(
+                f"no refresh fired: --duration {args.duration} is shorter "
+                f"than one refresh interval ({config.refresh_interval:.0f}s)"
+            )
+        dump = engine.dump_flight_record(args.last)
+    else:
+        from repro.core.anomaly import AnomalyDetector
+        from repro.core.change_detection import ChangeDetector
+        from repro.core.offline import analyze_sliding
+        from repro.obs import EventBus, FlightRecorder, RefreshFrame, SpanTracer
+
+        config = _config_from(args)
+        collector = _load_collector(args)
+        stamps = [
+            t
+            for src, dst in collector.edges()
+            for t in collector.edge_timestamps(src, dst)
+        ]
+        start, end = min(stamps), max(stamps)
+        tracer = SpanTracer(enabled=True)
+        events = EventBus(tracer=tracer)
+        recorder = FlightRecorder()
+        detectors = [
+            ChangeDetector(events=events),
+            AnomalyDetector(events=events),
+        ]
+        sequence = 0
+        mark = time.perf_counter()
+        for when, result in analyze_sliding(
+            collector, config, start, end, method=args.method, tracer=tracer
+        ):
+            for detector in detectors:
+                detector.record(when, result)
+            recorder.record(
+                RefreshFrame(
+                    time=when,
+                    sequence=sequence,
+                    sample={"graphs": len(result.graphs),
+                            "spikes": result.stats.spikes,
+                            "correlations": result.stats.correlations},
+                    spans=tracer.drain(),
+                    events=events.events_since(mark),
+                )
+            )
+            mark = time.perf_counter()
+            sequence += 1
+        dump = recorder.dump(args.last)
+
+    if not dump["frames"]:
+        raise E2EProfError("flight record is empty: nothing to export")
+    if args.format == "chrome":
+        payload = json.dumps(chrome_trace(dump), indent=1) + "\n"
+    elif args.format == "json":
+        payload = json.dumps(dump, indent=2, sort_keys=True) + "\n"
+    elif args.format == "svg":
+        payload = render_timeline_svg(dump) + "\n"
+    else:
+        payload = render_timeline_ascii(dump)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        frames = len(dump["frames"])
+        spans = sum(len(f["spans"]) for f in dump["frames"])
+        events_n = sum(len(f["events"]) for f in dump["frames"])
+        print(
+            f"wrote {args.format} timeline of {frames} refreshes "
+            f"({spans} spans, {events_n} events) to {args.output}",
+            file=sys.stderr,
+        )
+    else:
+        print(payload, end="")
+    return 0
+
+
 def cmd_simulate_rubis(args: argparse.Namespace) -> int:
     rubis = build_rubis(dispatch=args.dispatch, seed=args.seed,
                         request_rate=args.rate)
@@ -307,6 +425,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="E2EProf (DSN 2007) reproduction: black-box end-to-end "
                     "service-path analysis.",
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        choices=["debug", "info", "warning", "error"],
+        help="enable stdlib logging at this level on stderr "
+             "(place before the subcommand)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -396,6 +521,38 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_arguments(stats)
     stats.set_defaults(func=cmd_stats)
 
+    timeline = sub.add_parser(
+        "timeline",
+        help="record a span/event timeline of the pipeline and export it",
+    )
+    timeline.add_argument("trace", nargs="?", default=None,
+                          help="trace to replay (default: run the RUBiS demo)")
+    timeline.add_argument("--demo", action="store_true",
+                          help="run the RUBiS demo even if a trace is given")
+    timeline.add_argument("--clients", default="",
+                          help="comma-separated client node ids (trace mode)")
+    timeline.add_argument("--access-log", action="store_true",
+                          help="input is an access log, not packet captures")
+    timeline.add_argument("--ingress", default="external",
+                          help="ingress source name for access logs")
+    timeline.add_argument("--method", default="auto",
+                          choices=["auto", "dense", "sparse", "rle", "fft"])
+    timeline.add_argument("--format", default="ascii",
+                          choices=["ascii", "chrome", "svg", "json"],
+                          help="export format: ASCII Gantt (default), "
+                               "Chrome/Perfetto trace JSON, SVG Gantt, or "
+                               "the raw flight-record dump")
+    timeline.add_argument("-o", "--output", default=None,
+                          help="write to a file instead of stdout")
+    timeline.add_argument("--last", type=int, default=None,
+                          help="export only the last N recorded refreshes")
+    timeline.add_argument("--seed", type=int, default=0,
+                          help="demo-mode simulation seed")
+    timeline.add_argument("--duration", type=float, default=65.0,
+                          help="demo-mode simulated seconds (default 65)")
+    _add_config_arguments(timeline)
+    timeline.set_defaults(func=cmd_timeline)
+
     rubis = sub.add_parser("simulate-rubis", help="generate a RUBiS packet trace")
     rubis.add_argument("-o", "--output", required=True)
     rubis.add_argument("--dispatch", default="affinity",
@@ -422,6 +579,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.log_level:
+        logging.basicConfig(
+            level=getattr(logging, args.log_level.upper()),
+            format="%(asctime)s %(levelname)s %(name)s: %(message)s",
+            stream=sys.stderr,
+        )
     try:
         return args.func(args)
     except E2EProfError as exc:

@@ -17,12 +17,16 @@ deviation is a page.
 from __future__ import annotations
 
 import dataclasses
+import logging
 import math
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.pathmap import PathmapResult
 from repro.core.service_graph import NodeId
 from repro.errors import AnalysisError
+from repro.obs.events import EVENT_ANOMALY, EventBus
+
+logger = logging.getLogger(__name__)
 
 EdgeKey = Tuple[NodeId, NodeId]
 ClassKey = Tuple[NodeId, NodeId]
@@ -77,6 +81,10 @@ class AnomalyDetector:
         quiet history doesn't turn measurement quantization into alarms.
     warmup:
         Refreshes per edge before scoring starts (baseline formation).
+    events:
+        Optional :class:`~repro.obs.events.EventBus`: every raised anomaly
+        is also published as an ``EVENT_ANOMALY`` diagnostic event.
+        ``subscribe_to`` adopts the engine's bus when none was given.
     """
 
     def __init__(
@@ -87,6 +95,7 @@ class AnomalyDetector:
         alarm_after: int = 2,
         min_std: float = 0.002,
         warmup: int = 3,
+        events: Optional[EventBus] = None,
     ) -> None:
         if not 0 < alpha <= 1:
             raise AnalysisError(f"alpha must be in (0, 1], got {alpha}")
@@ -105,6 +114,7 @@ class AnomalyDetector:
         self.alarm_after = alarm_after
         self.min_std = min_std
         self.warmup = warmup
+        self.event_bus = events
         self._states: Dict[Tuple[ClassKey, EdgeKey], EdgeState] = {}
         self._anomalies: List[Anomaly] = []
 
@@ -120,9 +130,38 @@ class AnomalyDetector:
                 if anomaly is not None:
                     raised.append(anomaly)
         self._anomalies.extend(raised)
+        for anomaly in raised:
+            log = logger.warning if anomaly.status == ALARM else logger.debug
+            log(
+                "%s on %s->%s (%s@%s): observed %.4fs vs baseline %.4fs "
+                "(score %.1f)",
+                anomaly.status,
+                anomaly.edge[0],
+                anomaly.edge[1],
+                anomaly.class_key[0],
+                anomaly.class_key[1],
+                anomaly.observed,
+                anomaly.baseline,
+                anomaly.score,
+            )
+            if self.event_bus is not None:
+                self.event_bus.publish(
+                    EVENT_ANOMALY,
+                    time,
+                    edge=f"{anomaly.edge[0]}->{anomaly.edge[1]}",
+                    service_class=f"{anomaly.class_key[0]}@{anomaly.class_key[1]}",
+                    observed=anomaly.observed,
+                    baseline=anomaly.baseline,
+                    score=anomaly.score,
+                    status=anomaly.status,
+                )
         return raised
 
     def subscribe_to(self, engine: "object") -> None:
+        """Hook into an :class:`E2EProfEngine`, adopting its event bus
+        when this detector was constructed without one."""
+        if self.event_bus is None:
+            self.event_bus = getattr(engine, "events", None)
         engine.subscribe(lambda now, result: self.record(now, result))
 
     def _observe(

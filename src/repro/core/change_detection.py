@@ -15,6 +15,7 @@ edge while other edges stay flat.
 from __future__ import annotations
 
 import dataclasses
+import logging
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -22,6 +23,9 @@ import numpy as np
 from repro.core.pathmap import PathmapResult
 from repro.core.service_graph import NodeId
 from repro.errors import AnalysisError
+from repro.obs.events import EVENT_CHANGE, EventBus
+
+logger = logging.getLogger(__name__)
 
 EdgeKey = Tuple[NodeId, NodeId]
 ClassKey = Tuple[NodeId, NodeId]  # (client, root)
@@ -71,6 +75,10 @@ class ChangeDetector:
     baseline_refreshes:
         How many previous refreshes form the trailing baseline (their mean
         delay is the reference).
+    events:
+        Optional :class:`~repro.obs.events.EventBus`: every detected
+        change is also published as an ``EVENT_CHANGE`` diagnostic event.
+        ``subscribe_to`` adopts the engine's bus when none was given.
     """
 
     def __init__(
@@ -78,6 +86,7 @@ class ChangeDetector:
         absolute_threshold: float = 0.005,
         relative_threshold: float = 0.25,
         baseline_refreshes: int = 3,
+        events: Optional[EventBus] = None,
     ) -> None:
         if baseline_refreshes < 1:
             raise AnalysisError(
@@ -86,6 +95,7 @@ class ChangeDetector:
         self.absolute_threshold = absolute_threshold
         self.relative_threshold = relative_threshold
         self.baseline_refreshes = baseline_refreshes
+        self.event_bus = events
         self._history: Dict[Tuple[ClassKey, EdgeKey], List[DelaySample]] = {}
         self._events: List[ChangeEvent] = []
 
@@ -104,10 +114,35 @@ class ChangeDetector:
                     fresh.append(event)
                 history.append(DelaySample(time, current))
         self._events.extend(fresh)
+        for event in fresh:
+            logger.debug(
+                "change on %s->%s (%s@%s): %.4fs -> %.4fs",
+                event.edge[0],
+                event.edge[1],
+                event.class_key[0],
+                event.class_key[1],
+                event.previous,
+                event.current,
+            )
+            if self.event_bus is not None:
+                self.event_bus.publish(
+                    EVENT_CHANGE,
+                    time,
+                    edge=f"{event.edge[0]}->{event.edge[1]}",
+                    service_class=f"{event.class_key[0]}@{event.class_key[1]}",
+                    previous=event.previous,
+                    current=event.current,
+                    magnitude=event.magnitude,
+                )
         return fresh
 
     def subscribe_to(self, engine: "object") -> None:
-        """Convenience: hook into an :class:`E2EProfEngine`."""
+        """Convenience: hook into an :class:`E2EProfEngine`.
+
+        Adopts the engine's diagnostic event bus when this detector was
+        constructed without one."""
+        if self.event_bus is None:
+            self.event_bus = getattr(engine, "events", None)
         engine.subscribe(lambda now, result: self.record(now, result))
 
     def _check(

@@ -23,6 +23,7 @@ settings), which is negligible against ``dW``.
 from __future__ import annotations
 
 import collections
+import logging
 import time
 from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
@@ -33,12 +34,17 @@ from repro.core.pathmap import Pathmap, PathmapResult, TraceWindow
 from repro.core.rle import RunLengthSeries
 from repro.core.timeseries import DensityTimeSeries
 from repro.errors import AnalysisError
+from repro.obs.events import EVENT_SUBSCRIBER_ERROR, EventBus
+from repro.obs.flight import DEFAULT_FLIGHT_CAPACITY, FlightRecorder, RefreshFrame
 from repro.obs.registry import MetricsRegistry
 from repro.obs.sample import MetricsSample
+from repro.obs.spans import SpanTracer
 from repro.simulation.des import PeriodicTask
 from repro.simulation.topology import Topology
 from repro.tracing.records import NodeId
 from repro.tracing.wire import decode_block, encode_block
+
+logger = logging.getLogger(__name__)
 
 EdgeKey = Tuple[NodeId, NodeId]
 RefKey = Tuple[NodeId, NodeId]
@@ -55,6 +61,9 @@ class E2EProfEngine:
         clients: Optional[Set[NodeId]] = None,
         wire_fidelity: bool = False,
         metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[SpanTracer] = None,
+        events: Optional[EventBus] = None,
+        flight_capacity: int = DEFAULT_FLIGHT_CAPACITY,
     ) -> None:
         self.config = config
         self._clients: Set[NodeId] = set(clients or ())
@@ -69,6 +78,15 @@ class E2EProfEngine:
         #: unless an operator opts in (pass an enabled registry, or call
         #: ``engine.metrics.enable()`` before ``attach``).
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Span tracer for the refresh pipeline. Defaults to a fresh
+        #: **disabled** tracer (same opt-in contract as ``metrics``).
+        self.tracer = tracer if tracer is not None else SpanTracer()
+        #: Diagnostic event bus; change/anomaly/SLA/scheduler subscribers
+        #: attached via their ``subscribe_to(engine)`` publish here.
+        self.events = events if events is not None else EventBus(tracer=self.tracer)
+        #: Always-on flight recorder of the last ``flight_capacity``
+        #: refreshes (spans + events + per-refresh sample).
+        self.flight = FlightRecorder(capacity=flight_capacity)
         self._num_blocks = max(1, round(config.window / config.refresh_interval))
         self._block_quanta = config.refresh_quanta
         # Aligned per-edge block history (destination-side, RLE).
@@ -82,6 +100,7 @@ class E2EProfEngine:
             config,
             correlation_provider=self._provide_correlation,
             metrics=self.metrics,
+            tracer=self.tracer,
         )
         self.latest_result: Optional[PathmapResult] = None
         self.latest_refresh_time: Optional[float] = None
@@ -97,6 +116,9 @@ class E2EProfEngine:
         # with the registry disabled, so MetricsSamples are always real).
         self._refresh_cache_hits = 0
         self._refresh_cache_misses = 0
+        #: Subscriber callbacks that raised and were isolated (all time,
+        #: counted regardless of the registry switch).
+        self.subscriber_errors = 0
         m = self.metrics
         self._m_refresh = m.histogram(
             "engine_refresh_seconds",
@@ -128,6 +150,10 @@ class E2EProfEngine:
         )
         self._m_edges = m.gauge(
             "engine_tracked_edges", "Edges with block history in the current window"
+        )
+        self._m_subscriber_errors = m.counter(
+            "obs_subscriber_errors_total",
+            "Subscriber callbacks that raised and were isolated during fan-out",
         )
 
     # -- wiring ---------------------------------------------------------------------
@@ -181,7 +207,23 @@ class E2EProfEngine:
         self.refresh(now)
 
     def refresh(self, now: float) -> PathmapResult:
-        """Pull one block per edge, update correlators, recompute graphs."""
+        """Pull one block per edge, update correlators, recompute graphs.
+
+        The whole refresh runs under an ``engine.refresh`` root span
+        (ingest -> correlator updates -> pathmap DFS -> fan-out children
+        when the tracer is enabled), and every refresh -- including one
+        that raises -- leaves a frame in the flight recorder.
+        """
+        sequence = self._refreshes
+        events_mark = time.perf_counter()
+        try:
+            with self.tracer.span("engine.refresh", refresh=sequence, time=now):
+                result = self._do_refresh(now)
+        finally:
+            self._record_flight_frame(now, sequence, events_mark)
+        return result
+
+    def _do_refresh(self, now: float) -> PathmapResult:
         started = time.perf_counter()
         if self._topology is None:
             raise AnalysisError("engine is not attached to a topology")
@@ -196,27 +238,34 @@ class E2EProfEngine:
         wire_bytes_before = self.wire_bytes_received
 
         fresh: Dict[EdgeKey, RunLengthSeries] = {}
-        for node_id, tracer in self._topology.fabric.tracers.items():
-            for edge, block in tracer.flush_block(
-                self.config, block_start, self._block_quanta
-            ).items():
-                src, dst = edge
-                # Destination-side capture wins (Algorithm 1); source-side
-                # only for edges into untraced clients.
-                if node_id == dst or (dst in self._clients and node_id == src):
-                    if self.wire_fidelity:
-                        payload = encode_block(block, metrics=wire_metrics)
-                        self.wire_bytes_received += len(payload)
-                        block = decode_block(payload, metrics=wire_metrics)
-                    fresh[edge] = block
+        with self.tracer.span("engine.ingest") as ingest_span:
+            for node_id, tracer in self._topology.fabric.tracers.items():
+                with self.tracer.span("tracer.flush", node=node_id):
+                    for edge, block in tracer.flush_block(
+                        self.config, block_start, self._block_quanta
+                    ).items():
+                        src, dst = edge
+                        # Destination-side capture wins (Algorithm 1);
+                        # source-side only for edges into untraced clients.
+                        if node_id == dst or (dst in self._clients and node_id == src):
+                            if self.wire_fidelity:
+                                payload = encode_block(block, metrics=wire_metrics)
+                                self.wire_bytes_received += len(payload)
+                                block = decode_block(payload, metrics=wire_metrics)
+                            fresh[edge] = block
+            ingest_span.set_attribute("blocks", len(fresh))
 
         self._refreshes += 1
         self._store_blocks(fresh, block_start)
-        self._append_to_correlators()
+        with self.tracer.span(
+            "engine.correlators", correlators=len(self._correlators)
+        ):
+            self._append_to_correlators()
 
         window = _EngineWindow(self)
         pathmap_started = time.perf_counter()
-        result = self._pathmap.analyze(window)
+        with self.tracer.span("engine.pathmap"):
+            result = self._pathmap.analyze(window)
         pathmap_seconds = time.perf_counter() - pathmap_started
         self.latest_result = result
         self.latest_refresh_time = now
@@ -230,8 +279,11 @@ class E2EProfEngine:
         self._m_correlators.set(len(self._correlators))
         self._m_edges.set(len(self._blocks))
         fanout_started = time.perf_counter()
-        for subscriber in self._subscribers:
-            subscriber(now, result)
+        with self.tracer.span(
+            "engine.fanout", subscribers=len(self._subscribers)
+        ):
+            for subscriber in self._subscribers:
+                self._notify(subscriber, now, (now, result))
         fanout_seconds = time.perf_counter() - fanout_started
         self._m_fanout.observe(fanout_seconds)
         self.latest_sample = MetricsSample(
@@ -248,9 +300,70 @@ class E2EProfEngine:
             spikes=result.stats.spikes,
             nodes_visited=result.stats.nodes_visited,
         )
-        for metrics_subscriber in self._metrics_subscribers:
-            metrics_subscriber(now, result, self.latest_sample)
+        with self.tracer.span(
+            "engine.fanout_metrics", subscribers=len(self._metrics_subscribers)
+        ):
+            for metrics_subscriber in self._metrics_subscribers:
+                self._notify(
+                    metrics_subscriber, now, (now, result, self.latest_sample)
+                )
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "refresh %d at t=%.3f: %d blocks, %d correlators, "
+                "%d spikes, %.1f ms",
+                self._refreshes,
+                now,
+                len(fresh),
+                len(self._correlators),
+                result.stats.spikes,
+                self.last_refresh_seconds * 1e3,
+            )
         return result
+
+    def _notify(self, callback: Callable, now: float, args: Tuple) -> None:
+        """Call one subscriber, isolated: a raising callback is logged,
+        counted (``obs_subscriber_errors_total``) and published as a
+        diagnostic event, but never aborts the refresh or starves the
+        subscribers after it."""
+        name = getattr(callback, "__qualname__", None) or repr(callback)
+        try:
+            with self.tracer.span("engine.subscriber", subscriber=name):
+                callback(*args)
+        except Exception as exc:
+            self.subscriber_errors += 1
+            self._m_subscriber_errors.inc()
+            logger.exception("subscriber %s raised during refresh fan-out", name)
+            self.events.publish(
+                EVENT_SUBSCRIBER_ERROR,
+                now,
+                subscriber=name,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+
+    def _record_flight_frame(
+        self, now: float, sequence: int, events_mark: float
+    ) -> None:
+        """File one frame in the always-on flight recorder: the refresh's
+        sample, its diagnostic events, and (when tracing) its spans."""
+        spans = self.tracer.drain()
+        sample = self.latest_sample
+        sample_dict = (
+            sample.to_dict() if sample is not None and sample.time == now else {}
+        )
+        self.flight.record(
+            RefreshFrame(
+                time=now,
+                sequence=sequence,
+                sample=sample_dict,
+                spans=spans,
+                events=self.events.events_since(events_mark),
+            )
+        )
+
+    def dump_flight_record(self, last: Optional[int] = None) -> dict:
+        """JSON-able dump of the last recorded refreshes (see
+        :class:`repro.obs.flight.FlightRecorder`)."""
+        return self.flight.dump(last)
 
     def _store_blocks(self, fresh: Dict[EdgeKey, RunLengthSeries], block_start: int) -> None:
         tau = self.config.quantum
@@ -271,6 +384,19 @@ class E2EProfEngine:
             deque_.append(fresh.get(edge, empty))
 
     def _append_to_correlators(self) -> None:
+        if self.tracer.enabled:
+            # Traced path: one span per correlator update, labelled by the
+            # (reference, edge) pair it maintains.
+            for (ref_edge, edge), correlator in self._correlators.items():
+                with self.tracer.span(
+                    "correlator.append",
+                    ref=f"{ref_edge[0]}->{ref_edge[1]}",
+                    edge=f"{edge[0]}->{edge[1]}",
+                ):
+                    correlator.append(self._blocks[ref_edge][-1], self._blocks[edge][-1])
+            return
+        # Untraced hot path: kept span-free so the disabled-tracing
+        # overhead stays at one attribute check per refresh, not per edge.
         for (ref_edge, edge), correlator in self._correlators.items():
             ref_block = self._blocks[ref_edge][-1]
             edge_block = self._blocks[edge][-1]

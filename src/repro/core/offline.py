@@ -10,6 +10,7 @@ online engine emits, from data at rest.
 
 from __future__ import annotations
 
+import logging
 import time
 from typing import TYPE_CHECKING, Callable, Iterator, List, Optional, Tuple
 
@@ -20,6 +21,9 @@ from repro.tracing.collector import TraceCollector
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.registry import MetricsRegistry
+    from repro.obs.spans import SpanTracer
+
+logger = logging.getLogger(__name__)
 
 
 def analyze_sliding(
@@ -30,6 +34,7 @@ def analyze_sliding(
     method: str = "auto",
     step: Optional[float] = None,
     metrics: Optional["MetricsRegistry"] = None,
+    tracer: Optional["SpanTracer"] = None,
 ) -> Iterator[Tuple[float, PathmapResult]]:
     """Yield ``(refresh_time, PathmapResult)`` for every refresh in
     ``[start_time + W, end_time]``.
@@ -62,14 +67,28 @@ def analyze_sliding(
         if metrics is not None
         else None
     )
+    if tracer is None:
+        from repro.obs.spans import NULL_TRACER
+
+        tracer = NULL_TRACER
     while refresh <= end_time:
         started = time.perf_counter()
-        window = collector.window(
-            config, end_time=refresh, start_time=refresh - config.window
-        )
-        result = compute_service_graphs(window, config, method=method, metrics=metrics)
+        with tracer.span("replay.refresh", time=refresh):
+            window = collector.window(
+                config, end_time=refresh, start_time=refresh - config.window
+            )
+            result = compute_service_graphs(
+                window, config, method=method, metrics=metrics, tracer=tracer
+            )
         if hist is not None:
             hist.observe(time.perf_counter() - started)
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "replay refresh at t=%.3f: %d graphs, %.1f ms",
+                refresh,
+                len(result.graphs),
+                (time.perf_counter() - started) * 1e3,
+            )
         yield refresh, result
         refresh += step
 
@@ -83,6 +102,7 @@ def replay_into(
     method: str = "auto",
     step: Optional[float] = None,
     metrics: Optional["MetricsRegistry"] = None,
+    tracer: Optional["SpanTracer"] = None,
 ) -> List[Tuple[float, PathmapResult]]:
     """Run :func:`analyze_sliding` and feed every refresh to the given
     subscribers (change detectors, anomaly detectors, monitors...), so the
@@ -90,7 +110,8 @@ def replay_into(
     (time, result) list."""
     out: List[Tuple[float, PathmapResult]] = []
     for when, result in analyze_sliding(
-        collector, config, start_time, end_time, method, step, metrics=metrics
+        collector, config, start_time, end_time, method, step,
+        metrics=metrics, tracer=tracer,
     ):
         for subscriber in subscribers:
             subscriber(when, result)

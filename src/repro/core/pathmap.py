@@ -35,6 +35,7 @@ from repro.errors import AnalysisError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.registry import MetricsRegistry
+    from repro.obs.spans import SpanTracer
 
 
 class TraceWindow(abc.ABC):
@@ -137,6 +138,10 @@ class Pathmap:
         ``pathmap_edges_total``, ``pathmap_nodes_visited_total``) and a
         per-service-class wall-time histogram
         (``pathmap_class_seconds{class="C1@WS"}``).
+    tracer:
+        Optional :class:`~repro.obs.spans.SpanTracer`: when enabled, each
+        service class's DFS runs under a ``pathmap.class`` span (labelled
+        ``client@root``) with its work counters as span attributes.
     """
 
     def __init__(
@@ -145,11 +150,17 @@ class Pathmap:
         method: str = "auto",
         correlation_provider: Optional[CorrelationProvider] = None,
         metrics: Optional["MetricsRegistry"] = None,
+        tracer: Optional["SpanTracer"] = None,
     ) -> None:
         self.config = config
         self.method = method
         self._provider = correlation_provider or self._default_provider
         self._metrics = metrics
+        if tracer is None:
+            from repro.obs.spans import NULL_TRACER
+
+            tracer = NULL_TRACER
+        self._tracer = tracer
 
     def _default_provider(
         self,
@@ -187,9 +198,16 @@ class Pathmap:
             pair_started = time.perf_counter()
             graph = ServiceGraph(client, root)
             local = PathmapStats()
-            reference = window.edge_series(client, root)
-            visited: Set[NodeId] = set()
-            self._compute_path(graph, reference, root, visited, window, local)
+            with self._tracer.span(
+                "pathmap.class", service_class=f"{client}@{root}"
+            ) as span:
+                reference = window.edge_series(client, root)
+                visited: Set[NodeId] = set()
+                self._compute_path(graph, reference, root, visited, window, local)
+                span.set_attribute("correlations", local.correlations)
+                span.set_attribute("spikes", local.spikes)
+                span.set_attribute("edges", local.edges_discovered)
+                span.set_attribute("nodes_visited", local.nodes_visited)
             local.graphs = 1
             if self._metrics is not None:
                 self._metrics.histogram(
@@ -291,8 +309,9 @@ def compute_service_graphs(
     method: str = "auto",
     workers: int = 1,
     metrics: Optional["MetricsRegistry"] = None,
+    tracer: Optional["SpanTracer"] = None,
 ) -> PathmapResult:
     """Convenience wrapper: one-shot pathmap analysis of a window."""
-    return Pathmap(config, method=method, metrics=metrics).analyze(
+    return Pathmap(config, method=method, metrics=metrics, tracer=tracer).analyze(
         window, workers=workers
     )

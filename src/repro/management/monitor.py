@@ -12,14 +12,18 @@ server-side tracing cannot see).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Tuple
+import logging
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.pathmap import PathmapResult
 from repro.core.service_graph import NodeId, ServiceGraph
 from repro.errors import AnalysisError
+from repro.obs.events import EVENT_LATENCY, EventBus
 from repro.simulation.nodes import ClientNode
+
+logger = logging.getLogger(__name__)
 
 
 def server_side_latency(graph: ServiceGraph) -> float:
@@ -51,9 +55,15 @@ class LatencyComparison:
 
 
 class LatencyMonitor:
-    """Per-refresh record of per-class end-to-end latency."""
+    """Per-refresh record of per-class end-to-end latency.
 
-    def __init__(self) -> None:
+    When an :class:`~repro.obs.events.EventBus` is given (or adopted from
+    the engine in ``subscribe_to``), each reading is also published as an
+    ``EVENT_LATENCY`` diagnostic event.
+    """
+
+    def __init__(self, events: Optional[EventBus] = None) -> None:
+        self.event_bus = events
         self._series: Dict[Tuple[NodeId, NodeId], List[Tuple[float, float]]] = {}
 
     def record(self, now: float, result: PathmapResult) -> None:
@@ -61,10 +71,27 @@ class LatencyMonitor:
             try:
                 latency = server_side_latency(graph)
             except AnalysisError:
+                logger.debug(
+                    "no end-to-end latency for class %s@%s at t=%.3f",
+                    class_key[0],
+                    class_key[1],
+                    now,
+                )
                 continue
             self._series.setdefault(class_key, []).append((now, latency))
+            if self.event_bus is not None:
+                self.event_bus.publish(
+                    EVENT_LATENCY,
+                    now,
+                    service_class=f"{class_key[0]}@{class_key[1]}",
+                    latency=latency,
+                )
 
     def subscribe_to(self, engine: "object") -> None:
+        """Hook into an :class:`E2EProfEngine`, adopting its event bus
+        when this monitor was constructed without one."""
+        if self.event_bus is None:
+            self.event_bus = getattr(engine, "events", None)
         engine.subscribe(self.record)
 
     def latency_series(self, class_key: Tuple[NodeId, NodeId]) -> List[Tuple[float, float]]:

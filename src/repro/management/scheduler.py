@@ -16,6 +16,7 @@ measured faster. This reproduces the Table 1 experiment.
 from __future__ import annotations
 
 import dataclasses
+import logging
 from typing import Dict, List, Optional, Sequence
 
 from repro.apps.dispatch import LatencyAwareRouter
@@ -23,6 +24,9 @@ from repro.core.engine import E2EProfEngine
 from repro.core.pathmap import PathmapResult
 from repro.core.service_graph import NodeId, ServiceGraph
 from repro.errors import AnalysisError
+from repro.obs.events import EVENT_PATH_SELECTION, EventBus
+
+logger = logging.getLogger(__name__)
 
 
 def path_latency_via(graph: ServiceGraph, through: NodeId) -> Optional[float]:
@@ -97,6 +101,7 @@ class PathSelector:
         background_class: str,
         class_clients: Optional[Dict[str, NodeId]] = None,
         paths: Optional[Sequence[NodeId]] = None,
+        events: Optional[EventBus] = None,
     ) -> None:
         self.router = router
         self.priority_class = priority_class
@@ -108,9 +113,14 @@ class PathSelector:
         self.paths: List[NodeId] = list(paths if paths is not None else router.targets)
         if len(self.paths) < 2:
             raise AnalysisError("path selection needs at least two candidate paths")
+        self.event_bus = events
         self.history: List[SelectionRecord] = []
 
     def attach(self, engine: E2EProfEngine) -> None:
+        """Subscribe to the engine, adopting its diagnostic event bus
+        when this selector was constructed without one."""
+        if self.event_bus is None:
+            self.event_bus = engine.events
         engine.subscribe(self.on_refresh)
 
     # -- the control loop --------------------------------------------------------
@@ -127,9 +137,28 @@ class PathSelector:
             return  # not enough signal to compare paths yet
         fastest = min(latencies, key=latencies.get)
         others = [p for p in self.paths if p != fastest]
+        previous = self.router.assignment(self.priority_class)
         self.router.assign(self.priority_class, fastest)
         self.router.assign(self.background_class, others[0])
         self.history.append(SelectionRecord(now, dict(latencies), fastest))
+        if previous != fastest:
+            logger.debug(
+                "path selection at t=%.3f: %s moved %s -> %s",
+                now,
+                self.priority_class,
+                previous,
+                fastest,
+            )
+        if self.event_bus is not None:
+            self.event_bus.publish(
+                EVENT_PATH_SELECTION,
+                now,
+                priority_class=self.priority_class,
+                target=fastest,
+                previous=previous,
+                switched=previous != fastest,
+                latencies={str(k): v for k, v in latencies.items()},
+            )
 
     def current_path_latencies(self, result: PathmapResult) -> Dict[NodeId, float]:
         """Latency per candidate path, read from the response edge of the

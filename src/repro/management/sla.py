@@ -11,11 +11,15 @@ monitor that evaluates measured latencies against them.
 from __future__ import annotations
 
 import dataclasses
+import logging
 from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.obs.events import EVENT_SLA_VIOLATION, EventBus
+
+logger = logging.getLogger(__name__)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -72,14 +76,21 @@ class SLAStatus:
 
 
 class SLAMonitor:
-    """Evaluates a set of SLAs against per-class latency feeds."""
+    """Evaluates a set of SLAs against per-class latency feeds.
 
-    def __init__(self, slas: Iterable[SLA]) -> None:
+    When an :class:`~repro.obs.events.EventBus` is given, every violation
+    is also published as an ``EVENT_SLA_VIOLATION`` diagnostic event.
+    """
+
+    def __init__(
+        self, slas: Iterable[SLA], events: Optional[EventBus] = None
+    ) -> None:
         self._slas: Dict[str, SLA] = {}
         for sla in slas:
             if sla.service_class in self._slas:
                 raise ConfigError(f"duplicate SLA for class {sla.service_class!r}")
             self._slas[sla.service_class] = sla
+        self.event_bus = events
         self._violations: List[SLAStatus] = []
 
     @property
@@ -93,9 +104,14 @@ class SLAMonitor:
             raise ConfigError(f"no SLA for class {service_class!r}") from None
 
     def evaluate(
-        self, latencies_by_class: Dict[str, Sequence[float]]
+        self,
+        latencies_by_class: Dict[str, Sequence[float]],
+        now: float = 0.0,
     ) -> List[SLAStatus]:
-        """Evaluate every SLA; violations are also recorded."""
+        """Evaluate every SLA; violations are also recorded.
+
+        ``now`` is only used to stamp published diagnostic events.
+        """
         statuses = []
         for service_class, sla in sorted(self._slas.items()):
             samples = latencies_by_class.get(service_class, ())
@@ -103,6 +119,24 @@ class SLAMonitor:
             statuses.append(status)
             if not status.met:
                 self._violations.append(status)
+                logger.warning(
+                    "SLA violated for class %s: measured %.4fs > target %.4fs "
+                    "(%d samples)",
+                    service_class,
+                    status.measured,
+                    sla.max_latency,
+                    status.sample_count,
+                )
+                if self.event_bus is not None:
+                    self.event_bus.publish(
+                        EVENT_SLA_VIOLATION,
+                        now,
+                        service_class=service_class,
+                        measured=status.measured,
+                        target=sla.max_latency,
+                        headroom=status.headroom,
+                        samples=status.sample_count,
+                    )
         return statuses
 
     def violations(self) -> List[SLAStatus]:

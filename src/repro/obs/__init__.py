@@ -1,4 +1,4 @@
-"""repro.obs -- self-observability for the analyzer (metrics + profiling).
+"""repro.obs -- self-observability for the analyzer (metrics, spans, events).
 
 The paper's core claim is that the pathmap analyzer is cheap enough to run
 *online* (the flat 'incremental' curve of Figure 9, Section 3.7). This
@@ -19,11 +19,32 @@ Key properties:
   ``registry.to_prometheus()`` (text format 0.0.4), and per-refresh
   :class:`MetricsSample` objects pushed to engine subscribers.
 
-See ``docs/OBSERVABILITY.md`` for the metric catalogue and wiring recipes,
-and the ``repro stats`` CLI subcommand for a one-shot exposition.
+Beyond aggregates, the package also provides the *causal* layer (PR 2):
+:class:`SpanTracer` (nested, monotonic per-stage spans; same off-by-default
+contract), :class:`EventBus` (typed :class:`DiagnosticEvent` records --
+changes, anomalies, SLA violations, scheduler decisions -- attached to the
+span that raised them), :class:`FlightRecorder` (a bounded ring of the last
+N refreshes' spans+events, always recording), and :func:`chrome_trace`
+(Perfetto/``chrome://tracing``-loadable export).
+
+See ``docs/OBSERVABILITY.md`` for the catalogue and wiring recipes, and
+the ``repro stats`` / ``repro timeline`` CLI subcommands for one-shot
+expositions.
 """
 
+from repro.obs.events import (
+    EVENT_ANOMALY,
+    EVENT_CHANGE,
+    EVENT_LATENCY,
+    EVENT_PATH_SELECTION,
+    EVENT_SLA_VIOLATION,
+    EVENT_SUBSCRIBER_ERROR,
+    DiagnosticEvent,
+    EventBus,
+)
+from repro.obs.export import chrome_trace, write_chrome_trace
 from repro.obs.exposition import snapshot, to_prometheus
+from repro.obs.flight import DEFAULT_FLIGHT_CAPACITY, FlightRecorder, RefreshFrame
 from repro.obs.instruments import (
     DEFAULT_COUNT_BUCKETS,
     DEFAULT_LATENCY_BUCKETS,
@@ -34,17 +55,34 @@ from repro.obs.instruments import (
 )
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.obs.sample import MetricsSample
+from repro.obs.spans import NULL_TRACER, Span, SpanTracer
 
 __all__ = [
     "Counter",
     "DEFAULT_COUNT_BUCKETS",
+    "DEFAULT_FLIGHT_CAPACITY",
     "DEFAULT_LATENCY_BUCKETS",
+    "DiagnosticEvent",
+    "EVENT_ANOMALY",
+    "EVENT_CHANGE",
+    "EVENT_LATENCY",
+    "EVENT_PATH_SELECTION",
+    "EVENT_SLA_VIOLATION",
+    "EVENT_SUBSCRIBER_ERROR",
+    "EventBus",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "MetricsSample",
     "NULL_REGISTRY",
+    "NULL_TRACER",
+    "RefreshFrame",
+    "Span",
+    "SpanTracer",
     "Timer",
+    "chrome_trace",
     "snapshot",
     "to_prometheus",
+    "write_chrome_trace",
 ]

@@ -1,0 +1,122 @@
+"""Export flight-record dumps as Chrome trace-event JSON.
+
+The Trace Event Format is the lingua franca of timeline viewers: a JSON
+document with a ``traceEvents`` list that ``chrome://tracing`` and
+Perfetto (https://ui.perfetto.dev) load directly. This module converts a
+flight-record dump (``engine.dump_flight_record()`` or
+:meth:`repro.obs.flight.FlightRecorder.dump`) into that format:
+
+* every span becomes a complete event (``ph: "X"``) with microsecond
+  ``ts``/``dur`` normalized to the dump's earliest span;
+* every diagnostic event becomes an instant event (``ph: "i"``) on the
+  thread of the span it was attached to;
+* thread ids are compacted and named so the viewer shows stable lanes.
+
+The export is pure data-in/data-out: it works on a freshly dumped dict or
+on one reloaded from a stored JSON file (``repro timeline`` replay mode).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+_PROCESS_NAME = "repro analysis pipeline"
+
+
+def _span_category(name: str) -> str:
+    """Trace-viewer category: the component prefix of the span name."""
+    return name.split(".", 1)[0] if "." in name else name
+
+
+def chrome_trace(dump: dict) -> dict:
+    """Convert a flight-record dump into a Chrome trace-event document.
+
+    ``dump`` is the JSON-able dict produced by
+    :meth:`~repro.obs.flight.FlightRecorder.dump` (possibly reloaded from
+    disk). Frames without spans still contribute their events, anchored
+    to the events' own monotonic stamps.
+    """
+    frames = dump.get("frames", [])
+    spans: List[dict] = [s for f in frames for s in f.get("spans", [])]
+    events: List[dict] = [e for f in frames for e in f.get("events", [])]
+
+    anchors = [s["start"] for s in spans] + [e["monotonic"] for e in events]
+    t0 = min(anchors) if anchors else 0.0
+
+    def us(stamp: float) -> float:
+        return (stamp - t0) * 1e6
+
+    # Compact raw thread idents into small, stable tids.
+    tids: Dict[int, int] = {}
+
+    def tid_of(raw: Optional[int]) -> int:
+        if raw is None:
+            return 0
+        return tids.setdefault(raw, len(tids) + 1)
+
+    span_threads = {s["span_id"]: s["thread_id"] for s in spans}
+
+    trace_events: List[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": _PROCESS_NAME},
+        }
+    ]
+    for span in spans:
+        end = span["end"] if span["end"] is not None else span["start"]
+        args = dict(span.get("attributes", {}))
+        if span.get("error"):
+            args["error"] = span["error"]
+        trace_events.append(
+            {
+                "name": span["name"],
+                "cat": _span_category(span["name"]),
+                "ph": "X",
+                "ts": us(span["start"]),
+                "dur": max(0.0, us(end) - us(span["start"])),
+                "pid": 1,
+                "tid": tid_of(span["thread_id"]),
+                "args": args,
+            }
+        )
+    for event in events:
+        raw_thread = span_threads.get(event.get("span_id"))
+        trace_events.append(
+            {
+                "name": event["kind"],
+                "cat": "events",
+                "ph": "i",
+                "ts": us(event["monotonic"]),
+                "pid": 1,
+                "tid": tid_of(raw_thread),
+                "s": "t" if raw_thread is not None else "p",
+                "args": {"time": event["time"], **event.get("attributes", {})},
+            }
+        )
+    for raw, tid in sorted(tids.items(), key=lambda kv: kv[1]):
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": f"analysis-{tid}"},
+            }
+        )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(dump: dict, path: str) -> int:
+    """Render ``dump`` as Chrome trace JSON at ``path``.
+
+    Returns the number of trace events written.
+    """
+    doc = chrome_trace(dump)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=1)
+        handle.write("\n")
+    return len(doc["traceEvents"])

@@ -82,6 +82,14 @@ def _escape_help(value: str) -> str:
 
 
 def _fmt(value: float) -> str:
+    # Text format 0.0.4 spells the non-finite values exactly this way;
+    # Python's repr ("inf", "nan") would not be parsed back.
+    if value != value:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
     return repr(value)

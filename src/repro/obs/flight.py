@@ -1,0 +1,125 @@
+"""The flight recorder: a bounded black-box of recent refreshes.
+
+When a refresh is slow or a detector misfires, the aggregates say *that*
+something happened; the flight recorder says *what*. It is a ring buffer
+of the last ``capacity`` refreshes' :class:`RefreshFrame` records -- per
+refresh: the engine's cheap self-measurements (the MetricsSample dict),
+every diagnostic event the refresh produced, and (when span tracing is
+on) the full span tree of the refresh.
+
+It records **always**, at negligible cost: with tracing off a frame is a
+handful of numbers and the (rare) events; enabling the tracer upgrades
+frames to full timelines without touching the recorder. Dump it after an
+error, on demand via ``engine.dump_flight_record()``, or through the
+``repro timeline`` CLI.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.obs.events import DiagnosticEvent
+from repro.obs.spans import Span
+
+#: Default ring depth: enough refreshes to cover several full analysis
+#: windows at typical W/dW ratios while staying a few hundred KB.
+DEFAULT_FLIGHT_CAPACITY = 32
+
+
+@dataclasses.dataclass
+class RefreshFrame:
+    """Everything recorded about one engine (or replay) refresh.
+
+    Attributes
+    ----------
+    time:
+        Analysis time of the refresh (the ``now`` passed to ``refresh``).
+    sequence:
+        Monotonic refresh index within the producing engine/replay.
+    sample:
+        JSON-able dict of the refresh's self-measurements (an engine's
+        ``MetricsSample.to_dict()``, or a smaller dict for replays).
+    spans:
+        The refresh's finished spans (empty when tracing is off).
+    events:
+        Diagnostic events raised during the refresh.
+    """
+
+    time: float
+    sequence: int
+    sample: Dict[str, object]
+    spans: List[Span] = dataclasses.field(default_factory=list)
+    events: List[DiagnosticEvent] = dataclasses.field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "time": self.time,
+            "sequence": self.sequence,
+            "sample": dict(self.sample),
+            "spans": [s.to_dict() for s in self.spans],
+            "events": [e.to_dict() for e in self.events],
+        }
+
+
+class FlightRecorder:
+    """Thread-safe ring buffer of :class:`RefreshFrame` records."""
+
+    def __init__(self, capacity: int = DEFAULT_FLIGHT_CAPACITY) -> None:
+        if capacity < 1:
+            from repro.errors import ObservabilityError
+
+            raise ObservabilityError(
+                f"flight recorder capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._frames: Deque[RefreshFrame] = deque(maxlen=self.capacity)
+        self._recorded = 0
+
+    def record(self, frame: RefreshFrame) -> None:
+        """Append one frame, evicting the oldest when full."""
+        with self._lock:
+            self._frames.append(frame)
+            self._recorded += 1
+
+    @property
+    def recorded(self) -> int:
+        """Total frames ever recorded (including rotated-out ones)."""
+        return self._recorded
+
+    def frames(self, last: Optional[int] = None) -> List[RefreshFrame]:
+        """The retained frames, oldest first (optionally only the last N)."""
+        with self._lock:
+            out = list(self._frames)
+        if last is not None and last >= 0:
+            out = out[len(out) - min(last, len(out)):]
+        return out
+
+    def latest(self) -> Optional[RefreshFrame]:
+        with self._lock:
+            return self._frames[-1] if self._frames else None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._frames.clear()
+
+    def dump(self, last: Optional[int] = None) -> dict:
+        """JSON-able dump of the retained frames.
+
+        The dump is self-consistent: it is assembled under the recorder's
+        lock-protected snapshot of the ring, so concurrent ``record``
+        calls never produce a half-updated frame list.
+        """
+        frames = self.frames(last)
+        return {
+            "capacity": self.capacity,
+            "recorded": self._recorded,
+            "frames": [f.to_dict() for f in frames],
+        }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._frames)

@@ -1,0 +1,289 @@
+"""Span tracing: causal, nested timing records for the analysis pipeline.
+
+PR 1's metrics answer "how much, in aggregate"; spans answer "*which*
+refresh, stage, edge or subscriber, and in what order". A
+:class:`SpanTracer` produces :class:`Span` records -- named, monotonic
+``perf_counter`` intervals with parent/child nesting, per-span attributes
+and attached :class:`~repro.obs.events.DiagnosticEvent`\\ s -- the same
+per-request timeline primitive YTrace-style systems use to make
+performance diagnosis actionable.
+
+The tracer obeys the same contract as the metrics registry:
+
+* **Off by default, near-zero when off.** A disabled tracer's
+  :meth:`SpanTracer.span` returns a shared no-op context manager after a
+  single attribute check -- no allocation, no lock. The overhead guard in
+  ``tests/test_performance_guard.py`` pins the disabled path below 5% of
+  engine refresh time.
+* **Thread-safe when on.** The active-span stack is thread-local (each
+  worker thread nests independently; spans record their thread id), and
+  finished spans are appended under a lock.
+
+Usage::
+
+    tracer = SpanTracer(enabled=True)
+    with tracer.span("engine.refresh", refresh=3):
+        with tracer.span("pathmap", classes=2):
+            ...
+    finished = tracer.drain()     # list[Span], innermost finished first
+    [s.to_dict() for s in finished]   # JSON-able
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.events import DiagnosticEvent
+
+logger = logging.getLogger(__name__)
+
+
+class Span:
+    """One named, timed interval in the pipeline.
+
+    Timestamps are ``time.perf_counter()`` values: monotonic, comparable
+    across spans of one process, unrelated to the simulation clock.
+    ``duration`` is only meaningful once the span has finished.
+    """
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "thread_id",
+        "start",
+        "end",
+        "attributes",
+        "events",
+        "error",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        thread_id: int,
+        start: float,
+        attributes: Dict[str, object],
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.thread_id = thread_id
+        self.start = start
+        self.end: Optional[float] = None
+        self.attributes = attributes
+        self.events: List["DiagnosticEvent"] = []
+        #: ``"ExcType: message"`` when the traced block raised, else None.
+        self.error: Optional[str] = None
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def set_attribute(self, key: str, value: object) -> None:
+        self.attributes[key] = value
+
+    def add_event(self, event: "DiagnosticEvent") -> None:
+        self.events.append(event)
+
+    def to_dict(self) -> dict:
+        """JSON-able form (events serialized via their own ``to_dict``)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread_id": self.thread_id,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attributes": dict(self.attributes),
+            "events": [e.to_dict() for e in self.events],
+            "error": self.error,
+        }
+
+    def __repr__(self) -> str:
+        state = f"{self.duration * 1e3:.2f}ms" if self.end is not None else "open"
+        return f"Span({self.name!r}, id={self.span_id}, {state})"
+
+
+class _NullSpan:
+    """Shared no-op stand-in returned while tracing is disabled.
+
+    Implements the full Span surface so instrumented code never branches:
+    ``with tracer.span(...) as s: s.set_attribute(...)`` is valid either
+    way. Stateless, hence safe to share and re-enter from any thread.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        return False
+
+    def set_attribute(self, key: str, value: object) -> None:
+        pass
+
+    def add_event(self, event: object) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager that opens a :class:`Span` on enter and files it
+    with the tracer on exit (exceptions are recorded, never swallowed)."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "SpanTracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        if exc_type is not None:
+            self._span.error = f"{getattr(exc_type, '__name__', exc_type)}: {exc}"
+            logger.debug(
+                "span %s failed: %s", self._span.name, self._span.error
+            )
+        self._tracer._finish(self._span)
+        return False
+
+
+class SpanTracer:
+    """Factory and collector of :class:`Span` records.
+
+    Parameters
+    ----------
+    enabled:
+        Whether :meth:`span` records anything. Defaults to **False** (the
+        analyzer must not tax the hot path it observes); disabled calls
+        return :data:`NULL_SPAN` after one attribute check.
+    max_finished:
+        Bound on retained finished spans. When an instrumented run is
+        never drained (e.g. tracing left on without a flight recorder),
+        the oldest spans are discarded rather than growing without bound.
+    """
+
+    def __init__(self, enabled: bool = False, max_finished: int = 100_000) -> None:
+        self.enabled = bool(enabled)
+        self.max_finished = int(max_finished)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._next_id = 1
+        self._finished: List[Span] = []
+        self._dropped = 0
+
+    # -- switch ----------------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    # -- span lifecycle --------------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def span(self, name: str, **attributes: object) -> "_SpanContext | _NullSpan":
+        """Open a child of the current span (or a root span).
+
+        Returns a context manager yielding the :class:`Span`; when the
+        tracer is disabled, returns the shared no-op :data:`NULL_SPAN`.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        stack = self._stack()
+        parent_id = stack[-1].span_id if stack else None
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        span = Span(
+            name,
+            span_id,
+            parent_id,
+            threading.get_ident(),
+            time.perf_counter(),
+            dict(attributes),
+        )
+        stack.append(span)
+        return _SpanContext(self, span)
+
+    def _finish(self, span: Span) -> None:
+        span.end = time.perf_counter()
+        stack = self._stack()
+        # The finished span is normally the top of this thread's stack;
+        # tolerate (and log) mis-nesting instead of corrupting the stack.
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # pragma: no cover - defensive
+            logger.warning("span %r closed out of order", span.name)
+            stack.remove(span)
+        with self._lock:
+            self._finished.append(span)
+            if len(self._finished) > self.max_finished:
+                overflow = len(self._finished) - self.max_finished
+                del self._finished[:overflow]
+                self._dropped += overflow
+
+    # -- queries ----------------------------------------------------------------
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span of the calling thread, if any."""
+        if not self.enabled:
+            return None
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def add_event(self, event: "DiagnosticEvent") -> bool:
+        """Attach ``event`` to the calling thread's current span.
+
+        Returns False (and does nothing) when tracing is disabled or no
+        span is open -- callers need not check first.
+        """
+        span = self.current_span()
+        if span is None:
+            return False
+        span.add_event(event)
+        return True
+
+    @property
+    def dropped(self) -> int:
+        """Finished spans discarded because ``max_finished`` was hit."""
+        return self._dropped
+
+    def drain(self) -> List[Span]:
+        """Return and clear all finished spans (in finish order)."""
+        with self._lock:
+            out = self._finished
+            self._finished = []
+        return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._finished)
+
+
+#: Process-wide disabled tracer: the default for instrumented components
+#: whose caller did not supply one. Never enable this in library code.
+NULL_TRACER = SpanTracer(enabled=False)

@@ -16,6 +16,7 @@ capture: ``client -> frontend`` uses the front end's receive timestamps,
 from __future__ import annotations
 
 import bisect
+import logging
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
@@ -29,6 +30,8 @@ from repro.tracing.records import CaptureRecord, NodeId
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.registry import MetricsRegistry
+
+logger = logging.getLogger(__name__)
 
 EdgeKey = Tuple[NodeId, NodeId]
 
@@ -173,7 +176,15 @@ class TraceCollector:
             )
         if self._m_windows is not None:
             self._m_windows.inc()
-        return CollectedTraceWindow(self, config, start_time, end_time, use_rle)
+        window = CollectedTraceWindow(self, config, start_time, end_time, use_rle)
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "materialized window [%.3f, %.3f) with %d active edges",
+                window.start_time,
+                window.end_time,
+                len(window.active_edges()),
+            )
+        return window
 
 
 class CollectedTraceWindow(TraceWindow):

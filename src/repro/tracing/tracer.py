@@ -16,6 +16,7 @@ module would stream them.
 
 from __future__ import annotations
 
+import logging
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.config import PathmapConfig
@@ -26,6 +27,8 @@ from repro.core.rle import RunLengthSeries, rle_encode
 from repro.core.timeseries import build_density_series
 from repro.errors import TraceError
 from repro.tracing.records import CaptureRecord, NodeId
+
+logger = logging.getLogger(__name__)
 
 EdgeKey = Tuple[NodeId, NodeId]
 
@@ -127,8 +130,18 @@ class Tracer:
 
     def _drop_before(self, cutoff: float) -> None:
         """Discard timestamps older than ``cutoff`` (no longer needed)."""
+        dropped = 0
         for edge, stamps in self._timestamps.items():
-            self._timestamps[edge] = [t for t in stamps if t >= cutoff]
+            kept = [t for t in stamps if t >= cutoff]
+            dropped += len(stamps) - len(kept)
+            self._timestamps[edge] = kept
+        if dropped and logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "tracer %s dropped %d stale timestamps before t=%.3f",
+                self.node,
+                dropped,
+                cutoff,
+            )
 
     def reset(self) -> None:
         """Discard all captured state (e.g. module reload)."""

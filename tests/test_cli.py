@@ -191,6 +191,78 @@ class TestStats:
         assert "no refresh fired" in capsys.readouterr().err
 
 
+class TestTimeline:
+    def test_replay_mode_ascii(self, rubis_trace, capsys):
+        code = main([
+            "timeline", str(rubis_trace), "--clients", "C1,C2",
+            "--window", "60",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "refresh 0" in out
+        assert "replay.refresh" in out
+        assert "pathmap.class" in out
+
+    def test_replay_mode_chrome_to_file(self, rubis_trace, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        code = main([
+            "timeline", str(rubis_trace), "--clients", "C1,C2",
+            "--window", "60", "--format", "chrome", "-o", str(out),
+        ])
+        assert code == 0
+        assert "wrote chrome timeline" in capsys.readouterr().err
+        doc = json.loads(out.read_text())
+        names = {e.get("name") for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert "replay.refresh" in names
+        assert "pathmap.class" in names
+
+    def test_replay_mode_svg(self, rubis_trace, capsys):
+        code = main([
+            "timeline", str(rubis_trace), "--clients", "C1,C2",
+            "--window", "60", "--format", "svg",
+        ])
+        assert code == 0
+        assert capsys.readouterr().out.startswith("<svg")
+
+    def test_window_too_long_is_an_error(self, rubis_trace, capsys):
+        code = main([
+            "timeline", str(rubis_trace), "--clients", "C1,C2",
+            "--window", "600",
+        ])
+        assert code == 2
+
+
+@pytest.mark.slow
+class TestTimelineDemo:
+    def test_demo_mode_chrome_has_nested_engine_spans(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        code = main([
+            "timeline", "--demo", "--duration", "65", "--window", "60",
+            "--format", "chrome", "-o", str(out),
+        ])
+        assert code == 0
+        doc = json.loads(out.read_text())
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        names = {e["name"] for e in complete}
+        assert {
+            "engine.refresh",
+            "engine.correlators",
+            "correlator.append",
+            "engine.pathmap",
+            "pathmap.class",
+        } <= names
+        # Diagnostic events ride along as instants.
+        assert any(e["ph"] == "i" for e in doc["traceEvents"])
+
+    def test_demo_mode_json_dump(self, capsys):
+        code = main(["timeline", "--demo", "--duration", "65",
+                     "--window", "60", "--format", "json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["frames"]
+        assert doc["frames"][0]["spans"]
+
+
 class TestSkew:
     def test_skew_report(self, rubis_trace, capsys):
         code = main([

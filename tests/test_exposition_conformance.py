@@ -1,0 +1,96 @@
+"""Conformance test for the Prometheus text exposition (format 0.0.4).
+
+The output is compared against hand-written expected text so that every
+formatting rule -- HELP/TYPE headers, label escaping, bucket cumulation,
+the mandatory ``+Inf`` bucket, ``_sum``/``_count`` lines and non-finite
+value spelling -- is pinned exactly, not just structurally.
+"""
+
+import math
+
+from repro.obs import MetricsRegistry
+
+
+def test_counter_gauge_histogram_exact_text():
+    registry = MetricsRegistry(enabled=True, namespace="repro")
+
+    refreshes = registry.counter("engine_refreshes_total", "Refreshes run")
+    refreshes.inc(3)
+
+    lag = registry.gauge("collector_lag_seconds", "Collector lag")
+    lag.set(0.25)
+
+    latency = registry.histogram(
+        "refresh_seconds", "Refresh wall time", buckets=[0.1, 1.0]
+    )
+    latency.observe(0.05)   # <= 0.1
+    latency.observe(0.5)    # <= 1.0
+    latency.observe(2.0)    # overflow -> +Inf only
+
+    expected = (
+        "# HELP repro_collector_lag_seconds Collector lag\n"
+        "# TYPE repro_collector_lag_seconds gauge\n"
+        "repro_collector_lag_seconds 0.25\n"
+        "# HELP repro_engine_refreshes_total Refreshes run\n"
+        "# TYPE repro_engine_refreshes_total counter\n"
+        "repro_engine_refreshes_total 3\n"
+        "# HELP repro_refresh_seconds Refresh wall time\n"
+        "# TYPE repro_refresh_seconds histogram\n"
+        'repro_refresh_seconds_bucket{le="0.1"} 1\n'
+        'repro_refresh_seconds_bucket{le="1"} 2\n'
+        'repro_refresh_seconds_bucket{le="+Inf"} 3\n'
+        "repro_refresh_seconds_sum 2.55\n"
+        "repro_refresh_seconds_count 3\n"
+    )
+    assert registry.to_prometheus() == expected
+
+
+def test_label_escaping_is_exact():
+    registry = MetricsRegistry(enabled=True, namespace="repro")
+    weird = registry.counter(
+        "edges_total",
+        "Edges seen",
+        labels={"edge": 'WS->"DB"\\x\ny'},
+    )
+    weird.inc()
+    expected = (
+        "# HELP repro_edges_total Edges seen\n"
+        "# TYPE repro_edges_total counter\n"
+        'repro_edges_total{edge="WS->\\"DB\\"\\\\x\\ny"} 1\n'
+    )
+    assert registry.to_prometheus() == expected
+
+
+def test_help_escaping_is_exact():
+    registry = MetricsRegistry(enabled=True, namespace="repro")
+    registry.counter("c_total", "line one\nline \\ two").inc()
+    text = registry.to_prometheus()
+    assert "# HELP repro_c_total line one\\nline \\\\ two\n" in text
+
+
+def test_non_finite_values_spelled_per_spec():
+    registry = MetricsRegistry(enabled=True, namespace="repro")
+    registry.gauge("g_inf").set(math.inf)
+    registry.gauge("g_neg_inf").set(-math.inf)
+    registry.gauge("g_nan").set(math.nan)
+    text = registry.to_prometheus()
+    # The spec spells these exactly +Inf / -Inf / NaN; Python's repr
+    # ("inf", "nan") would not parse back.
+    assert "repro_g_inf +Inf\n" in text
+    assert "repro_g_neg_inf -Inf\n" in text
+    assert "repro_g_nan NaN\n" in text
+    assert "inf\n" not in text.replace("+Inf", "").replace("-Inf", "")
+
+
+def test_labeled_series_share_one_header():
+    registry = MetricsRegistry(enabled=True, namespace="repro")
+    registry.counter("hits_total", "Hits", labels={"node": "WS"}).inc(1)
+    registry.counter("hits_total", "Hits", labels={"node": "DB"}).inc(2)
+    text = registry.to_prometheus()
+    assert text.count("# TYPE repro_hits_total counter") == 1
+    assert 'repro_hits_total{node="DB"} 2\n' in text
+    assert 'repro_hits_total{node="WS"} 1\n' in text
+
+
+def test_empty_registry_renders_empty_string():
+    assert MetricsRegistry(enabled=True).to_prometheus() == ""

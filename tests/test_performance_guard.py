@@ -12,6 +12,7 @@ import pytest
 
 from repro import E2EProfEngine, PathmapConfig, build_rubis
 from repro.core.pathmap import compute_service_graphs
+from repro.obs.spans import NULL_SPAN, SpanTracer
 
 pytestmark = pytest.mark.slow
 
@@ -56,6 +57,44 @@ class TestAnalysisBudget:
         rubis.run_until(305.0)
         assert durations
         assert max(durations) < CFG.refresh_interval / 10
+
+    def test_disabled_tracing_overhead_under_five_percent(self):
+        """The self-tracing contract: with the tracer off, every span
+        site costs one attribute check plus a null context manager.
+        Price that per-op cost, scale it by the spans a traced refresh
+        actually opens, and demand the total stays under 5% of an
+        untraced refresh."""
+        tracer = SpanTracer()  # disabled
+        ops = 200_000
+        started = time.perf_counter()
+        for _ in range(ops):
+            with tracer.span("engine.refresh", refresh=0):
+                pass
+        per_op = (time.perf_counter() - started) / ops
+        assert tracer.span("x") is NULL_SPAN  # stayed disabled
+
+        # Spans per refresh, measured on a short traced run.
+        rubis = build_rubis(dispatch="round_robin", seed=26, request_rate=10.0,
+                            config=CFG)
+        traced = E2EProfEngine(CFG)
+        traced.tracer.enable()
+        traced.attach(rubis.topology)
+        rubis.run_until(65.0)
+        frames = traced.flight.frames()
+        assert frames
+        spans_per_refresh = max(len(f.spans) for f in frames)
+
+        # Mean untraced refresh cost on the same workload shape.
+        rubis = build_rubis(dispatch="round_robin", seed=26, request_rate=10.0,
+                            config=CFG)
+        engine = E2EProfEngine(CFG)
+        engine.attach(rubis.topology)
+        durations = []
+        engine.subscribe(lambda now, res: durations.append(engine.last_refresh_seconds))
+        rubis.run_until(185.0)
+        mean_refresh = sum(durations) / len(durations)
+
+        assert per_op * spans_per_refresh < 0.05 * mean_refresh
 
     def test_simulation_throughput(self):
         """The DES substrate itself must stay fast enough for the long

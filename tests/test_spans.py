@@ -1,0 +1,181 @@
+"""Tests for repro.obs.spans: the off-by-default span tracer."""
+
+import threading
+
+import pytest
+
+from repro.obs.spans import NULL_SPAN, NULL_TRACER, Span, SpanTracer
+
+
+class TestDisabledTracer:
+    def test_disabled_by_default(self):
+        assert SpanTracer().enabled is False
+        assert NULL_TRACER.enabled is False
+
+    def test_disabled_span_is_the_shared_null_span(self):
+        tracer = SpanTracer()
+        assert tracer.span("a") is NULL_SPAN
+        assert tracer.span("b", attr=1) is NULL_SPAN
+
+    def test_null_span_supports_full_surface(self):
+        with NULL_SPAN as span:
+            span.set_attribute("k", "v")
+            span.add_event(object())
+        assert span is NULL_SPAN
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = SpanTracer()
+        with tracer.span("a"):
+            pass
+        assert len(tracer) == 0
+        assert tracer.current_span() is None
+        assert tracer.add_event(object()) is False
+
+    def test_null_span_does_not_swallow_exceptions(self):
+        tracer = SpanTracer()
+        with pytest.raises(ValueError):
+            with tracer.span("a"):
+                raise ValueError("boom")
+
+
+class TestEnabledTracer:
+    def test_records_name_attributes_and_duration(self):
+        tracer = SpanTracer(enabled=True)
+        with tracer.span("engine.refresh", refresh=3) as span:
+            span.set_attribute("blocks", 7)
+        (finished,) = tracer.drain()
+        assert finished.name == "engine.refresh"
+        assert finished.attributes == {"refresh": 3, "blocks": 7}
+        assert finished.end is not None
+        assert finished.duration >= 0.0
+        assert finished.error is None
+
+    def test_nesting_links_parent_and_child(self):
+        tracer = SpanTracer(enabled=True)
+        with tracer.span("root") as root:
+            assert tracer.current_span() is root
+            with tracer.span("child") as child:
+                assert tracer.current_span() is child
+                assert child.parent_id == root.span_id
+            assert tracer.current_span() is root
+        assert tracer.current_span() is None
+        spans = tracer.drain()
+        # Children finish first.
+        assert [s.name for s in spans] == ["child", "root"]
+        assert spans[1].parent_id is None
+
+    def test_span_ids_are_unique(self):
+        tracer = SpanTracer(enabled=True)
+        for _ in range(10):
+            with tracer.span("s"):
+                pass
+        ids = [s.span_id for s in tracer.drain()]
+        assert len(set(ids)) == len(ids)
+
+    def test_exception_recorded_on_span_and_reraised(self):
+        tracer = SpanTracer(enabled=True)
+        with pytest.raises(ValueError):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        (span,) = tracer.drain()
+        assert span.error == "ValueError: boom"
+        assert span.end is not None
+
+    def test_drain_clears(self):
+        tracer = SpanTracer(enabled=True)
+        with tracer.span("a"):
+            pass
+        assert len(tracer) == 1
+        assert len(tracer.drain()) == 1
+        assert len(tracer) == 0
+        assert tracer.drain() == []
+
+    def test_duration_zero_while_open(self):
+        tracer = SpanTracer(enabled=True)
+        ctx = tracer.span("open")
+        span = ctx.__enter__()
+        assert span.duration == 0.0
+        ctx.__exit__(None, None, None)
+        assert span.duration > 0.0
+
+    def test_to_dict_is_json_able(self):
+        import json
+
+        tracer = SpanTracer(enabled=True)
+        with tracer.span("a", edge="WS->DB"):
+            pass
+        (span,) = tracer.drain()
+        doc = json.loads(json.dumps(span.to_dict()))
+        assert doc["name"] == "a"
+        assert doc["attributes"] == {"edge": "WS->DB"}
+        assert doc["parent_id"] is None
+
+    def test_max_finished_bounds_retention(self):
+        tracer = SpanTracer(enabled=True, max_finished=5)
+        for i in range(12):
+            with tracer.span(f"s{i}"):
+                pass
+        assert len(tracer) == 5
+        assert tracer.dropped == 7
+        assert [s.name for s in tracer.drain()] == [f"s{i}" for i in range(7, 12)]
+
+    def test_enable_disable_round_trip(self):
+        tracer = SpanTracer()
+        tracer.enable()
+        with tracer.span("on"):
+            pass
+        tracer.disable()
+        with tracer.span("off"):
+            pass
+        assert [s.name for s in tracer.drain()] == ["on"]
+
+
+class TestThreading:
+    def test_stacks_are_thread_local(self):
+        tracer = SpanTracer(enabled=True)
+        seen = {}
+        barrier = threading.Barrier(4)
+
+        def work(i):
+            with tracer.span(f"outer{i}") as outer:
+                barrier.wait()
+                with tracer.span(f"inner{i}") as inner:
+                    seen[i] = (outer, inner, tracer.current_span())
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for i, (outer, inner, current) in seen.items():
+            assert inner.parent_id == outer.span_id
+            assert current is inner
+            assert outer.thread_id == inner.thread_id
+        spans = tracer.drain()
+        assert len(spans) == 8
+        assert len({s.span_id for s in spans}) == 8
+        assert len({s.thread_id for s in spans}) == 4
+
+    def test_no_spans_lost_under_contention(self):
+        tracer = SpanTracer(enabled=True)
+
+        def hammer(i):
+            for k in range(200):
+                with tracer.span(f"t{i}.{k}"):
+                    pass
+
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(tracer) == 1200
+        assert tracer.dropped == 0
+
+
+class TestSpanRepr:
+    def test_repr_open_and_closed(self):
+        span = Span("x", 1, None, 0, 0.0, {})
+        assert "open" in repr(span)
+        span.end = 0.5
+        assert "ms" in repr(span)
