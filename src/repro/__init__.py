@@ -33,7 +33,7 @@ import logging as _logging
 # application configures handlers (or passes --log-level to the CLI).
 _logging.getLogger(__name__).addHandler(_logging.NullHandler())
 
-from repro.config import DELTA_CONFIG, PathmapConfig, RUBIS_CONFIG
+from repro.config import DELTA_CONFIG, PathmapConfig, RUBIS_CONFIG, TransportConfig
 from repro.core.bottleneck import BottleneckReport, find_bottlenecks
 from repro.core.change_detection import ChangeDetector, ChangeEvent
 from repro.core.clock_skew import SkewEstimate, estimate_clock_skew
@@ -72,6 +72,13 @@ from repro.apps.rubis import build_rubis
 from repro.simulation.topology import Topology
 from repro.tracing.collector import TraceCollector
 from repro.tracing.records import AccessLogRecord, CaptureRecord
+from repro.tracing.transport import (
+    DataQuality,
+    FaultyChannel,
+    TransportLink,
+    TransportReceiver,
+    overall_quality,
+)
 
 __version__ = "1.0.0"
 
@@ -86,11 +93,13 @@ __all__ = [
     "CorrelationError",
     "CorrelationSeries",
     "DELTA_CONFIG",
+    "DataQuality",
     "DensityTimeSeries",
     "DiagnosticEvent",
     "E2EProfEngine",
     "E2EProfError",
     "EventBus",
+    "FaultyChannel",
     "FlightRecorder",
     "MetricsRegistry",
     "MetricsSample",
@@ -115,6 +124,9 @@ __all__ = [
     "TraceCollector",
     "TraceError",
     "TraceWindow",
+    "TransportConfig",
+    "TransportLink",
+    "TransportReceiver",
     "build_delta",
     "build_density_series",
     "build_rubis",
@@ -124,6 +136,7 @@ __all__ = [
     "detect_spikes",
     "estimate_clock_skew",
     "find_bottlenecks",
+    "overall_quality",
     "rle_decode",
     "rle_encode",
     "write_chrome_trace",

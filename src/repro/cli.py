@@ -41,7 +41,7 @@ from typing import Optional, Sequence
 from repro.analysis.render import render_ascii, render_dot
 from repro.apps.delta import build_delta
 from repro.apps.rubis import build_rubis
-from repro.config import PathmapConfig
+from repro.config import PathmapConfig, TransportConfig
 from repro.core.clock_skew import estimate_clock_skew
 from repro.core.pathmap import compute_service_graphs
 from repro.errors import E2EProfError
@@ -237,6 +237,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
     registry = MetricsRegistry(enabled=True)
     latest_sample = None
+    transport_summary = None
     if args.trace is None:
         config = PathmapConfig(
             window=args.window,
@@ -247,8 +248,33 @@ def cmd_stats(args: argparse.Namespace) -> int:
         )
         from repro.core.engine import E2EProfEngine
 
+        use_transport = args.transport or any(
+            (args.fault_drop, args.fault_reorder, args.fault_duplicate,
+             args.fault_corrupt, args.fault_delay)
+        )
+        transport_config = TransportConfig() if use_transport else None
+        channel_factory = None
+        if use_transport:
+            from repro.tracing.transport import FaultyChannel
+
+            def channel_factory(node, _args=args):
+                return FaultyChannel(
+                    seed=_args.fault_seed + sum(node.encode()),
+                    drop=_args.fault_drop,
+                    reorder=_args.fault_reorder,
+                    duplicate=_args.fault_duplicate,
+                    corrupt=_args.fault_corrupt,
+                    delay=_args.fault_delay,
+                )
+
         rubis = build_rubis(dispatch="affinity", seed=args.seed)
-        engine = E2EProfEngine(config, wire_fidelity=True, metrics=registry)
+        engine = E2EProfEngine(
+            config,
+            wire_fidelity=True,
+            metrics=registry,
+            transport=transport_config,
+            channel_factory=channel_factory,
+        )
         engine.attach(rubis.topology)
         rubis.run_until(args.duration)
         if engine.latest_sample is None:
@@ -257,6 +283,8 @@ def cmd_stats(args: argparse.Namespace) -> int:
                 f"than one refresh interval ({config.refresh_interval:.0f}s)"
             )
         latest_sample = engine.latest_sample
+        if use_transport:
+            transport_summary = engine.transport_summary()
     else:
         from repro.core.offline import analyze_sliding
 
@@ -279,6 +307,8 @@ def cmd_stats(args: argparse.Namespace) -> int:
         doc = {"metrics": snapshot(registry)}
         if latest_sample is not None:
             doc["latest_sample"] = latest_sample.to_dict()
+        if transport_summary is not None:
+            doc["transport"] = transport_summary
         if args.format == "both":
             doc["prometheus"] = to_prometheus(registry)
         payload = json.dumps(doc, indent=2, sort_keys=True)
@@ -518,6 +548,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="demo-mode simulation seed")
     stats.add_argument("--duration", type=float, default=65.0,
                        help="demo-mode simulated seconds (default 65)")
+    stats.add_argument("--transport", action="store_true",
+                       help="demo mode: stream blocks through the "
+                            "fault-tolerant transport (implied by any "
+                            "--fault-* rate)")
+    stats.add_argument("--fault-drop", type=float, default=0.0,
+                       help="per-frame drop probability on every link")
+    stats.add_argument("--fault-reorder", type=float, default=0.0,
+                       help="per-frame reorder (hold one round) probability")
+    stats.add_argument("--fault-duplicate", type=float, default=0.0,
+                       help="per-frame duplication probability")
+    stats.add_argument("--fault-corrupt", type=float, default=0.0,
+                       help="per-frame corruption probability")
+    stats.add_argument("--fault-delay", type=float, default=0.0,
+                       help="per-frame multi-round delay probability")
+    stats.add_argument("--fault-seed", type=int, default=0,
+                       help="base seed for the per-link fault injectors")
     _add_config_arguments(stats)
     stats.set_defaults(func=cmd_stats)
 

@@ -174,6 +174,50 @@ class PathmapConfig:
         )
 
 
+@dataclasses.dataclass(frozen=True)
+class TransportConfig:
+    """Parameters of the fault-tolerant tracer -> analyzer transport
+    (:mod:`repro.tracing.transport`).
+
+    Thresholds are expressed in refresh intervals (``dW`` multiples)
+    because the transport clocks itself off the engine's flush cadence:
+    one block per edge per refresh, one heartbeat per tracer per refresh.
+    """
+
+    #: Reorder tolerance: how many blocks newer than a hole may arrive
+    #: before the hole is declared lost and the stream skips ahead.
+    lateness_blocks: int = 2
+    #: A tracer unheard for more than this many refresh intervals is
+    #: flagged ``lagging`` (its edges degrade).
+    stale_after_refreshes: float = 1.5
+    #: Beyond this many refresh intervals of silence the tracer is
+    #: ``dead`` (its edges are stale).
+    dead_after_refreshes: float = 3.0
+    #: An edge whose in-window gap ratio exceeds this is ``stale`` even
+    #: if its tracer is alive.
+    stale_gap_ratio: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.lateness_blocks < 0:
+            raise ConfigError(
+                f"lateness_blocks must be >= 0, got {self.lateness_blocks}"
+            )
+        if self.stale_after_refreshes <= 0:
+            raise ConfigError(
+                "stale_after_refreshes must be positive, got "
+                f"{self.stale_after_refreshes}"
+            )
+        if self.dead_after_refreshes < self.stale_after_refreshes:
+            raise ConfigError(
+                "dead_after_refreshes must be >= stale_after_refreshes "
+                f"({self.dead_after_refreshes} < {self.stale_after_refreshes})"
+            )
+        if not 0.0 < self.stale_gap_ratio <= 1.0:
+            raise ConfigError(
+                f"stale_gap_ratio must be in (0, 1], got {self.stale_gap_ratio}"
+            )
+
+
 #: Configuration used for the RUBiS experiments in Section 4.1.
 RUBIS_CONFIG = PathmapConfig(
     window=180.0,

@@ -27,14 +27,20 @@ import logging
 import time
 from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
-from repro.config import PathmapConfig
+from repro.config import PathmapConfig, TransportConfig
 from repro.core.correlation import CorrelationSeries, SeriesLike
 from repro.core.incremental import IncrementalCorrelator
 from repro.core.pathmap import Pathmap, PathmapResult, TraceWindow
 from repro.core.rle import RunLengthSeries
 from repro.core.timeseries import DensityTimeSeries
 from repro.errors import AnalysisError
-from repro.obs.events import EVENT_SUBSCRIBER_ERROR, EventBus
+from repro.obs.events import (
+    EVENT_DEGRADED_REFRESH,
+    EVENT_SUBSCRIBER_ERROR,
+    EVENT_TRACER_STALE,
+    EVENT_TRANSPORT_GAP,
+    EventBus,
+)
 from repro.obs.flight import DEFAULT_FLIGHT_CAPACITY, FlightRecorder, RefreshFrame
 from repro.obs.registry import MetricsRegistry
 from repro.obs.sample import MetricsSample
@@ -42,7 +48,21 @@ from repro.obs.spans import SpanTracer
 from repro.simulation.des import PeriodicTask
 from repro.simulation.topology import Topology
 from repro.tracing.records import NodeId
-from repro.tracing.wire import decode_block, encode_block
+from repro.tracing.transport import (
+    QUALITY_DEGRADED,
+    QUALITY_FRESH,
+    QUALITY_STALE,
+    TRACER_DEAD,
+    TRACER_LAGGING,
+    TRACER_LIVE,
+    DataQuality,
+    FaultyChannel,
+    FRESH_QUALITY,
+    TransportLink,
+    TransportReceiver,
+    overall_quality,
+)
+from repro.tracing.wire import BlockFrame, decode_block, encode_block
 
 logger = logging.getLogger(__name__)
 
@@ -64,6 +84,8 @@ class E2EProfEngine:
         tracer: Optional[SpanTracer] = None,
         events: Optional[EventBus] = None,
         flight_capacity: int = DEFAULT_FLIGHT_CAPACITY,
+        transport: Optional[TransportConfig] = None,
+        channel_factory: Optional[Callable[[NodeId], FaultyChannel]] = None,
     ) -> None:
         self.config = config
         self._clients: Set[NodeId] = set(clients or ())
@@ -155,6 +177,58 @@ class E2EProfEngine:
             "obs_subscriber_errors_total",
             "Subscriber callbacks that raised and were isolated during fan-out",
         )
+        #: Fault-tolerant transport (None = legacy direct pull). When set,
+        #: every block travels tracer -> TransportLink -> channel ->
+        #: TransportReceiver, gaining epoch/sequence framing, reordering
+        #: tolerance, liveness watching and per-edge DataQuality.
+        self.transport = transport
+        self._channel_factory = channel_factory
+        self._receiver: Optional[TransportReceiver] = None
+        self._links: Dict[NodeId, TransportLink] = {}
+        #: Per-tracer channels (fault injectors or perfect pass-throughs);
+        #: chaos tests reach in here to toggle fault rates mid-run.
+        self.transport_channels: Dict[NodeId, FaultyChannel] = {}
+        # Block starts known missing per edge (declared gaps + current-
+        # round absences), pruned as the window slides past them.
+        self._gap_blocks: Dict[EdgeKey, Set[int]] = {}
+        self._tracer_states: Dict[NodeId, str] = {}
+        self._transport_totals: Dict[str, int] = {}
+        #: Overall data-quality score of the latest refresh (1.0 = every
+        #: edge signal complete and live; always 1.0 without transport).
+        self.quality_score: float = 1.0
+        #: Per-edge DataQuality of the latest refresh (transport only).
+        self.latest_edge_quality: Dict[EdgeKey, DataQuality] = {}
+        if transport is not None:
+            self._receiver = TransportReceiver(
+                transport, config.refresh_interval, metrics=m
+            )
+        self._m_quality = m.gauge(
+            "engine_quality_score",
+            "Overall data-quality score of the latest refresh (1 = fresh)",
+        )
+        self._m_live_tracers = m.gauge(
+            "transport_live_tracers", "Tracers currently heard within the staleness threshold"
+        )
+        self._m_stale_tracers = m.gauge(
+            "transport_stale_tracers", "Tracers currently lagging or dead"
+        )
+        self._m_t_gaps = m.counter(
+            "transport_gap_blocks_total", "Blocks declared lost on transport streams"
+        )
+        self._m_t_duplicates = m.counter(
+            "transport_duplicate_frames_total", "Duplicate transport frames dropped"
+        )
+        self._m_t_reordered = m.counter(
+            "transport_reordered_frames_total", "Transport frames that arrived out of order"
+        )
+        self._m_t_late = m.counter(
+            "transport_late_blocks_total",
+            "Late blocks recovered into the window after their gap was declared",
+        )
+        self._m_t_stale_epoch = m.counter(
+            "transport_stale_epoch_frames_total",
+            "Pre-restart frames rejected by epoch checks",
+        )
 
     # -- wiring ---------------------------------------------------------------------
 
@@ -238,25 +312,31 @@ class E2EProfEngine:
         wire_bytes_before = self.wire_bytes_received
 
         fresh: Dict[EdgeKey, RunLengthSeries] = {}
+        late_frames: List[BlockFrame] = []
         with self.tracer.span("engine.ingest") as ingest_span:
-            for node_id, tracer in self._topology.fabric.tracers.items():
-                with self.tracer.span("tracer.flush", node=node_id):
-                    for edge, block in tracer.flush_block(
-                        self.config, block_start, self._block_quanta
-                    ).items():
-                        src, dst = edge
-                        # Destination-side capture wins (Algorithm 1);
-                        # source-side only for edges into untraced clients.
-                        if node_id == dst or (dst in self._clients and node_id == src):
-                            if self.wire_fidelity:
-                                payload = encode_block(block, metrics=wire_metrics)
-                                self.wire_bytes_received += len(payload)
-                                block = decode_block(payload, metrics=wire_metrics)
-                            fresh[edge] = block
+            if self._receiver is not None:
+                late_frames = self._transport_ingest(fresh, block_start, now)
+            else:
+                for node_id, tracer in self._topology.fabric.tracers.items():
+                    with self.tracer.span("tracer.flush", node=node_id):
+                        for edge, block in tracer.flush_block(
+                            self.config, block_start, self._block_quanta
+                        ).items():
+                            src, dst = edge
+                            # Destination-side capture wins (Algorithm 1);
+                            # source-side only for edges into untraced clients.
+                            if node_id == dst or (dst in self._clients and node_id == src):
+                                if self.wire_fidelity:
+                                    payload = encode_block(block, metrics=wire_metrics)
+                                    self.wire_bytes_received += len(payload)
+                                    block = decode_block(payload, metrics=wire_metrics)
+                                fresh[edge] = block
             ingest_span.set_attribute("blocks", len(fresh))
 
         self._refreshes += 1
         self._store_blocks(fresh, block_start)
+        if late_frames:
+            self._patch_late_blocks(late_frames, block_start)
         with self.tracer.span(
             "engine.correlators", correlators=len(self._correlators)
         ):
@@ -267,6 +347,8 @@ class E2EProfEngine:
         with self.tracer.span("engine.pathmap"):
             result = self._pathmap.analyze(window)
         pathmap_seconds = time.perf_counter() - pathmap_started
+        if self._receiver is not None:
+            self._apply_quality(result, now, block_start)
         self.latest_result = result
         self.latest_refresh_time = now
         self.last_refresh_seconds = time.perf_counter() - started
@@ -366,22 +448,311 @@ class E2EProfEngine:
         return self.flight.dump(last)
 
     def _store_blocks(self, fresh: Dict[EdgeKey, RunLengthSeries], block_start: int) -> None:
-        tau = self.config.quantum
-        empty = RunLengthSeries.empty(block_start, self._block_quanta, tau)
+        empty = RunLengthSeries.empty(block_start, self._block_quanta, self.config.quantum)
         for edge in set(self._blocks) | set(fresh):
             deque_ = self._blocks.get(edge)
             if deque_ is None:
                 # Newly seen edge: backfill silence so every deque is
                 # aligned on the same block boundaries.
-                deque_ = collections.deque(maxlen=self._num_blocks)
-                backfill = min(self._refreshes - 1, self._num_blocks)
-                for k in range(backfill, 0, -1):
-                    start = block_start - k * self._block_quanta
-                    deque_.append(
-                        RunLengthSeries.empty(start, self._block_quanta, tau)
-                    )
+                deque_ = self._backfilled_deque(
+                    block_start - self._block_quanta,
+                    min(self._refreshes - 1, self._num_blocks),
+                )
                 self._blocks[edge] = deque_
             deque_.append(fresh.get(edge, empty))
+
+    def _backfilled_deque(
+        self, last_start: int, rounds: int
+    ) -> Deque[RunLengthSeries]:
+        """An aligned deque of ``rounds`` empty blocks ending at
+        ``last_start`` (inclusive)."""
+        tau = self.config.quantum
+        deque_: Deque[RunLengthSeries] = collections.deque(maxlen=self._num_blocks)
+        for k in range(rounds - 1, -1, -1):
+            start = last_start - k * self._block_quanta
+            deque_.append(RunLengthSeries.empty(start, self._block_quanta, tau))
+        return deque_
+
+    # -- fault-tolerant transport -------------------------------------------------
+
+    def _link_for(self, node_id: NodeId) -> TransportLink:
+        link = self._links.get(node_id)
+        if link is None:
+            link = TransportLink(node_id)
+            self._links[node_id] = link
+        return link
+
+    def _channel_for(self, node_id: NodeId) -> FaultyChannel:
+        channel = self.transport_channels.get(node_id)
+        if channel is None:
+            if self._channel_factory is not None:
+                channel = self._channel_factory(node_id)
+            else:
+                channel = FaultyChannel()  # perfect pass-through
+            self.transport_channels[node_id] = channel
+        return channel
+
+    def _transport_ingest(
+        self, fresh: Dict[EdgeKey, RunLengthSeries], block_start: int, now: float
+    ) -> List[BlockFrame]:
+        """Flush every tracer through its framed link + channel into the
+        receiving endpoint; returns re-sequenced *late* frames (blocks
+        belonging to earlier rounds) for history patching."""
+        receiver = self._receiver
+        assert receiver is not None and self._topology is not None
+        with self.tracer.span("engine.transport") as span:
+            for node_id, tracer in self._topology.fabric.tracers.items():
+                receiver.register_tracer(node_id, now)
+                link = self._link_for(node_id)
+                channel = self._channel_for(node_id)
+                with self.tracer.span("tracer.flush", node=node_id):
+                    blocks = tracer.flush_block(
+                        self.config, block_start, self._block_quanta
+                    )
+                selected = {
+                    (src, dst): block
+                    for (src, dst), block in blocks.items()
+                    if node_id == dst
+                    or (dst in self._clients and node_id == src)
+                }
+                for payload in link.encode_blocks(selected):
+                    for delivered in channel.send(payload):
+                        self.wire_bytes_received += len(delivered)
+                        receiver.receive(delivered, now)
+            # Frames the channels held back (reordered / delayed) that
+            # have come due this round.
+            for channel in self.transport_channels.values():
+                for delivered in channel.advance():
+                    self.wire_bytes_received += len(delivered)
+                    receiver.receive(delivered, now)
+            late: List[BlockFrame] = []
+            for frame in receiver.poll():
+                if frame.block is None:
+                    continue
+                if frame.block.start == block_start:
+                    fresh[frame.edge] = frame.block
+                else:
+                    late.append(frame)
+            # Declared gaps: blocks the reorder buffers gave up waiting for.
+            gap_edges: Dict[EdgeKey, int] = {}
+            for notice in receiver.drain_gap_notices():
+                if notice.block_start is not None:
+                    self._gap_blocks.setdefault(notice.edge, set()).add(
+                        notice.block_start
+                    )
+                gap_edges[notice.edge] = gap_edges.get(notice.edge, 0) + 1
+            for edge, count in sorted(gap_edges.items()):
+                self.events.publish(
+                    EVENT_TRANSPORT_GAP,
+                    now,
+                    node=receiver.edge_owner(edge),
+                    edge=f"{edge[0]}->{edge[1]}",
+                    blocks=count,
+                )
+            # Current-round absence: streams that were active moments ago
+            # but produced nothing this round are provisionally gapped
+            # (a late arrival patches the mark away again).
+            for edge in receiver.known_edges():
+                if edge in fresh:
+                    continue
+                if self._stream_recently_active(edge, block_start):
+                    self._gap_blocks.setdefault(edge, set()).add(block_start)
+            span.set_attribute("fresh", len(fresh))
+            span.set_attribute("late", len(late))
+            span.set_attribute("gaps", sum(gap_edges.values()))
+            return late
+
+    def _stream_recently_active(self, edge: EdgeKey, block_start: int) -> bool:
+        """True when the edge's stream delivered a block within the last
+        two rounds -- i.e. silence this round means loss, not idleness."""
+        receiver = self._receiver
+        assert receiver is not None
+        node = receiver.edge_owner(edge)
+        if node is None:
+            return False
+        buffer = receiver._buffers.get((node, edge[0], edge[1]))
+        if buffer is None or buffer._anchor is None or not buffer._block_quanta:
+            return False
+        newest_start = buffer._anchor + buffer.max_seen * buffer._block_quanta
+        return newest_start >= block_start - 2 * self._block_quanta
+
+    def _patch_late_blocks(
+        self, late: List[BlockFrame], block_start: int
+    ) -> int:
+        """Splice re-sequenced late blocks back into window history.
+
+        Blocks carry their own window position, so a block that arrives
+        a round (or several) behind schedule replaces the silence that
+        was stored in its place; correlators touching the edge are
+        invalidated and rebuilt lazily from the corrected history.
+        """
+        patched = 0
+        for frame in late:
+            block = frame.block
+            assert block is not None
+            edge = frame.edge
+            deque_ = self._blocks.get(edge)
+            if deque_ is None:
+                # First-ever block of an edge arrived late: materialize
+                # an aligned, silence-filled history to patch into.
+                deque_ = self._backfilled_deque(
+                    block_start, min(self._refreshes, self._num_blocks)
+                )
+                self._blocks[edge] = deque_
+            oldest = deque_[0].start if deque_ else None
+            if oldest is None:
+                continue
+            index = (block.start - oldest) // self._block_quanta
+            if index < 0 or index >= len(deque_):
+                continue  # already rotated out of the window
+            if deque_[index].start != block.start:
+                continue
+            deque_[index] = block
+            patched += 1
+            gaps = self._gap_blocks.get(edge)
+            if gaps:
+                gaps.discard(block.start)
+            self._invalidate_correlators(edge)
+        if patched:
+            self._m_t_late.inc(patched)
+        return patched
+
+    def _invalidate_correlators(self, edge: EdgeKey) -> None:
+        stale = [
+            key
+            for key in self._correlators
+            if key[0] == edge or key[1] == edge
+        ]
+        for key in stale:
+            del self._correlators[key]
+
+    def _apply_quality(
+        self, result: PathmapResult, now: float, block_start: int
+    ) -> None:
+        """Degraded-mode refresh: derive per-edge DataQuality from the
+        transport's gap/liveness state, annotate the result, publish the
+        transport health signals."""
+        receiver = self._receiver
+        assert receiver is not None
+        transport = self.transport or TransportConfig()
+        # Slide the gap bookkeeping with the window.
+        cutoff = block_start - (self._num_blocks - 1) * self._block_quanta
+        for edge in list(self._gap_blocks):
+            kept = {s for s in self._gap_blocks[edge] if s >= cutoff}
+            if kept:
+                self._gap_blocks[edge] = kept
+            else:
+                del self._gap_blocks[edge]
+        statuses = receiver.statuses(now)
+        self._publish_liveness_transitions(statuses, now)
+        rounds = min(self._refreshes, self._num_blocks)
+        edge_quality: Dict[EdgeKey, DataQuality] = {}
+        for edge in self._blocks:
+            gap_ratio = (
+                len(self._gap_blocks.get(edge, ())) / rounds if rounds else 0.0
+            )
+            owner = receiver.edge_owner(edge)
+            owner_state = statuses[owner].state if owner in statuses else None
+            if owner_state == TRACER_DEAD or gap_ratio > transport.stale_gap_ratio:
+                edge_quality[edge] = DataQuality(QUALITY_STALE, gap_ratio)
+            elif gap_ratio > 0.0 or owner_state == TRACER_LAGGING:
+                edge_quality[edge] = DataQuality(QUALITY_DEGRADED, gap_ratio)
+            else:
+                edge_quality[edge] = FRESH_QUALITY
+        score = overall_quality(edge_quality.values())
+        result.annotate_quality(edge_quality, score)
+        self.quality_score = score
+        self.latest_edge_quality = edge_quality
+        self._m_quality.set(score)
+        live = sum(1 for s in statuses.values() if s.state == TRACER_LIVE)
+        self._m_live_tracers.set(live)
+        self._m_stale_tracers.set(len(statuses) - live)
+        self._sync_transport_counters()
+        if score < 1.0:
+            self.events.publish(
+                EVENT_DEGRADED_REFRESH,
+                now,
+                quality=score,
+                degraded_edges=sum(1 for q in edge_quality.values() if not q.ok),
+                stale_tracers=len(statuses) - live,
+            )
+
+    def _publish_liveness_transitions(
+        self, statuses: Dict[NodeId, "object"], now: float
+    ) -> None:
+        for node, status in statuses.items():
+            previous = self._tracer_states.get(node, TRACER_LIVE)
+            if status.state != previous:
+                self._tracer_states[node] = status.state
+                self.events.publish(
+                    EVENT_TRACER_STALE,
+                    now,
+                    node=node,
+                    state=status.state,
+                    previous=previous,
+                    last_heard=status.last_heard,
+                )
+
+    def _sync_transport_counters(self) -> None:
+        """Mirror the receiver's cumulative stream tallies into the
+        metrics registry as counter deltas."""
+        receiver = self._receiver
+        assert receiver is not None
+        totals = receiver.totals()
+        for key, metric in (
+            ("gaps", self._m_t_gaps),
+            ("duplicates", self._m_t_duplicates),
+            ("reordered", self._m_t_reordered),
+            ("stale_epoch_drops", self._m_t_stale_epoch),
+        ):
+            delta = totals[key] - self._transport_totals.get(key, 0)
+            if delta > 0:
+                metric.inc(delta)
+            self._transport_totals[key] = totals[key]
+
+    def restart_tracer(self, node_id: NodeId) -> None:
+        """Simulate a tracer crash/restart: captured state is lost, the
+        transport epoch bumps (so pre-restart blocks are never
+        resurrected) and all per-edge sequence streams reset."""
+        if self._topology is not None:
+            tracer = self._topology.fabric.tracer(node_id)
+            if tracer is not None:
+                tracer.restart()
+        if self._receiver is not None:
+            self._link_for(node_id).restart()
+
+    def transport_summary(self, now: Optional[float] = None) -> dict:
+        """JSON-able snapshot of transport health (``repro stats``)."""
+        if self._receiver is None:
+            return {"enabled": False}
+        if now is None:
+            now = self.latest_refresh_time if self.latest_refresh_time else 0.0
+        return {
+            "enabled": True,
+            "quality_score": self.quality_score,
+            "totals": self._receiver.totals(),
+            "tracers": {
+                node: status.to_dict()
+                for node, status in sorted(self._receiver.statuses(now).items())
+            },
+            "links": {
+                node: {
+                    "epoch": link.epoch,
+                    "restarts": link.restarts,
+                    "frames_sent": link.frames_sent,
+                }
+                for node, link in sorted(self._links.items())
+            },
+            "channels": {
+                node: channel.stats()
+                for node, channel in sorted(self.transport_channels.items())
+            },
+            "degraded_edges": {
+                f"{src}->{dst}": quality.to_dict()
+                for (src, dst), quality in sorted(self.latest_edge_quality.items())
+                if not quality.ok
+            },
+        }
 
     def _append_to_correlators(self) -> None:
         if self.tracer.enabled:

@@ -36,6 +36,7 @@ from repro.errors import AnalysisError
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.registry import MetricsRegistry
     from repro.obs.spans import SpanTracer
+    from repro.tracing.transport import DataQuality
 
 
 class TraceWindow(abc.ABC):
@@ -85,10 +86,44 @@ class PathmapStats:
 
 @dataclasses.dataclass
 class PathmapResult:
-    """All service graphs recovered from one window, plus work stats."""
+    """All service graphs recovered from one window, plus work stats.
+
+    When the engine runs over the fault-tolerant transport, the result
+    also carries transport-health annotations: ``edge_quality`` maps each
+    tracked edge to its :class:`~repro.tracing.transport.DataQuality`
+    (fresh / degraded / stale + gap ratio) and ``quality`` is the
+    overall window score in ``[0, 1]`` (1.0 means every signal was
+    complete and live). Paths built on degraded edges are annotated --
+    never silently dropped -- so subscribers can weigh them.
+    """
 
     graphs: Dict[Tuple[NodeId, NodeId], ServiceGraph]
     stats: PathmapStats
+    #: Per-edge transport-data quality (empty without transport).
+    edge_quality: Dict[Tuple[NodeId, NodeId], "DataQuality"] = dataclasses.field(
+        default_factory=dict
+    )
+    #: Overall data-quality score of the window (1.0 = fully fresh).
+    quality: float = 1.0
+
+    def annotate_quality(
+        self,
+        edge_quality: Dict[Tuple[NodeId, NodeId], "DataQuality"],
+        quality: float,
+    ) -> None:
+        """Attach transport-health verdicts to this result and stamp the
+        non-fresh ones onto the matching discovered graph edges."""
+        self.edge_quality = dict(edge_quality)
+        self.quality = quality
+        for graph in self.graphs.values():
+            for edge in graph.edges:
+                verdict = self.edge_quality.get(edge.key)
+                if verdict is not None and not verdict.ok:
+                    edge.quality = verdict
+
+    def degraded_edges(self) -> Dict[Tuple[NodeId, NodeId], "DataQuality"]:
+        """Edges whose signal was degraded or stale this window."""
+        return {k: q for k, q in self.edge_quality.items() if not q.ok}
 
     def graph_for(self, client: NodeId, root: Optional[NodeId] = None) -> ServiceGraph:
         """The service graph of one client (and optionally one root)."""

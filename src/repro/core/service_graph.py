@@ -45,12 +45,18 @@ class ServiceEdge:
         edge along multiple upstream paths.
     spikes:
         The raw spikes backing ``delays`` (same order).
+    quality:
+        Transport-health annotation
+        (:class:`~repro.tracing.transport.DataQuality`) when the edge's
+        signal was degraded or stale this window; None for fresh data
+        (and for analyses that bypass the transport layer).
     """
 
     src: NodeId
     dst: NodeId
     delays: List[float] = dataclasses.field(default_factory=list)
     spikes: List[Spike] = dataclasses.field(default_factory=list)
+    quality: Optional[object] = None
 
     @property
     def key(self) -> EdgeKey:
@@ -290,7 +296,18 @@ class ServiceGraph:
             "root": self.root,
             "nodes": sorted(self._nodes),
             "edges": [
-                {"src": e.src, "dst": e.dst, "delays": list(e.delays)}
+                {
+                    "src": e.src,
+                    "dst": e.dst,
+                    "delays": list(e.delays),
+                    # Quality annotations ride along only when the edge
+                    # was flagged, keeping fresh-run exports unchanged.
+                    **(
+                        {"quality": e.quality.to_dict()}
+                        if e.quality is not None
+                        else {}
+                    ),
+                }
                 for e in self._edges.values()
             ],
         }

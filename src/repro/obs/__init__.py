@@ -39,6 +39,9 @@ from repro.obs.events import (
     EVENT_PATH_SELECTION,
     EVENT_SLA_VIOLATION,
     EVENT_SUBSCRIBER_ERROR,
+    EVENT_TRACER_STALE,
+    EVENT_TRANSPORT_GAP,
+    EVENT_DEGRADED_REFRESH,
     DiagnosticEvent,
     EventBus,
 )
@@ -69,6 +72,9 @@ __all__ = [
     "EVENT_PATH_SELECTION",
     "EVENT_SLA_VIOLATION",
     "EVENT_SUBSCRIBER_ERROR",
+    "EVENT_TRACER_STALE",
+    "EVENT_TRANSPORT_GAP",
+    "EVENT_DEGRADED_REFRESH",
     "EventBus",
     "FlightRecorder",
     "Gauge",

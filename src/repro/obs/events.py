@@ -47,6 +47,12 @@ EVENT_PATH_SELECTION = "path_selection"
 EVENT_LATENCY = "latency"
 #: A subscriber callback raised and was isolated by the engine.
 EVENT_SUBSCRIBER_ERROR = "subscriber_error"
+#: Blocks declared lost on a tracer -> analyzer transport stream.
+EVENT_TRANSPORT_GAP = "transport_gap"
+#: A tracer's liveness degraded to lagging/dead (or recovered to live).
+EVENT_TRACER_STALE = "tracer_stale"
+#: A refresh ran on incomplete data (overall quality score below 1).
+EVENT_DEGRADED_REFRESH = "degraded_refresh"
 
 EventCallback = Callable[["DiagnosticEvent"], None]
 

@@ -13,4 +13,22 @@ from repro.tracing.storage import (
     write_capture_jsonl,
 )
 from repro.tracing.tracer import Tracer
-from repro.tracing.wire import decode_block, encode_block, wire_sizes
+from repro.tracing.transport import (
+    DataQuality,
+    FaultyChannel,
+    GapNotice,
+    LivenessWatchdog,
+    ReorderBuffer,
+    TracerStatus,
+    TransportLink,
+    TransportReceiver,
+    overall_quality,
+)
+from repro.tracing.wire import (
+    BlockFrame,
+    decode_block,
+    decode_frame,
+    encode_block,
+    encode_frame,
+    wire_sizes,
+)

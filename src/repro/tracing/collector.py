@@ -141,6 +141,9 @@ class TraceCollector:
 
         Destination-side captures are preferred (Algorithm 1); source-side
         captures are the fallback for edges into untraced (client) nodes.
+        An edge never captured from either side yields an empty list --
+        consistent with :meth:`window` over an empty time range, which
+        yields a window with no active edges.
         """
         self._ensure_sorted()
         key = (src, dst)
@@ -151,7 +154,7 @@ class TraceCollector:
         if stamps is None:
             stamps = fallback.get(key)
         if stamps is None:
-            raise TraceError(f"no captures for edge {src!r}->{dst!r}")
+            return []
         return stamps
 
     # -- window materialization ------------------------------------------------------
@@ -165,14 +168,18 @@ class TraceCollector:
     ) -> "CollectedTraceWindow":
         """Build the analysis window ending at ``end_time``.
 
-        ``start_time`` defaults to ``end_time - config.window``.
+        ``start_time`` defaults to ``end_time - config.window``. An empty
+        time range (``start_time == end_time``) yields a window with no
+        active edges -- consistent with :meth:`edge_timestamps` on an
+        unseen edge, which yields an empty list. An inverted range still
+        raises :class:`~repro.errors.TraceError`.
         """
         self._ensure_sorted()
         if start_time is None:
             start_time = end_time - config.window
-        if start_time >= end_time:
+        if start_time > end_time:
             raise TraceError(
-                f"empty window: start {start_time} >= end {end_time}"
+                f"inverted window: start {start_time} > end {end_time}"
             )
         if self._m_windows is not None:
             self._m_windows.inc()

@@ -50,6 +50,10 @@ class Tracer:
         self.clock_skew = float(clock_skew)
         self._timestamps: Dict[EdgeKey, List[float]] = {}
         self._count = 0
+        #: How many times this tracer has been restarted (module reload /
+        #: crash recovery). The transport layer bumps its stream epoch in
+        #: lockstep so pre-restart blocks can never be resurrected.
+        self.restarts = 0
         # Metrics stay unbound (zero cost on the per-packet path) until an
         # observer opts in via bind_metrics.
         self._m_packets = None
@@ -147,3 +151,9 @@ class Tracer:
         """Discard all captured state (e.g. module reload)."""
         self._timestamps.clear()
         self._count = 0
+
+    def restart(self) -> None:
+        """Simulate a tracer crash/restart: captured state is lost and
+        the restart counter (the transport epoch source) advances."""
+        self.reset()
+        self.restarts += 1

@@ -22,11 +22,37 @@ Layout (little-endian)::
 
 Run starts are delta-encoded against the previous run's end, so long
 quiet zones cost one small varint instead of an absolute index.
+
+Transport framing
+-----------------
+
+A raw block says *what* was measured but not *who* measured it or *where
+it belongs in the stream*. For the fault-tolerant transport layer
+(:mod:`repro.tracing.transport`) each block travels inside a
+:class:`BlockFrame` that adds the sending tracer's identity, a
+**per-tracer epoch** (bumped on tracer restart, so pre-restart blocks can
+never be resurrected), a **per-stream sequence number** (so the receiver
+can detect drops, duplicates and reordering) and a CRC-32 over the frame
+body (so corruption on a lossy link is detected instead of silently
+decoded). Layout (little-endian)::
+
+    magic     2 bytes  b"RF"
+    version   1 byte
+    crc32     4 bytes  uint32, CRC-32 of every byte after this field
+    flags     1 byte   (bit 0: heartbeat -- no block payload)
+    epoch     varint
+    seq       varint
+    node      varint length + utf-8 (observing tracer id)
+    src       varint length + utf-8 (edge source; empty for heartbeats)
+    dst       varint length + utf-8 (edge destination; empty for heartbeats)
+    block     remaining bytes: one encode_block() payload (data frames only)
 """
 
 from __future__ import annotations
 
+import dataclasses
 import struct
+import zlib
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
@@ -40,7 +66,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 MAGIC = b"RL"
 VERSION = 1
 
+FRAME_MAGIC = b"RF"
+FRAME_VERSION = 1
+#: Frame flag bit: heartbeat frame (liveness only, no block payload).
+FRAME_FLAG_HEARTBEAT = 0x01
+
 _HEADER = struct.Struct("<2sBdqqI")
+_FRAME_PREFIX = struct.Struct("<2sBI")  # magic, version, crc32
 
 
 def _encode_varint(value: int, out: bytearray) -> None:
@@ -174,6 +206,111 @@ def _wire_metrics(
         "RLE runs per block crossing the wire codec",
         buckets=DEFAULT_COUNT_BUCKETS,
     ).observe(num_runs)
+
+
+# -- transport framing ---------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class BlockFrame:
+    """One transport frame: a wire block plus stream bookkeeping.
+
+    Attributes
+    ----------
+    node:
+        Id of the tracer that produced the frame.
+    epoch:
+        Per-tracer restart epoch; bumped whenever the tracer restarts so
+        the receiver can reject blocks that predate the restart.
+    seq:
+        Sequence number within the ``(node, src, dst)`` stream for this
+        epoch; one block per flush round, starting at 0.
+    src, dst:
+        The edge the block measures (empty strings for heartbeats).
+    block:
+        The RLE payload, or None for a heartbeat frame.
+    """
+
+    node: str
+    epoch: int
+    seq: int
+    src: str
+    dst: str
+    block: Optional[RunLengthSeries] = None
+
+    @property
+    def is_heartbeat(self) -> bool:
+        return self.block is None
+
+    @property
+    def edge(self) -> Tuple[str, str]:
+        return (self.src, self.dst)
+
+
+def _encode_string(text: str, out: bytearray) -> None:
+    raw = text.encode("utf-8")
+    _encode_varint(len(raw), out)
+    out += raw
+
+
+def _decode_string(data: bytes, pos: int) -> Tuple[str, int]:
+    length, pos = _decode_varint(data, pos)
+    if pos + length > len(data):
+        raise TraceError("truncated string in transport frame")
+    try:
+        text = data[pos : pos + length].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise TraceError(f"corrupt transport frame: bad utf-8 ({exc})") from exc
+    return text, pos + length
+
+
+def encode_frame(frame: BlockFrame) -> bytes:
+    """Serialize one :class:`BlockFrame` (header + embedded wire block)."""
+    body = bytearray()
+    body.append(FRAME_FLAG_HEARTBEAT if frame.is_heartbeat else 0)
+    _encode_varint(frame.epoch, body)
+    _encode_varint(frame.seq, body)
+    _encode_string(frame.node, body)
+    _encode_string(frame.src, body)
+    _encode_string(frame.dst, body)
+    if frame.block is not None:
+        body += encode_block(frame.block)
+    return _FRAME_PREFIX.pack(FRAME_MAGIC, FRAME_VERSION, zlib.crc32(body)) + bytes(
+        body
+    )
+
+
+def decode_frame(data: bytes) -> BlockFrame:
+    """Exact inverse of :func:`encode_frame`.
+
+    Truncation, a failed CRC-32, or any corruption in the embedded block
+    raises :class:`~repro.errors.TraceError` -- the transport receiver
+    counts such frames (``transport_corrupt_blocks_total``) and drops
+    them instead of letting the refresh loop die.
+    """
+    if len(data) < _FRAME_PREFIX.size + 1:
+        raise TraceError("transport frame shorter than header")
+    magic, version, crc = _FRAME_PREFIX.unpack_from(data, 0)
+    if magic != FRAME_MAGIC:
+        raise TraceError(f"bad frame magic {magic!r}")
+    if version != FRAME_VERSION:
+        raise TraceError(f"unsupported frame version {version}")
+    body = data[_FRAME_PREFIX.size :]
+    if zlib.crc32(body) != crc:
+        raise TraceError("transport frame failed CRC-32 check")
+    flags = body[0]
+    pos = 1
+    epoch, pos = _decode_varint(body, pos)
+    seq, pos = _decode_varint(body, pos)
+    node, pos = _decode_string(body, pos)
+    src, pos = _decode_string(body, pos)
+    dst, pos = _decode_string(body, pos)
+    if flags & FRAME_FLAG_HEARTBEAT:
+        if pos != len(body):
+            raise TraceError(f"{len(body) - pos} trailing bytes in heartbeat frame")
+        return BlockFrame(node, epoch, seq, src, dst, None)
+    block = decode_block(body[pos:])
+    return BlockFrame(node, epoch, seq, src, dst, block)
 
 
 def wire_sizes(series: RunLengthSeries, message_count: int = 0) -> dict:

@@ -61,9 +61,11 @@ class TestEdgeTimestamps:
         stamps = collector.edge_timestamps("WS", "C")
         assert stamps[0] == pytest.approx(1.05)  # WS-side; C is untraced
 
-    def test_unknown_edge(self):
-        with pytest.raises(TraceError):
-            populated_collector().edge_timestamps("DB", "WS")
+    def test_unknown_edge_yields_empty_list(self):
+        # Regression: an edge never captured from either side used to
+        # raise; the contract is now an empty list, consistent with an
+        # empty-time-range window having no active edges.
+        assert populated_collector().edge_timestamps("DB", "WS") == []
 
     def test_timestamps_sorted_even_if_ingested_out_of_order(self):
         collector = TraceCollector()
@@ -95,9 +97,17 @@ class TestWindow:
         assert window.start_time == 0.0
         assert window.end_time == 10.0
 
-    def test_empty_window_rejected(self):
+    def test_empty_window_has_no_active_edges(self):
+        # Regression: start == end used to raise; it now yields a window
+        # with no active edges (consistent with edge_timestamps on an
+        # unseen edge yielding an empty list).
+        window = populated_collector().window(CFG, end_time=5.0, start_time=5.0)
+        assert window.active_edges() == []
+        assert window.front_end_nodes() == []
+
+    def test_inverted_window_rejected(self):
         with pytest.raises(TraceError):
-            populated_collector().window(CFG, end_time=5.0, start_time=5.0)
+            populated_collector().window(CFG, end_time=5.0, start_time=6.0)
 
     def test_front_end_discovery(self):
         window = populated_collector().window(CFG, end_time=10.0)

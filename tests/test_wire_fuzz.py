@@ -13,10 +13,21 @@ import pytest
 pytest.importorskip("hypothesis")
 from hypothesis import given, strategies as st
 
+import struct
+import zlib
+
 from repro.core.rle import rle_encode
 from repro.core.timeseries import DensityTimeSeries
 from repro.errors import E2EProfError, TraceError
-from repro.tracing.wire import decode_block, encode_block
+from repro.tracing.wire import (
+    FRAME_MAGIC,
+    FRAME_VERSION,
+    BlockFrame,
+    decode_block,
+    decode_frame,
+    encode_block,
+    encode_frame,
+)
 
 QUANTUM = 1e-3
 
@@ -122,3 +133,105 @@ class TestCorruption:
         payload[2] = 99  # version byte
         with pytest.raises(TraceError):
             decode_block(bytes(payload))
+
+
+#: Frame field strategies: identifiers plus arbitrary unicode to prove
+#: the varint-length string codec holds for any node/edge naming scheme.
+frame_names = st.text(min_size=0, max_size=12)
+
+wire_frames = st.builds(
+    lambda node, epoch, seq, src, dst, block, heartbeat: BlockFrame(
+        node, epoch, seq, src, dst, None if heartbeat else block
+    ),
+    node=frame_names,
+    epoch=st.integers(0, 2**40),
+    seq=st.integers(0, 2**40),
+    src=frame_names,
+    dst=frame_names,
+    block=wire_blocks,
+    heartbeat=st.booleans(),
+)
+
+
+def _frame_with_body(body: bytes) -> bytes:
+    """Assemble a prefix-valid frame around a hand-crafted body (the CRC
+    is computed honestly, so only the body content is wrong)."""
+    return struct.pack("<2sBI", FRAME_MAGIC, FRAME_VERSION, zlib.crc32(body)) + body
+
+
+class TestFrameRoundTrip:
+    @given(frame=wire_frames)
+    def test_roundtrip_reproduces_frame(self, frame):
+        decoded = decode_frame(encode_frame(frame))
+        assert decoded.node == frame.node
+        assert decoded.epoch == frame.epoch
+        assert decoded.seq == frame.seq
+        assert decoded.edge == frame.edge
+        assert decoded.is_heartbeat == frame.is_heartbeat
+        if not frame.is_heartbeat:
+            assert decoded.block == frame.block
+
+    @given(frame=wire_frames)
+    def test_reencode_is_byte_identical(self, frame):
+        payload = encode_frame(frame)
+        assert encode_frame(decode_frame(payload)) == payload
+
+
+class TestFrameCorruption:
+    @given(frame=wire_frames, data=st.data())
+    def test_any_truncation_raises_trace_error(self, frame, data):
+        payload = encode_frame(frame)
+        cut = data.draw(st.integers(0, len(payload) - 1))
+        with pytest.raises(TraceError):
+            decode_frame(payload[:cut])
+
+    @given(frame=wire_frames, data=st.data())
+    def test_any_single_byte_flip_raises_trace_error(self, frame, data):
+        """The CRC-32 over the body makes *every* single-byte corruption a
+        deterministic TraceError -- unlike the bare block codec, a flipped
+        frame can never silently decode to different values."""
+        payload = bytearray(encode_frame(frame))
+        pos = data.draw(st.integers(0, len(payload) - 1))
+        payload[pos] ^= data.draw(st.integers(1, 255))
+        with pytest.raises(TraceError):
+            decode_frame(bytes(payload))
+
+    def test_every_single_byte_flip_of_one_frame(self):
+        """Exhaustive single-byte-flip sweep on a representative frame."""
+        block = rle_encode(
+            DensityTimeSeries.from_dense(
+                [0.0, 2.0, 2.0, 0.0, 0.0, 1.5, 0.0, 3.0], 100, QUANTUM
+            )
+        )
+        payload = bytearray(encode_frame(BlockFrame("WS", 3, 7, "C1", "WS", block)))
+        for pos in range(len(payload)):
+            mutated = bytearray(payload)
+            mutated[pos] ^= 0x55
+            with pytest.raises(TraceError):
+                decode_frame(bytes(mutated))
+
+    def test_varint_overflow_with_valid_crc(self):
+        """A hand-crafted frame whose epoch varint exceeds 64 bits passes
+        the CRC (it was computed over the bad body) but must still fail
+        with TraceError, not a hang or an integer blow-up."""
+        body = bytes([0x01]) + b"\xff" * 10 + bytes([0x01])
+        with pytest.raises(TraceError):
+            decode_frame(_frame_with_body(body))
+
+    def test_string_length_overrun_with_valid_crc(self):
+        """A node-name length claiming more bytes than the body holds."""
+        body = bytearray([0x01])  # heartbeat flags
+        body += bytes([0x00, 0x00])  # epoch 0, seq 0
+        body += bytes([0x7F])  # node length 127 with no bytes behind it
+        with pytest.raises(TraceError):
+            decode_frame(_frame_with_body(bytes(body)))
+
+    def test_heartbeat_with_trailing_bytes_rejected(self):
+        payload = encode_frame(BlockFrame("N", 0, 0, "", "", None))
+        body = payload[7:] + b"\x00"
+        with pytest.raises(TraceError):
+            decode_frame(_frame_with_body(body))
+
+    def test_negative_epoch_unencodable(self):
+        with pytest.raises(TraceError):
+            encode_frame(BlockFrame("N", -1, 0, "", "", None))
