@@ -68,6 +68,9 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                         help="spike threshold in std deviations (default 3)")
     parser.add_argument("--min-spike-height", type=float, default=0.0,
                         help="absolute spike floor (default 0: paper rule)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker threads for per-class analysis "
+                             "(default 1 = serial; results are identical)")
 
 
 def _config_from(args: argparse.Namespace) -> PathmapConfig:
@@ -82,6 +85,7 @@ def _config_from(args: argparse.Namespace) -> PathmapConfig:
         max_transaction_delay=args.max_delay,
         spike_sigma=args.spike_sigma,
         min_spike_height=args.min_spike_height,
+        workers=getattr(args, "workers", 1),
     )
 
 
@@ -115,7 +119,10 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             for src, dst in collector.edges()
         )
     result = compute_service_graphs(
-        collector.window(config, end_time=end), config, method=args.method
+        collector.window(config, end_time=end),
+        config,
+        method=args.method,
+        workers=config.workers,
     )
     if not result.graphs:
         print("no service graphs found in the window", file=sys.stderr)
@@ -156,7 +163,10 @@ def cmd_diff(args: argparse.Namespace) -> int:
 
     def analysis(end: float):
         return compute_service_graphs(
-            collector.window(config, end_time=end), config, method=args.method
+            collector.window(config, end_time=end),
+            config,
+            method=args.method,
+            workers=config.workers,
         )
 
     before = analysis(args.before_end)
@@ -192,7 +202,10 @@ def cmd_render(args: argparse.Namespace) -> int:
             for src, dst in collector.edges()
         )
     result = compute_service_graphs(
-        collector.window(config, end_time=end), config, method=args.method
+        collector.window(config, end_time=end),
+        config,
+        method=args.method,
+        workers=config.workers,
     )
     if not result.graphs:
         print("no service graphs found in the window", file=sys.stderr)
@@ -225,6 +238,32 @@ def cmd_skew(args: argparse.Namespace) -> int:
     return 0
 
 
+def _counter_value(snap: dict, name: str) -> float:
+    """Value of an unlabeled counter in a registry snapshot (0 if absent)."""
+    return float(snap.get(name, {}).get("", {}).get("value", 0.0))
+
+
+def _optimization_ratios(snap: dict) -> dict:
+    """Cumulative quiet-skip and correlation-cache ratios for ``stats``.
+
+    ``skip_ratio`` is the fraction of block-pair lag products the batched
+    refresh avoided computing; ``correlation_cache_hit_ratio`` is the
+    fraction of correlation queries served from the dirty-flag cache.
+    """
+    pairs = _counter_value(snap, "correlator_pair_products_total")
+    skips = _counter_value(snap, "correlator_skips_total")
+    served = _counter_value(snap, "correlator_correlations_served_total")
+    cache_hits = _counter_value(snap, "correlation_cache_hits_total")
+    return {
+        "pair_products_computed": pairs,
+        "pair_products_skipped": skips,
+        "skip_ratio": skips / (pairs + skips) if pairs + skips else 0.0,
+        "correlations_served": served,
+        "correlation_cache_hits": cache_hits,
+        "correlation_cache_hit_ratio": cache_hits / served if served else 0.0,
+    }
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     """Run an instrumented analysis and dump the metrics registry.
 
@@ -245,6 +284,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
             quantum=args.quantum,
             sampling_window=args.sampling_window or 50 * args.quantum,
             max_transaction_delay=args.max_delay,
+            workers=getattr(args, "workers", 1),
         )
         from repro.core.engine import E2EProfEngine
 
@@ -307,6 +347,9 @@ def cmd_stats(args: argparse.Namespace) -> int:
         doc = {"metrics": snapshot(registry)}
         if latest_sample is not None:
             doc["latest_sample"] = latest_sample.to_dict()
+            doc["refresh_optimizations"] = _optimization_ratios(
+                snapshot(registry)
+            )
         if transport_summary is not None:
             doc["transport"] = transport_summary
         if args.format == "both":
@@ -345,6 +388,7 @@ def cmd_timeline(args: argparse.Namespace) -> int:
             quantum=args.quantum,
             sampling_window=args.sampling_window or 50 * args.quantum,
             max_transaction_delay=args.max_delay,
+            workers=getattr(args, "workers", 1),
         )
         rubis = build_rubis(dispatch="affinity", seed=args.seed)
         engine = E2EProfEngine(config, wire_fidelity=True)

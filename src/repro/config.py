@@ -79,6 +79,12 @@ class PathmapConfig:
     #: removes them without touching real spikes (typically > 0.3).
     #: 0.0 keeps the paper's exact rule.
     min_spike_height: float = 0.0
+    #: Worker threads for the refresh/analysis fan-out (paper Section 3.7:
+    #: the service graph of each client node can be computed in parallel).
+    #: 1 = fully serial; > 1 shards the per-class pathmap DFS and the
+    #: engine's reference-grouped correlator updates across a thread pool.
+    #: Results are identical to serial either way.
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.quantum <= 0:
@@ -123,6 +129,8 @@ class PathmapConfig:
             raise ConfigError(
                 f"min_spike_height must be in [0, 1), got {self.min_spike_height}"
             )
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
 
     # -- derived quantities, all in quanta ---------------------------------
 

@@ -230,6 +230,134 @@ def sparse_lag_products(
     return out
 
 
+def batch_lag_products(
+    x: SeriesLike, ys: "list[SeriesLike]", max_lag: int
+) -> np.ndarray:
+    """Raw lag products of one ``x`` against ``F`` series sharing a window.
+
+    Returns an ``(F, max_lag + 1)`` array whose row ``r`` equals
+    ``sparse_lag_products(x, ys[r], max_lag)``. All ``ys`` must cover the
+    same quantum range (the engine's reference-grouped append stacks the
+    newest block of every edge correlated against one reference edge, and
+    those blocks are aligned by construction).
+
+    The batch is computed in a single vectorized pass: the ``ys`` samples
+    are concatenated with a per-row key offset so one ``searchsorted``
+    locates every (x sample, row) lag range, then all pairs are expanded
+    chunk-by-chunk (bounded by ``_PAIR_CHUNK``) into one ``bincount`` over
+    the flattened ``(row, lag)`` axis. Python-level cost is O(F) numpy
+    calls instead of O(F) kernel invocations per x block.
+    """
+    if max_lag < 0:
+        raise CorrelationError(f"max_lag must be non-negative, got {max_lag}")
+    num_rows = len(ys)
+    out = np.zeros((num_rows, max_lag + 1), dtype=np.float64)
+    if num_rows == 0:
+        return out
+    xs = _as_sparse(x)
+    sparse_ys = [_as_sparse(y) for y in ys]
+    head = sparse_ys[0]
+    for y in sparse_ys[1:]:
+        if (
+            y.start != head.start
+            or y.length != head.length
+            or y.quantum != head.quantum
+        ):
+            raise CorrelationError(
+                "batch_lag_products requires all ys to share one window"
+            )
+    if xs.nnz == 0:
+        return out
+    row_nnz = np.array([y.nnz for y in sparse_ys], dtype=np.int64)
+    if int(row_nnz.sum()) == 0:
+        return out
+    span = int(head.length)
+    # Concatenated y samples with a per-row key offset; keys ascend by
+    # construction (rows in order, indices sorted within each row).
+    cat_rel = np.concatenate(
+        [y.indices - head.start for y in sparse_ys if y.nnz]
+    )
+    cat_val = np.concatenate([y.values for y in sparse_ys if y.nnz])
+    cat_row = np.repeat(np.arange(num_rows, dtype=np.int64), row_nnz)
+    keys = cat_row * span + cat_rel
+
+    xi, xv = xs.indices, xs.values
+    nx = xi.size
+    # Per-x-sample lag range, clipped into [0, span] so a query never
+    # bleeds into a neighboring row's key range.
+    rel_lo = np.clip(xi - head.start, 0, span)
+    rel_hi = np.clip(xi - head.start + max_lag + 1, 0, span)
+    bases = np.arange(num_rows, dtype=np.int64)[:, None] * span
+    lo = np.searchsorted(keys, (bases + rel_lo[None, :]).ravel(), side="left")
+    hi = np.searchsorted(keys, (bases + rel_hi[None, :]).ravel(), side="left")
+    pair_counts = hi - lo
+    if int(pair_counts.sum()) == 0:
+        return out
+
+    out_flat = out.reshape(-1)
+    cum_pairs = np.concatenate([[0], np.cumsum(pair_counts)])
+    start = 0
+    while start < pair_counts.size:
+        stop = int(
+            np.searchsorted(cum_pairs, cum_pairs[start] + _PAIR_CHUNK, side="left")
+        )
+        stop = min(max(stop, start + 1), pair_counts.size)
+        counts = pair_counts[start:stop]
+        chunk_total = int(counts.sum())
+        if chunk_total > 0:
+            reps = np.repeat(np.arange(start, stop), counts)
+            local = np.arange(chunk_total) - np.repeat(
+                cum_pairs[start:stop] - cum_pairs[start], counts
+            )
+            offsets = lo[reps] + local
+            xpos = reps % nx
+            lags = cat_rel[offsets] + head.start - xi[xpos]
+            weights = xv[xpos] * cat_val[offsets]
+            flat = (reps // nx) * (max_lag + 1) + lags
+            out_flat += np.bincount(
+                flat, weights=weights, minlength=num_rows * (max_lag + 1)
+            )[: num_rows * (max_lag + 1)]
+        start = stop
+    return out
+
+
+def correlate_batch(
+    x: SeriesLike, ys: "list[SeriesLike]", max_lag: Optional[int] = None
+) -> "list[CorrelationSeries]":
+    """Normalized correlation of one ``x`` against many ``ys`` at once.
+
+    All inputs must already share one window (same start and length); the
+    per-row result is identical, up to floating-point accumulation order,
+    to ``correlate_sparse(x, ys[r], max_lag)``.
+    """
+    xs = _as_sparse(x)
+    sparse_ys = [_as_sparse(y) for y in ys]
+    for y in sparse_ys:
+        if y.start != xs.start or y.length != xs.length:
+            raise SeriesError(
+                "correlate_batch requires x and every y to share one window"
+            )
+        if y.quantum != xs.quantum:
+            raise SeriesError(
+                f"quantum mismatch: {xs.quantum} vs {y.quantum}"
+            )
+    n = xs.length
+    d_max = _effective_max_lag(n, max_lag)
+    mats = batch_lag_products(xs, sparse_ys, d_max)
+    lags = np.arange(d_max + 1, dtype=np.int64)
+    x_prefix = _sparse_prefix_mass(xs, n - lags)
+    mx, sx = xs.mean(), xs.std()
+    results = []
+    for row, y in enumerate(sparse_ys):
+        y_suffix = y.total() - _sparse_prefix_mass(y, lags)
+        results.append(
+            _normalize(
+                mats[row], x_prefix, y_suffix, n, mx, y.mean(), sx, y.std(), xs.quantum
+            )
+        )
+    return results
+
+
 def _sparse_prefix_mass(series: DensityTimeSeries, lengths: np.ndarray) -> np.ndarray:
     """Mass of the first ``lengths[k]`` quanta of the window, vectorized."""
     if series.nnz == 0:

@@ -23,13 +23,17 @@ settings), which is negligible against ``dW``.
 from __future__ import annotations
 
 import collections
+import concurrent.futures
 import logging
+import threading
 import time
 from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
+import numpy as np
+
 from repro.config import PathmapConfig, TransportConfig
-from repro.core.correlation import CorrelationSeries, SeriesLike
-from repro.core.incremental import IncrementalCorrelator
+from repro.core.correlation import CorrelationSeries, SeriesLike, batch_lag_products
+from repro.core.incremental import IncrementalCorrelator, _pair_products, block_is_quiet
 from repro.core.pathmap import Pathmap, PathmapResult, TraceWindow
 from repro.core.rle import RunLengthSeries
 from repro.core.timeseries import DensityTimeSeries
@@ -86,9 +90,26 @@ class E2EProfEngine:
         flight_capacity: int = DEFAULT_FLIGHT_CAPACITY,
         transport: Optional[TransportConfig] = None,
         channel_factory: Optional[Callable[[NodeId], FaultyChannel]] = None,
+        workers: Optional[int] = None,
+        batched: bool = True,
     ) -> None:
         self.config = config
         self._clients: Set[NodeId] = set(clients or ())
+        #: Worker threads for refresh work (correlator append groups + the
+        #: per-class pathmap DFS). Defaults to ``config.workers``; results
+        #: are bit-identical to serial at any setting.
+        self.workers = int(workers) if workers is not None else config.workers
+        if self.workers < 1:
+            raise AnalysisError(f"workers must be >= 1, got {self.workers}")
+        #: When True (default), correlator updates use reference-grouped
+        #: :func:`~repro.core.correlation.batch_lag_products` kernels with
+        #: quiet-edge skipping and correlation memoization. False restores
+        #: the legacy one-kernel-per-pair refresh (the benchmark baseline).
+        self.batched = bool(batched)
+        self._pool: Optional[concurrent.futures.ThreadPoolExecutor] = None
+        # Guards the plain-int per-refresh tallies below when provider
+        # callbacks run on pool threads (workers > 1).
+        self._tally_lock = threading.Lock()
         #: When True, every streamed block is round-tripped through the
         #: binary wire format (tracing.wire) before analysis -- proving
         #: the bytes actually sent over the network carry everything the
@@ -138,6 +159,10 @@ class E2EProfEngine:
         # with the registry disabled, so MetricsSamples are always real).
         self._refresh_cache_hits = 0
         self._refresh_cache_misses = 0
+        # Per-refresh optimization tallies: pair products skipped on quiet
+        # blocks, and correlations served from the dirty-flag result cache.
+        self._refresh_skips = 0
+        self._refresh_corr_cache_hits = 0
         #: Subscriber callbacks that raised and were isolated (all time,
         #: counted regardless of the registry switch).
         self.subscriber_errors = 0
@@ -151,6 +176,10 @@ class E2EProfEngine:
         )
         self._m_fanout = m.histogram(
             "engine_fanout_seconds", "Seconds spent fanning each result out to subscribers"
+        )
+        self._m_batch = m.histogram(
+            "correlator_batch_seconds",
+            "Seconds per refresh spent in the reference-grouped batch append",
         )
         self._m_refreshes = m.counter("engine_refreshes_total", "Engine refreshes run")
         self._m_blocks = m.counter(
@@ -262,6 +291,12 @@ class E2EProfEngine:
         # Anchor block boundaries one sampling window behind the wall
         # clock so flushed blocks are complete (see module docstring).
         self._base_quantum = int(round(begin / tau)) - self.config.sampling_quanta
+        if self.workers > 1 and self._pool is None:
+            # One pool for the engine's whole attached lifetime: spawning
+            # threads per refresh would dwarf the work they shard.
+            self._pool = concurrent.futures.ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="e2eprof-refresh"
+            )
         self._task = PeriodicTask(
             topology.sim,
             self.config.refresh_interval,
@@ -274,6 +309,9 @@ class E2EProfEngine:
             self._task.cancel()
             self._task = None
         self._topology = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
 
     # -- refresh ------------------------------------------------------------------------
 
@@ -308,6 +346,8 @@ class E2EProfEngine:
         block_start = self._base_quantum + self._refreshes * self._block_quanta
         self._refresh_cache_hits = 0
         self._refresh_cache_misses = 0
+        self._refresh_skips = 0
+        self._refresh_corr_cache_hits = 0
         wire_metrics = self.metrics if self.metrics.enabled else None
         wire_bytes_before = self.wire_bytes_received
 
@@ -345,7 +385,9 @@ class E2EProfEngine:
         window = _EngineWindow(self)
         pathmap_started = time.perf_counter()
         with self.tracer.span("engine.pathmap"):
-            result = self._pathmap.analyze(window)
+            result = self._pathmap.analyze(
+                window, workers=self.workers, executor=self._pool
+            )
         pathmap_seconds = time.perf_counter() - pathmap_started
         if self._receiver is not None:
             self._apply_quality(result, now, block_start)
@@ -381,6 +423,8 @@ class E2EProfEngine:
             correlations=result.stats.correlations,
             spikes=result.stats.spikes,
             nodes_visited=result.stats.nodes_visited,
+            correlator_skips=self._refresh_skips,
+            correlation_cache_hits=self._refresh_corr_cache_hits,
         )
         with self.tracer.span(
             "engine.fanout_metrics", subscribers=len(self._metrics_subscribers)
@@ -755,6 +799,26 @@ class E2EProfEngine:
         }
 
     def _append_to_correlators(self) -> None:
+        if not self.batched:
+            self._append_per_pair()
+            return
+        started = time.perf_counter()
+        # Reference-grouped batch path: correlators sharing one reference
+        # edge hold identical x-side windows (they replay the same block
+        # history), so all their new pair products can come from one
+        # batch_lag_products call per pending x block.
+        groups: Dict[RefKey, List[Tuple[EdgeKey, IncrementalCorrelator]]] = {}
+        for (ref_edge, edge), correlator in self._correlators.items():
+            groups.setdefault(ref_edge, []).append((edge, correlator))
+        if self._pool is not None and len(groups) > 1:
+            skipped = sum(self._pool.map(self._append_group, groups.items()))
+        else:
+            skipped = sum(self._append_group(item) for item in groups.items())
+        self._refresh_skips = skipped
+        self._m_batch.observe(time.perf_counter() - started)
+
+    def _append_per_pair(self) -> None:
+        """Legacy refresh: one kernel invocation per (reference, edge) pair."""
         if self.tracer.enabled:
             # Traced path: one span per correlator update, labelled by the
             # (reference, edge) pair it maintains.
@@ -773,6 +837,114 @@ class E2EProfEngine:
             edge_block = self._blocks[edge][-1]
             correlator.append(ref_block, edge_block)
 
+    def _group_vectors(
+        self,
+        x_block: RunLengthSeries,
+        y_blocks: List[RunLengthSeries],
+        ys_sparse: List[SeriesLike],
+        max_lag: int,
+    ) -> Optional[np.ndarray]:
+        """Pair-product rows of one pending x block against every batched
+        group member, dispatched by a density cost model.
+
+        The sparse batch kernel touches every (x sample, y sample) pair
+        within ``max_lag``, so its cost explodes on smeared (near-dense)
+        blocks, where the run-length kernel -- whose cost scales with run
+        counts, not sample counts -- stays flat. Spike trains are the
+        opposite regime. Both estimates are pure functions of the blocks,
+        so grouped appends, history replays and parallel shards all make
+        the identical choice and stay bit-for-bit reproducible.
+        """
+        if block_is_quiet(x_block):
+            return None
+        xs = x_block.to_sparse()
+        rows: List[Optional[np.ndarray]] = [None] * len(y_blocks)
+        batched_rows: List[int] = []
+        weight = xs.indices.size * (max_lag + 1)
+        for i, (y_block, ys) in enumerate(zip(y_blocks, ys_sparse)):
+            span = max(int(ys.indices[-1]) - int(ys.indices[0]) + 1, 1)
+            if weight * ys.indices.size / span <= 4.0 * x_block.num_runs * y_block.num_runs:
+                batched_rows.append(i)
+            else:
+                rows[i] = _pair_products(x_block, y_block, max_lag)
+        if len(batched_rows) == len(y_blocks):
+            return batch_lag_products(xs, ys_sparse, max_lag)
+        if batched_rows:
+            mat = batch_lag_products(
+                xs, [ys_sparse[i] for i in batched_rows], max_lag
+            )
+            for r, i in enumerate(batched_rows):
+                rows[i] = mat[r]
+        return np.stack(rows)
+
+    def _append_group(
+        self,
+        group: Tuple[RefKey, List[Tuple[EdgeKey, IncrementalCorrelator]]],
+    ) -> int:
+        """Append the newest blocks to every correlator of one reference
+        group, batching all non-quiet edges into shared kernels. Returns
+        the number of pair products skipped as quiet."""
+        ref_edge, members = group
+        x_new = self._blocks[ref_edge][-1]
+        traced = self.tracer.enabled
+        skipped = 0
+        # Split the group: quiet newest edge blocks produce zero vectors
+        # only (the plain optimized append skips every kernel for them);
+        # the rest share one batch per pending x block. A member whose
+        # window disagrees with the group's (cannot happen through the
+        # normal refresh cycle, but cheap to guard) also takes the plain
+        # path, which computes its own kernels.
+        batch: List[Tuple[EdgeKey, IncrementalCorrelator, RunLengthSeries]] = []
+        plain: List[Tuple[EdgeKey, IncrementalCorrelator, RunLengthSeries]] = []
+        canonical: Optional[List[SeriesLike]] = None
+        for edge, correlator in members:
+            y_new = self._blocks[edge][-1]
+            if block_is_quiet(y_new):
+                plain.append((edge, correlator, y_new))
+                continue
+            pending = correlator.pending_pair_blocks()
+            if canonical is None:
+                canonical = pending
+            elif len(pending) != len(canonical) or any(
+                a is not b for a, b in zip(pending, canonical)
+            ):
+                plain.append((edge, correlator, y_new))
+                continue
+            batch.append((edge, correlator, y_new))
+        if batch:
+            max_lag = self.config.max_lag_quanta
+            y_blocks = [y for _, _, y in batch]
+            ys = [
+                y.to_sparse() if isinstance(y, RunLengthSeries) else y
+                for y in y_blocks
+            ]
+            mats = [
+                self._group_vectors(x_p, y_blocks, ys, max_lag)
+                for x_p in list(canonical or []) + [x_new]
+            ]
+            for row, (edge, correlator, y_new) in enumerate(batch):
+                vectors = [None if m is None else m[row].copy() for m in mats]
+                if traced:
+                    with self.tracer.span(
+                        "correlator.append",
+                        ref=f"{ref_edge[0]}->{ref_edge[1]}",
+                        edge=f"{edge[0]}->{edge[1]}",
+                    ):
+                        skipped += correlator.append(x_new, y_new, pair_vectors=vectors)
+                else:
+                    skipped += correlator.append(x_new, y_new, pair_vectors=vectors)
+        for edge, correlator, y_new in plain:
+            if traced:
+                with self.tracer.span(
+                    "correlator.append",
+                    ref=f"{ref_edge[0]}->{ref_edge[1]}",
+                    edge=f"{edge[0]}->{edge[1]}",
+                ):
+                    skipped += correlator.append(x_new, y_new)
+            else:
+                skipped += correlator.append(x_new, y_new)
+        return skipped
+
     # -- correlation provider (plugged into pathmap) ----------------------------------------
 
     def _provide_correlation(
@@ -784,13 +956,19 @@ class E2EProfEngine:
     ) -> CorrelationSeries:
         correlator = self._correlators.get((ref_key, edge_key))
         if correlator is None:
-            self._refresh_cache_misses += 1
+            with self._tally_lock:
+                self._refresh_cache_misses += 1
             self._m_cache_misses.inc()
             correlator = self._create_correlator(ref_key, edge_key)
         else:
-            self._refresh_cache_hits += 1
+            with self._tally_lock:
+                self._refresh_cache_hits += 1
             self._m_cache_hits.inc()
-        return correlator.correlation()
+        series = correlator.correlation()
+        if correlator.last_served_from_cache:
+            with self._tally_lock:
+                self._refresh_corr_cache_hits += 1
+        return series
 
     def _create_correlator(self, ref_key: RefKey, edge_key: EdgeKey) -> IncrementalCorrelator:
         ref_blocks = self._blocks.get(ref_key)
@@ -804,11 +982,40 @@ class E2EProfEngine:
             num_blocks=self._num_blocks,
             quantum=self.config.quantum,
             metrics=self.metrics,
+            optimized=self.batched,
         )
         for ref_block, edge_block in zip(ref_blocks, edge_blocks):
-            correlator.append(ref_block, edge_block)
+            if self.batched:
+                # Replay through the same batch kernel the grouped append
+                # uses, so a correlator rebuilt from history (new service
+                # class, transport late-block invalidation) is bit-identical
+                # to one maintained incrementally across refreshes.
+                self._batched_replay(correlator, ref_block, edge_block)
+            else:
+                correlator.append(ref_block, edge_block)
         self._correlators[(ref_key, edge_key)] = correlator
         return correlator
+
+    def _batched_replay(
+        self,
+        correlator: IncrementalCorrelator,
+        x_block: RunLengthSeries,
+        y_block: RunLengthSeries,
+    ) -> int:
+        """One append computed via single-row :meth:`_group_vectors` calls
+        (the quiet-skip and kernel-dispatch structure mirrors the grouped
+        path exactly, so a replayed correlator is bit-identical to a
+        maintained one)."""
+        if block_is_quiet(y_block):
+            return correlator.append(x_block, y_block)
+        max_lag = self.config.max_lag_quanta
+        y_blocks = [y_block]
+        ys = [y_block.to_sparse() if isinstance(y_block, RunLengthSeries) else y_block]
+        vectors: List[Optional[np.ndarray]] = []
+        for x_p in correlator.pending_pair_blocks() + [x_block]:
+            mat = self._group_vectors(x_p, y_blocks, ys, max_lag)
+            vectors.append(None if mat is None else mat[0])
+        return correlator.append(x_block, y_block, pair_vectors=vectors)
 
     # -- window state queried by the pathmap DFS ----------------------------------------------
 
@@ -823,10 +1030,17 @@ class E2EProfEngine:
         blocks = self._blocks.get(edge)
         if not blocks:
             raise AnalysisError(f"no blocks for edge {edge}")
-        series = blocks[0].to_sparse()
-        for block in list(blocks)[1:]:
-            series = series.concatenated(block.to_sparse())
-        return series
+        # Single-pass concatenation (mirrors IncrementalCorrelator._concat):
+        # the pairwise concatenated() chain re-copied the growing prefix
+        # for every block, i.e. quadratic in the window depth.
+        sparse = [block.to_sparse() for block in blocks]
+        return DensityTimeSeries(
+            np.concatenate([s.indices for s in sparse]),
+            np.concatenate([s.values for s in sparse]),
+            sparse[0].start,
+            sum(s.length for s in sparse),
+            sparse[0].quantum,
+        )
 
     @property
     def correlator_count(self) -> int:

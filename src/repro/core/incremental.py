@@ -15,12 +15,22 @@ subtracts its cached vectors.
 The result is *exactly* equal (to floating-point accumulation error) to
 running :func:`repro.core.correlation.correlate_sparse` over the full
 concatenated window, which is the invariant the test suite checks.
+
+Two steady-state optimizations (on by default, ``optimized=False`` for
+the legacy behavior) keep quiet edges nearly free: pair products against
+an empty block are skipped outright (their contribution is identically
+zero), and :meth:`IncrementalCorrelator.correlation` caches its result
+behind a dirty flag so an unchanged correlator re-serves the same
+``CorrelationSeries`` object. ``append`` also accepts externally computed
+``pair_vectors`` so the engine can feed many correlators that share one
+reference edge from a single :func:`~repro.core.correlation.batch_lag_products`
+pass (see ``docs/PERFORMANCE.md``).
 """
 
 from __future__ import annotations
 
 import collections
-from typing import TYPE_CHECKING, Deque, Dict, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -50,6 +60,14 @@ def _pair_products(x: Block, y: Block, max_lag: int) -> np.ndarray:
     return sparse_lag_products(xs, ys, max_lag)
 
 
+def block_is_quiet(block: Block) -> bool:
+    """True when the block carries no samples (its lag products with any
+    other block are identically zero)."""
+    if isinstance(block, RunLengthSeries):
+        return block.num_runs == 0
+    return block.nnz == 0
+
+
 class IncrementalCorrelator:
     """Maintains ``corr(x, y)`` over a sliding window of blocks.
 
@@ -64,11 +82,23 @@ class IncrementalCorrelator:
     metrics:
         Optional :class:`~repro.obs.registry.MetricsRegistry` receiving
         ``correlator_pair_products_total`` (block-pair lag-product vectors
-        actually computed), ``correlator_correlations_served_total``
-        (queries answered from the cached aggregates),
+        actually computed), ``correlator_skips_total`` (pair products
+        skipped because one side was quiet),
+        ``correlator_correlations_served_total`` (queries answered from
+        the cached aggregates), ``correlation_cache_hits_total``
+        (queries served from the dirty-flag result cache),
         ``correlator_evictions_total`` and the ``correlator_window_blocks``
         gauge. Many correlators may share one registry; the counters
         aggregate across them.
+    optimized:
+        When True (the default), pair products against a quiet (empty)
+        block are skipped -- their contribution is identically zero -- and
+        :meth:`correlation` memoizes its result behind a dirty flag so an
+        unchanged correlator returns the *same* ``CorrelationSeries``
+        object until an append actually changes the answer. Set False for
+        the legacy always-compute behavior (used as the benchmark
+        baseline). Both modes produce numerically identical results;
+        callers must not mutate a returned series in place.
 
     Usage::
 
@@ -84,6 +114,7 @@ class IncrementalCorrelator:
         num_blocks: int,
         quantum: float,
         metrics: Optional["MetricsRegistry"] = None,
+        optimized: bool = True,
     ) -> None:
         if max_lag < 0:
             raise CorrelationError(f"max_lag must be non-negative, got {max_lag}")
@@ -110,6 +141,14 @@ class IncrementalCorrelator:
         self._x_energy = 0.0
         self._y_total = 0.0
         self._y_energy = 0.0
+        self.optimized = bool(optimized)
+        # Dirty-flag result cache: when an append provably leaves the
+        # normalized correlation unchanged (see append()), _dirty stays
+        # False and correlation() re-serves _corr_cache as-is.
+        self._dirty = True
+        self._corr_cache: Optional[CorrelationSeries] = None
+        #: True when the last correlation() call was served from the cache.
+        self.last_served_from_cache = False
         if metrics is not None:
             self._m_pairs = metrics.counter(
                 "correlator_pair_products_total",
@@ -127,11 +166,21 @@ class IncrementalCorrelator:
                 "correlator_window_blocks",
                 "Window depth (blocks) of the most recently updated correlator",
             )
+            self._m_skips = metrics.counter(
+                "correlator_skips_total",
+                "Block-pair lag products skipped because one side was quiet",
+            )
+            self._m_cache_hits = metrics.counter(
+                "correlation_cache_hits_total",
+                "Correlation queries served from the dirty-flag result cache",
+            )
         else:
             self._m_pairs = None
             self._m_served = None
             self._m_evictions = None
             self._m_depth = None
+            self._m_skips = None
+            self._m_cache_hits = None
 
     # -- bookkeeping ---------------------------------------------------------
 
@@ -177,12 +226,73 @@ class IncrementalCorrelator:
 
     # -- the sliding-window protocol ------------------------------------------
 
-    def append(self, x_block: Block, y_block: Block) -> None:
+    def pending_pair_blocks(self) -> List[Block]:
+        """The live x blocks that will pair with the next appended block
+        (window order, excluding the diagonal pair).
+
+        The engine's reference-grouped batch append uses this to assemble
+        the shared x side of one :func:`~repro.core.correlation.batch_lag_products`
+        call per pending block.
+        """
+        reach = self.block_reach
+        if reach <= 0 or not self._x_blocks:
+            return []
+        return [block for _, block in self._x_blocks][-reach:]
+
+    def _result_preserved(self, x_block: Block, y_block: Block) -> bool:
+        """Whether appending (x_block, y_block) provably leaves the
+        normalized correlation value-identical (checked *before* the
+        window slides).
+
+        The window sums are unchanged exactly when the appended and
+        evicted blocks are all quiet, but the boundary mass corrections
+        (``x_prefix``/``y_suffix`` in ``_normalize``) also slide with the
+        window: they stay identical only if the old window's last
+        ``max_lag`` quanta of x and the new window's first ``max_lag``
+        quanta of y are quiet too (checked conservatively at block
+        granularity).
+        """
+        if not self.optimized or self._dirty or self._corr_cache is None:
+            return False
+        if len(self._x_blocks) != self.num_blocks:
+            return False
+        if not (block_is_quiet(x_block) and block_is_quiet(y_block)):
+            return False
+        # The eviction that this append triggers must remove quiet blocks.
+        if not (
+            block_is_quiet(self._x_blocks[0][1])
+            and block_is_quiet(self._y_blocks[0][1])
+        ):
+            return False
+        reach = min(self.block_reach, len(self._x_blocks))
+        if reach == 0:
+            return True
+        x_blocks = [block for _, block in self._x_blocks]
+        y_blocks = [block for _, block in self._y_blocks]
+        tail_quiet = all(block_is_quiet(b) for b in x_blocks[-reach:])
+        head_quiet = all(block_is_quiet(b) for b in y_blocks[1 : 1 + reach])
+        return tail_quiet and head_quiet
+
+    def append(
+        self,
+        x_block: Block,
+        y_block: Block,
+        pair_vectors: Optional[Sequence[Optional[np.ndarray]]] = None,
+    ) -> int:
         """Slide the window forward by one block (one refresh interval).
 
         ``x_block`` and ``y_block`` must cover the same quantum range, be
         adjacent to the previously appended blocks, and all blocks must have
         equal length.
+
+        ``pair_vectors`` optionally injects precomputed lag-product vectors
+        (e.g. from :func:`~repro.core.correlation.batch_lag_products`): one
+        entry per :meth:`pending_pair_blocks` block plus a final entry for
+        the diagonal ``(x_block, y_block)`` pair, where ``None`` marks an
+        identically-zero vector that should be skipped outright.
+
+        Returns the number of pair products skipped (0 when every pair was
+        computed or injected).
         """
         if (
             x_block.start != y_block.start
@@ -191,6 +301,18 @@ class IncrementalCorrelator:
         ):
             raise SeriesError("x and y blocks must cover the same window")
         self._validate_block(x_block)
+        if (
+            pair_vectors is None
+            and self.optimized
+            and len(self._x_blocks) == self.num_blocks
+            and not self._pair_cache
+            and block_is_quiet(y_block)
+            and block_is_quiet(x_block)
+            and block_is_quiet(self._x_blocks[0][1])
+            and block_is_quiet(self._y_blocks[0][1])
+        ):
+            return self._quiet_slide(x_block, y_block)
+        preserved = self._result_preserved(x_block, y_block)
 
         block_id = self._next_block_id
         self._next_block_id += 1
@@ -198,19 +320,45 @@ class IncrementalCorrelator:
         # New pairs: (x_p, y_new) for every live x block p within lag reach
         # (older x blocks cannot reach the new y quanta within max_lag).
         reach = self.block_reach
+        pending = [
+            (p_id, p_block)
+            for p_id, p_block in self._x_blocks
+            if block_id - p_id <= reach
+        ]
+        if pair_vectors is not None and len(pair_vectors) != len(pending) + 1:
+            raise CorrelationError(
+                f"pair_vectors must have {len(pending) + 1} entries "
+                f"(pending pairs + diagonal), got {len(pair_vectors)}"
+            )
+        y_quiet = self.optimized and block_is_quiet(y_block)
         computed = 0
-        for p_id, p_block in self._x_blocks:
-            if block_id - p_id > reach:
+        skipped = 0
+        for slot, (p_id, p_block) in enumerate(pending):
+            if pair_vectors is not None:
+                vec = pair_vectors[slot]
+            elif y_quiet or (self.optimized and block_is_quiet(p_block)):
+                vec = None
+            else:
+                vec = _pair_products(p_block, y_block, self.max_lag)
+            if vec is None:
+                skipped += 1
                 continue
-            vec = _pair_products(p_block, y_block, self.max_lag)
             self._pair_cache[(p_id, block_id)] = vec
             self._lag_products += vec
             computed += 1
         # The diagonal pair (x_new, y_new).
-        vec = _pair_products(x_block, y_block, self.max_lag)
-        self._pair_cache[(block_id, block_id)] = vec
-        self._lag_products += vec
-        computed += 1
+        if pair_vectors is not None:
+            vec = pair_vectors[-1]
+        elif y_quiet or (self.optimized and block_is_quiet(x_block)):
+            vec = None
+        else:
+            vec = _pair_products(x_block, y_block, self.max_lag)
+        if vec is None:
+            skipped += 1
+        else:
+            self._pair_cache[(block_id, block_id)] = vec
+            self._lag_products += vec
+            computed += 1
 
         self._x_blocks.append((block_id, x_block))
         self._y_blocks.append((block_id, y_block))
@@ -221,9 +369,53 @@ class IncrementalCorrelator:
 
         while len(self._x_blocks) > self.num_blocks:
             self._evict_oldest()
+        if not preserved:
+            self._dirty = True
         if self._m_pairs is not None:
             self._m_pairs.inc(computed)
             self._m_depth.set(len(self._x_blocks))
+            if skipped:
+                self._m_skips.inc(skipped)
+        return skipped
+
+    def _quiet_slide(self, x_block: Block, y_block: Block) -> int:
+        """O(1) append for the dormant case: full window, empty pair cache,
+        quiet incoming and quiet outgoing blocks.
+
+        Every pair slot would be skipped (the y side is quiet), the evicted
+        blocks contribute zero to the window sums, and there are no cached
+        pair vectors to sweep -- so the append reduces to rotating the block
+        deques. State after this call is identical to the general path.
+        """
+        # Same preservation rule as _result_preserved: the appended/evicted
+        # blocks are already known quiet, so only the cache validity and the
+        # boundary blocks remain to check.
+        if self._dirty or self._corr_cache is None:
+            self._dirty = True
+        else:
+            reach = min(self.block_reach, len(self._x_blocks))
+            if reach:
+                tail_quiet = all(
+                    block_is_quiet(b) for _, b in list(self._x_blocks)[-reach:]
+                )
+                head_quiet = all(
+                    block_is_quiet(b)
+                    for _, b in list(self._y_blocks)[1 : 1 + reach]
+                )
+                if not (tail_quiet and head_quiet):
+                    self._dirty = True
+        block_id = self._next_block_id
+        self._next_block_id += 1
+        skipped = min(self.block_reach, len(self._x_blocks)) + 1
+        self._x_blocks.append((block_id, x_block))
+        self._y_blocks.append((block_id, y_block))
+        self._x_blocks.popleft()
+        self._y_blocks.popleft()
+        if self._m_pairs is not None:
+            self._m_skips.inc(skipped)
+            self._m_depth.set(len(self._x_blocks))
+            self._m_evictions.inc()
+        return skipped
 
     def _evict_oldest(self) -> None:
         old_id, old_x = self._x_blocks.popleft()
@@ -294,6 +486,12 @@ class IncrementalCorrelator:
             raise CorrelationError("no blocks appended yet")
         if self._m_served is not None:
             self._m_served.inc()
+        if self.optimized and not self._dirty and self._corr_cache is not None:
+            self.last_served_from_cache = True
+            if self._m_cache_hits is not None:
+                self._m_cache_hits.inc()
+            return self._corr_cache
+        self.last_served_from_cache = False
         n = self.window_length
         d_max = min(self.max_lag, n - 1)
         lags = np.arange(d_max + 1, dtype=np.int64)
@@ -312,7 +510,7 @@ class IncrementalCorrelator:
         my = self._y_total / n
         sx = float(np.sqrt(max(0.0, self._x_energy / n - mx * mx)))
         sy = float(np.sqrt(max(0.0, self._y_energy / n - my * my)))
-        return _normalize(
+        result = _normalize(
             self._lag_products[: d_max + 1],
             x_prefix,
             y_suffix,
@@ -323,3 +521,7 @@ class IncrementalCorrelator:
             sy,
             self.quantum,
         )
+        if self.optimized:
+            self._corr_cache = result
+            self._dirty = False
+        return result

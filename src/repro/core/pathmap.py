@@ -196,6 +196,18 @@ class Pathmap:
 
             tracer = NULL_TRACER
         self._tracer = tracer
+        # Spike-scan memo: when the provider returns the *same*
+        # CorrelationSeries object as last time for a (class, edge) pair --
+        # the incremental correlator's dirty-flag cache does exactly that
+        # for quiet edges -- the previous detect_spikes result is reused.
+        # Holding a strong reference to the series makes the identity check
+        # safe (the id cannot be recycled while the entry lives). Each key
+        # is only ever touched by its own service class's DFS, so the memo
+        # needs no locking under parallel analyze().
+        self._spike_cache: Dict[
+            Tuple[Tuple[NodeId, NodeId], Tuple[NodeId, NodeId]],
+            Tuple["CorrelationSeries", List[Spike]],
+        ] = {}
 
     def _default_provider(
         self,
@@ -210,7 +222,12 @@ class Pathmap:
 
     # -- Algorithm 1: ServiceRoot ------------------------------------------------
 
-    def analyze(self, window: TraceWindow, workers: int = 1) -> PathmapResult:
+    def analyze(
+        self,
+        window: TraceWindow,
+        workers: int = 1,
+        executor: Optional[concurrent.futures.Executor] = None,
+    ) -> PathmapResult:
         """Compute the service graphs of every service class in ``window``.
 
         ``workers > 1`` parallelizes the inner loop of ServiceRoot across
@@ -218,7 +235,10 @@ class Pathmap:
         pathmap algorithm can easily be made more scalable by parallely
         computing the service graph of each client node"). The numpy
         correlation kernels release the GIL, so threads give real
-        speedup; results are identical to the serial order.
+        speedup; results are identical to the serial order. Passing a
+        persistent ``executor`` (the online engine keeps one across its
+        whole attach/detach lifetime) avoids re-spawning a pool on every
+        refresh.
         """
         started = time.perf_counter()
         stats = PathmapStats()
@@ -254,8 +274,11 @@ class Pathmap:
 
         graphs: Dict[Tuple[NodeId, NodeId], ServiceGraph] = {}
         if workers > 1 and len(pairs) > 1:
-            with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
-                outcomes = list(pool.map(analyze_pair, pairs))
+            if executor is not None:
+                outcomes = list(executor.map(analyze_pair, pairs))
+            else:
+                with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
+                    outcomes = list(pool.map(analyze_pair, pairs))
         else:
             outcomes = [analyze_pair(pair) for pair in pairs]
         for pair, graph, local in outcomes:
@@ -328,12 +351,18 @@ class Pathmap:
         stats.correlations += 1
         if corr.n < cfg.min_overlap_samples:
             return []
-        spikes = detect_spikes(
-            corr,
-            sigma=cfg.spike_sigma,
-            resolution_quanta=cfg.resolution_quanta,
-            min_height=cfg.min_spike_height,
-        )
+        memo_key = (ref_key, edge_key)
+        memo = self._spike_cache.get(memo_key)
+        if memo is not None and memo[0] is corr:
+            spikes = memo[1]
+        else:
+            spikes = detect_spikes(
+                corr,
+                sigma=cfg.spike_sigma,
+                resolution_quanta=cfg.resolution_quanta,
+                min_height=cfg.min_spike_height,
+            )
+            self._spike_cache[memo_key] = (corr, spikes)
         stats.spikes += len(spikes)
         return spikes
 

@@ -54,7 +54,10 @@ class RunLengthSeries:
     quanta are zero), but grouped into runs.
     """
 
-    __slots__ = ("starts", "counts", "values", "start", "length", "quantum")
+    __slots__ = (
+        "starts", "counts", "values", "start", "length", "quantum",
+        "_sparse", "_moments",
+    )
 
     def __init__(
         self,
@@ -92,6 +95,12 @@ class RunLengthSeries:
         self.start = int(start)
         self.length = int(length)
         self.quantum = float(quantum)
+        # Blocks are immutable once constructed and shared by every
+        # correlator whose window covers them, so the sparse expansion and
+        # the (total, energy) moments are computed lazily once per block
+        # rather than once per correlator per refresh.
+        self._sparse: object = None
+        self._moments: object = None
 
     # -- constructors --------------------------------------------------------
 
@@ -163,10 +172,20 @@ class RunLengthSeries:
     # -- statistics (over the full window, zeros included) --------------------
 
     def total(self) -> float:
-        return float(np.dot(self.counts, self.values))
+        return self._window_moments()[0]
 
     def energy(self) -> float:
-        return float(np.dot(self.counts, self.values * self.values))
+        return self._window_moments()[1]
+
+    def _window_moments(self) -> "Tuple[float, float]":
+        moments = self._moments
+        if moments is None:
+            moments = (
+                float(np.dot(self.counts, self.values)),
+                float(np.dot(self.counts, self.values * self.values)),
+            )
+            self._moments = moments
+        return moments
 
     def mean(self) -> float:
         if self.length == 0:
@@ -197,14 +216,25 @@ class RunLengthSeries:
     # -- conversions -----------------------------------------------------------
 
     def to_sparse(self) -> DensityTimeSeries:
-        """Expand runs back into a sparse density series (exact inverse)."""
-        if self.num_runs == 0:
-            return DensityTimeSeries.empty(self.start, self.length, self.quantum)
-        indices = np.concatenate(
-            [np.arange(s, s + c, dtype=np.int64) for s, c in zip(self.starts, self.counts)]
-        )
-        values = np.repeat(self.values, self.counts)
-        return DensityTimeSeries(indices, values, self.start, self.length, self.quantum)
+        """Expand runs back into a sparse density series (exact inverse).
+
+        The expansion is cached: repeated calls return the same
+        :class:`DensityTimeSeries` object.
+        """
+        cached = self._sparse
+        if cached is None:
+            if self.num_runs == 0:
+                cached = DensityTimeSeries.empty(self.start, self.length, self.quantum)
+            else:
+                indices = np.concatenate(
+                    [np.arange(s, s + c, dtype=np.int64) for s, c in zip(self.starts, self.counts)]
+                )
+                values = np.repeat(self.values, self.counts)
+                cached = DensityTimeSeries(
+                    indices, values, self.start, self.length, self.quantum
+                )
+            self._sparse = cached
+        return cached
 
     def to_dense(self) -> np.ndarray:
         return self.to_sparse().to_dense()

@@ -63,6 +63,14 @@ class MetricsSample:
         Correlation spikes detected this refresh.
     nodes_visited:
         Nodes the pathmap DFS recursed into this refresh.
+    correlator_skips:
+        Pair products skipped this refresh because one side's block was
+        quiet (the batched refresh's quiet-edge optimization; 0 when the
+        engine runs with ``batched=False``).
+    correlation_cache_hits:
+        Correlation queries answered from a correlator's dirty-flag
+        result cache this refresh (unchanged window, same series object
+        re-served).
     """
 
     time: float
@@ -77,6 +85,8 @@ class MetricsSample:
     correlations: int
     spikes: int
     nodes_visited: int
+    correlator_skips: int = 0
+    correlation_cache_hits: int = 0
 
     def to_dict(self) -> dict:
         """Plain-dict form (JSON-able) of the sample."""

@@ -14,10 +14,13 @@ pytest.importorskip("hypothesis")
 from hypothesis import given, strategies as st
 
 from repro.core.correlation import (
+    batch_lag_products,
+    correlate_batch,
     correlate_dense,
     correlate_fft,
     correlate_rle,
     correlate_sparse,
+    sparse_lag_products,
 )
 from repro.core.rle import rle_encode
 from repro.core.timeseries import DensityTimeSeries
@@ -150,3 +153,108 @@ class TestEdgeCases:
         y = series([0.0, 2.0, 0.0, 1.0])
         assert_variants_agree(x, y, max_lag=0)
         assert correlate_sparse(x, y, 0).values.size == 1
+
+
+#: Batches are small lists of densities sharing one window length.
+batch_values = st.lists(density_values, min_size=0, max_size=5)
+
+
+class TestBatchKernel:
+    """The reference-grouped batch kernel against the per-pair kernels."""
+
+    @given(xs=density_values, rows=batch_values, lag=st.integers(0, 128))
+    def test_batch_rows_match_sparse_kernel_exactly(self, xs, rows, lag):
+        """Each row of batch_lag_products is bitwise identical to the
+        per-pair sparse kernel (same pair enumeration order, one
+        bincount per batch) -- the engine relies on this to keep the
+        batched refresh bit-identical to the per-pair path."""
+        n = max(2, min([len(xs)] + [len(r) for r in rows] or [len(xs)]))
+        x = series(xs[:n] if len(xs) >= n else xs + [0.0] * (n - len(xs)))
+        ys = [
+            series(r[:n] if len(r) >= n else r + [0.0] * (n - len(r)))
+            for r in rows
+        ]
+        mat = batch_lag_products(x, ys, lag)
+        assert mat.shape == (len(ys), lag + 1)
+        for row, y in enumerate(ys):
+            expected = sparse_lag_products(x, y, lag)
+            assert np.array_equal(mat[row], expected), f"row {row}"
+
+    @given(xs=density_values, rows=batch_values)
+    def test_correlate_batch_agrees_with_all_variants(self, xs, rows):
+        """correlate_batch rows agree with every per-pair kernel
+        (dense reference plus sparse/rle/fft within their tolerances)."""
+        n = max(2, min([len(xs)] + [len(r) for r in rows] or [len(xs)]))
+        x = series(xs[:n] if len(xs) >= n else xs + [0.0] * (n - len(xs)))
+        ys = [
+            series(r[:n] if len(r) >= n else r + [0.0] * (n - len(r)))
+            for r in rows
+        ]
+        got = correlate_batch(x, ys)
+        assert len(got) == len(ys)
+        for row, y in enumerate(ys):
+            ref = correlate_dense(x, y, None)
+            assert got[row].degenerate == ref.degenerate
+            np.testing.assert_allclose(
+                got[row].values, ref.values, err_msg=f"row {row} vs dense",
+                **DIRECT_TOL,
+            )
+            for name, fn, tol in VARIANTS:
+                np.testing.assert_allclose(
+                    got[row].values,
+                    fn(x, y, None).values,
+                    err_msg=f"row {row} vs {name}",
+                    **tol,
+                )
+
+    def test_empty_batch(self):
+        x = series([1.0, 0.0, 2.0, 0.0])
+        mat = batch_lag_products(x, [], 3)
+        assert mat.shape == (0, 4)
+        assert correlate_batch(x, []) == []
+
+    def test_all_zero_rows_are_zero_and_degenerate(self):
+        x = series([1.0, 0.0, 2.0, 0.0, 1.0, 0.0])
+        quiet = series([0.0] * 6)
+        mat = batch_lag_products(x, [quiet, quiet], 4)
+        assert not np.any(mat)
+        for corr in correlate_batch(x, [quiet]):
+            assert corr.degenerate
+            assert not np.any(corr.values)
+
+    def test_quiet_x_zeroes_every_row(self):
+        x = series([0.0] * 8)
+        ys = [series([1.0] * 8), series([0.0, 2.0] * 4)]
+        assert not np.any(batch_lag_products(x, ys, 5))
+
+    def test_single_run_rows(self):
+        """Single-spike and single-run blocks: the shapes RLE transport
+        produces when a class emits one burst per window."""
+        n = 32
+        x_dense = [0.0] * n
+        x_dense[4] = 3.0
+        single_spike = [0.0] * n
+        single_spike[11] = 2.0
+        single_run = [0.0] * 8 + [1.5] * 16 + [0.0] * 8
+        x = series(x_dense)
+        ys = [series(single_spike), series(single_run)]
+        mat = batch_lag_products(x, ys, n - 1)
+        for row, y in enumerate(ys):
+            assert np.array_equal(mat[row], sparse_lag_products(x, y, n - 1))
+        # Spike-vs-spike peaks at their offset.
+        assert int(np.argmax(mat[0])) == 7
+
+    @given(xs=density_values, rows=batch_values, lag=st.integers(0, 64))
+    def test_batch_accepts_rle_blocks(self, xs, rows, lag):
+        """RLE-encoded inputs give the same matrix as sparse inputs."""
+        n = max(2, min([len(xs)] + [len(r) for r in rows] or [len(xs)]))
+        x = series(xs[:n] if len(xs) >= n else xs + [0.0] * (n - len(xs)))
+        ys = [
+            series(r[:n] if len(r) >= n else r + [0.0] * (n - len(r)))
+            for r in rows
+        ]
+        from_sparse = batch_lag_products(x, ys, lag)
+        from_rle = batch_lag_products(
+            rle_encode(x), [rle_encode(y) for y in ys], lag
+        )
+        assert np.array_equal(from_sparse, from_rle)

@@ -1,0 +1,198 @@
+"""The batched/parallel refresh must change performance, never results.
+
+Three contracts from the batched-refresh design:
+
+* ``workers > 1`` shards the reference-grouped append and the pathmap
+  inner loop across a thread pool, but every result -- graphs, stats,
+  metrics counters -- is identical to the single-threaded run (numpy
+  kernels release the GIL; the shards are disjoint).
+* ``batched=True`` (the default) must recover the same service graphs as
+  the legacy per-pair engine on the same workload.
+* The fixed ``E2EProfEngine._edge_series`` is a pure refactor of the old
+  pairwise ``concatenated()`` chain (quadratic in window depth).
+"""
+
+import functools
+
+import pytest
+
+import numpy as np
+
+from repro.apps.manyclass import build_many_class
+from repro.config import PathmapConfig
+from repro.core.engine import E2EProfEngine
+from repro.errors import AnalysisError, ConfigError
+from repro.obs.exposition import snapshot
+from repro.obs.registry import MetricsRegistry
+
+CFG = PathmapConfig(
+    window=6.0,
+    refresh_interval=2.0,
+    quantum=1e-3,
+    sampling_window=1e-3,
+    max_transaction_delay=1.0,
+    min_spike_height=0.10,
+)
+
+
+def run_engine(seed=3, end_time=18.0, classes=6, quiet_fraction=0.5, config=CFG,
+               **engine_kwargs):
+    """One many-class deployment driven to ``end_time`` with an engine
+    attached; returns the engine and its per-refresh samples."""
+    deployment = build_many_class(
+        classes=classes,
+        quiet_fraction=quiet_fraction,
+        seed=seed,
+        request_rate=10.0,
+        quiet_after=5.0,
+        config=config,
+    )
+    engine = E2EProfEngine(config, **engine_kwargs)
+    samples = []
+    engine.subscribe_metrics(lambda now, result, sample: samples.append(sample))
+    engine.attach(deployment.topology)
+    deployment.run_until(end_time)
+    engine.detach()
+    assert engine.latest_result is not None
+    return engine, samples
+
+
+#: Counters whose values must be identical between a serial and a
+#: parallel run of the same workload (elapsed-time metrics excluded).
+EXACT_COUNTERS = [
+    "pathmap_correlations_total",
+    "pathmap_spikes_total",
+    "pathmap_edges_total",
+    "pathmap_nodes_visited_total",
+    "correlator_pair_products_total",
+    "correlator_skips_total",
+    "correlation_cache_hits_total",
+    "correlator_evictions_total",
+    "engine_blocks_ingested_total",
+    "engine_correlator_cache_hits_total",
+    "engine_correlator_cache_misses_total",
+]
+
+
+def counter_values(registry):
+    snap = snapshot(registry)
+    return {
+        name: {labels: state["value"] for labels, state in snap[name].items()}
+        for name in EXACT_COUNTERS
+    }
+
+
+class TestParallelDeterminism:
+    def test_workers_do_not_change_results_or_counters(self):
+        serial_engine, serial_samples = run_engine(
+            metrics=MetricsRegistry(enabled=True), workers=1
+        )
+        parallel_engine, parallel_samples = run_engine(
+            metrics=MetricsRegistry(enabled=True), workers=3
+        )
+
+        serial = serial_engine.latest_result
+        parallel = parallel_engine.latest_result
+        assert set(serial.graphs) == set(parallel.graphs)
+        for key, graph in serial.graphs.items():
+            assert parallel.graphs[key].to_dict() == graph.to_dict(), key
+        for field in ("correlations", "spikes", "edges_discovered", "graphs",
+                      "nodes_visited"):
+            assert getattr(serial.stats, field) == getattr(parallel.stats, field)
+
+        # Per-refresh work counts match sample by sample.
+        assert len(serial_samples) == len(parallel_samples)
+        for s, p in zip(serial_samples, parallel_samples):
+            for field in ("time", "blocks_ingested", "correlators",
+                          "cache_hits", "cache_misses", "correlations",
+                          "spikes", "nodes_visited", "correlator_skips",
+                          "correlation_cache_hits"):
+                assert getattr(s, field) == getattr(p, field), field
+
+        # And the registries agree to the exact counter value.
+        assert counter_values(serial_engine.metrics) == counter_values(
+            parallel_engine.metrics
+        )
+
+    def test_pool_lifecycle(self):
+        engine, _ = run_engine(workers=2, end_time=10.0)
+        assert engine.workers == 2
+        assert engine._pool is None  # detach() tore the pool down
+
+    def test_workers_knob_plumbing(self):
+        assert E2EProfEngine(CFG).workers == 1
+        import dataclasses
+
+        cfg = dataclasses.replace(CFG, workers=3)
+        assert E2EProfEngine(cfg).workers == 3
+        assert E2EProfEngine(cfg, workers=2).workers == 2  # param wins
+        with pytest.raises(ConfigError):
+            dataclasses.replace(CFG, workers=0)
+        with pytest.raises(AnalysisError):
+            E2EProfEngine(CFG, workers=0)
+
+
+class TestBatchedEquivalence:
+    def test_batched_engine_matches_legacy_graphs(self):
+        batched_engine, batched_samples = run_engine(batched=True)
+        legacy_engine, legacy_samples = run_engine(batched=False)
+
+        batched = batched_engine.latest_result
+        legacy = legacy_engine.latest_result
+        assert set(batched.graphs) == set(legacy.graphs)
+        for key, graph in legacy.graphs.items():
+            assert batched.graphs[key].edge_set() == graph.edge_set(), key
+        assert batched.stats.spikes == legacy.stats.spikes
+        assert batched.stats.correlations == legacy.stats.correlations
+
+        # The optimization telemetry separates the modes: the legacy
+        # engine never skips; the batched engine skips the quiet edges.
+        assert all(s.correlator_skips == 0 for s in legacy_samples)
+        assert any(s.correlator_skips > 0 for s in batched_samples)
+
+    def test_batched_matches_legacy_on_smeared_dense_blocks(self):
+        # Smearing over many quanta produces near-dense blocks -- the
+        # regime where the density dispatch must route rows to the RLE
+        # kernel instead of the sparse batch kernel. Results must still
+        # be identical to the legacy per-pair engine.
+        import dataclasses
+
+        dense_cfg = dataclasses.replace(CFG, sampling_window=50e-3)
+        kwargs = dict(seed=4, end_time=14.0, classes=4, quiet_fraction=0.25)
+        batched_engine, _ = run_engine(config=dense_cfg, batched=True, **kwargs)
+        legacy_engine, _ = run_engine(config=dense_cfg, batched=False, **kwargs)
+        batched = batched_engine.latest_result
+        legacy = legacy_engine.latest_result
+        assert set(batched.graphs) == set(legacy.graphs)
+        for key, graph in legacy.graphs.items():
+            assert batched.graphs[key].to_dict() == graph.to_dict(), key
+
+    def test_batched_skip_counts_respond_to_quiet_classes(self):
+        _, samples = run_engine(batched=True, end_time=20.0)
+        # While every class is active (first refreshes) nothing is
+        # skipped; once half the classes stop, skips appear.
+        assert samples[0].correlator_skips == 0
+        assert samples[-1].correlator_skips > 0
+
+
+class TestEdgeSeriesRefactor:
+    def test_single_pass_concat_matches_pairwise_chain(self):
+        engine, _ = run_engine(end_time=14.0)
+        edges = list(engine._blocks)
+        assert edges
+        for edge in edges:
+            got = engine._edge_series(edge)
+            # The pre-refactor implementation: fold the blocks through
+            # pairwise DensityTimeSeries.concatenated() calls.
+            blocks = [b.to_sparse() for b in engine._blocks[edge]]
+            expected = functools.reduce(lambda a, b: a.concatenated(b), blocks)
+            assert got.start == expected.start
+            assert got.length == expected.length
+            assert got.quantum == expected.quantum
+            assert np.array_equal(got.indices, expected.indices)
+            assert np.array_equal(got.values, expected.values)
+
+    def test_edge_series_missing_edge_raises(self):
+        engine, _ = run_engine(end_time=10.0)
+        with pytest.raises(AnalysisError):
+            engine._edge_series(("nope", "nowhere"))
