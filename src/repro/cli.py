@@ -277,6 +277,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
     registry = MetricsRegistry(enabled=True)
     latest_sample = None
     transport_summary = None
+    ingest_stats = None
     if args.trace is None:
         config = PathmapConfig(
             window=args.window,
@@ -307,6 +308,13 @@ def cmd_stats(args: argparse.Namespace) -> int:
                     delay=_args.fault_delay,
                 )
 
+        capture_sink = None
+        if args.ingest:
+            from repro.tracing.collector import TraceCollector
+
+            capture_sink = TraceCollector(
+                metrics=registry, retention=config.retention_horizon
+            )
         rubis = build_rubis(dispatch="affinity", seed=args.seed)
         engine = E2EProfEngine(
             config,
@@ -314,9 +322,13 @@ def cmd_stats(args: argparse.Namespace) -> int:
             metrics=registry,
             transport=transport_config,
             channel_factory=channel_factory,
+            capture_sink=capture_sink,
         )
         engine.attach(rubis.topology)
         rubis.run_until(args.duration)
+        if capture_sink is not None:
+            capture_sink.evict_expired()
+            ingest_stats = capture_sink.ingest_stats()
         if engine.latest_sample is None:
             raise E2EProfError(
                 f"no refresh fired: --duration {args.duration} is shorter "
@@ -340,6 +352,8 @@ def cmd_stats(args: argparse.Namespace) -> int:
             collector, config, start, end, method=args.method, metrics=registry
         ):
             pass
+        if args.ingest:
+            ingest_stats = collector.ingest_stats()
 
     if args.format == "prometheus":
         payload = to_prometheus(registry)
@@ -352,6 +366,8 @@ def cmd_stats(args: argparse.Namespace) -> int:
             )
         if transport_summary is not None:
             doc["transport"] = transport_summary
+        if ingest_stats is not None:
+            doc["ingest"] = ingest_stats
         if args.format == "both":
             doc["prometheus"] = to_prometheus(registry)
         payload = json.dumps(doc, indent=2, sort_keys=True)
@@ -608,6 +624,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-frame multi-round delay probability")
     stats.add_argument("--fault-seed", type=int, default=0,
                        help="base seed for the per-link fault injectors")
+    stats.add_argument("--ingest", action="store_true",
+                       help="demo mode: attach a bounded columnar capture "
+                            "sink to the engine and report its ingest "
+                            "statistics; trace mode: report the replay "
+                            "collector's ingest statistics")
     _add_config_arguments(stats)
     stats.set_defaults(func=cmd_stats)
 

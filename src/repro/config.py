@@ -85,6 +85,12 @@ class PathmapConfig:
     #: engine's reference-grouped correlator updates across a thread pool.
     #: Results are identical to serial either way.
     workers: int = 1
+    #: Trace retention horizon in seconds for bounded-memory collectors
+    #: (see :attr:`retention_horizon`). None picks the analysis-safe
+    #: default ``3 * window + max_transaction_delay``; an explicit value
+    #: must cover at least one window plus the transaction delay bound,
+    #: or the retained trace could not serve a full analysis window.
+    retention: float | None = None
 
     def __post_init__(self) -> None:
         if self.quantum <= 0:
@@ -131,6 +137,13 @@ class PathmapConfig:
             )
         if self.workers < 1:
             raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.retention is not None:
+            floor = self.window + self.max_transaction_delay
+            if self.retention < floor:
+                raise ConfigError(
+                    "retention must cover window + max_transaction_delay "
+                    f"({self.retention} < {floor})"
+                )
 
     # -- derived quantities, all in quanta ---------------------------------
 
@@ -170,6 +183,21 @@ class PathmapConfig:
         if self.resolution_window is None:
             return self.sampling_quanta
         return max(1, round(self.resolution_window / self.quantum))
+
+    @property
+    def retention_horizon(self) -> float:
+        """Trace retention horizon in seconds for a bounded collector.
+
+        :attr:`retention` when set, otherwise ``3 * window +
+        max_transaction_delay`` -- enough history for the current window,
+        the correlation lag bound and two windows of slack (re-analysis,
+        late arrivals), while keeping resident trace memory flat. Pass it
+        as ``TraceCollector(retention=config.retention_horizon)``;
+        collectors retain everything unless asked.
+        """
+        if self.retention is not None:
+            return self.retention
+        return 3.0 * self.window + self.max_transaction_delay
 
     def with_window(self, window: float, refresh_interval: float | None = None) -> "PathmapConfig":
         """Return a copy with a different sliding window (and optionally dW)."""

@@ -51,6 +51,7 @@ from repro.obs.sample import MetricsSample
 from repro.obs.spans import SpanTracer
 from repro.simulation.des import PeriodicTask
 from repro.simulation.topology import Topology
+from repro.tracing.collector import TraceCollector
 from repro.tracing.records import NodeId
 from repro.tracing.transport import (
     QUALITY_DEGRADED,
@@ -92,6 +93,7 @@ class E2EProfEngine:
         channel_factory: Optional[Callable[[NodeId], FaultyChannel]] = None,
         workers: Optional[int] = None,
         batched: bool = True,
+        capture_sink: Optional[TraceCollector] = None,
     ) -> None:
         self.config = config
         self._clients: Set[NodeId] = set(clients or ())
@@ -206,6 +208,13 @@ class E2EProfEngine:
             "obs_subscriber_errors_total",
             "Subscriber callbacks that raised and were isolated during fan-out",
         )
+        #: Optional analyzer-side capture archive. When set, every
+        #: tracer's raw per-edge timestamps are drained each refresh as
+        #: columnar batches and forwarded here -- through the transport's
+        #: packed timestamp frames when transport is on, directly
+        #: otherwise -- without materializing per-record objects.
+        self.capture_sink = capture_sink
+        self._refresh_capture_batches = 0
         #: Fault-tolerant transport (None = legacy direct pull). When set,
         #: every block travels tracer -> TransportLink -> channel ->
         #: TransportReceiver, gaining epoch/sequence framing, reordering
@@ -286,6 +295,9 @@ class E2EProfEngine:
             # simulated packet, so unbound tracers pay nothing at all.
             for tracer in topology.fabric.tracers.values():
                 tracer.bind_metrics(self.metrics)
+        if self.capture_sink is not None:
+            for tracer in topology.fabric.tracers.values():
+                tracer.enable_batch_streaming()
         begin = start_at if start_at is not None else topology.sim.now
         tau = self.config.quantum
         # Anchor block boundaries one sampling window behind the wall
@@ -348,6 +360,7 @@ class E2EProfEngine:
         self._refresh_cache_misses = 0
         self._refresh_skips = 0
         self._refresh_corr_cache_hits = 0
+        self._refresh_capture_batches = 0
         wire_metrics = self.metrics if self.metrics.enabled else None
         wire_bytes_before = self.wire_bytes_received
 
@@ -371,6 +384,16 @@ class E2EProfEngine:
                                     self.wire_bytes_received += len(payload)
                                     block = decode_block(payload, metrics=wire_metrics)
                                 fresh[edge] = block
+                    if self.capture_sink is not None:
+                        # Direct (no-transport) batch forwarding: the
+                        # tracer's raw captures reach the archive as
+                        # columnar writes, never as per-record objects.
+                        for (src, dst), stamps in tracer.drain_batches().items():
+                            self.capture_sink.ingest_batch(
+                                src, dst, stamps,
+                                observed_at_destination=(node_id == dst),
+                            )
+                            self._refresh_capture_batches += 1
             ingest_span.set_attribute("blocks", len(fresh))
 
         self._refreshes += 1
@@ -425,6 +448,7 @@ class E2EProfEngine:
             nodes_visited=result.stats.nodes_visited,
             correlator_skips=self._refresh_skips,
             correlation_cache_hits=self._refresh_corr_cache_hits,
+            capture_batches=self._refresh_capture_batches,
         )
         with self.tracer.span(
             "engine.fanout_metrics", subscribers=len(self._metrics_subscribers)
@@ -563,6 +587,15 @@ class E2EProfEngine:
                     for delivered in channel.send(payload):
                         self.wire_bytes_received += len(delivered)
                         receiver.receive(delivered, now)
+                if self.capture_sink is not None:
+                    # Raw captures ride the same link/channel as packed
+                    # timestamp frames (one frame per edge batch).
+                    batches = tracer.drain_batches()
+                    if batches:
+                        for payload in link.encode_timestamp_batches(batches):
+                            for delivered in channel.send(payload):
+                                self.wire_bytes_received += len(delivered)
+                                receiver.receive(delivered, now)
             # Frames the channels held back (reordered / delayed) that
             # have come due this round.
             for channel in self.transport_channels.values():
@@ -577,6 +610,18 @@ class E2EProfEngine:
                     fresh[frame.edge] = frame.block
                 else:
                     late.append(frame)
+            if self.capture_sink is not None:
+                # Timestamp batches carry absolute capture times, so
+                # arrival order is irrelevant: file each straight into
+                # the columnar archive.
+                for ts_frame in receiver.poll_timestamp_batches():
+                    self.capture_sink.ingest_batch(
+                        ts_frame.src,
+                        ts_frame.dst,
+                        ts_frame.timestamps,
+                        observed_at_destination=ts_frame.observed_at_destination,
+                    )
+                    self._refresh_capture_batches += 1
             # Declared gaps: blocks the reorder buffers gave up waiting for.
             gap_edges: Dict[EdgeKey, int] = {}
             for notice in receiver.drain_gap_notices():

@@ -71,6 +71,9 @@ class MetricsSample:
         Correlation queries answered from a correlator's dirty-flag
         result cache this refresh (unchanged window, same series object
         re-served).
+    capture_batches:
+        Columnar timestamp batches forwarded to the engine's capture
+        sink this refresh (0 unless a ``capture_sink`` is configured).
     """
 
     time: float
@@ -87,6 +90,7 @@ class MetricsSample:
     nodes_visited: int
     correlator_skips: int = 0
     correlation_cache_hits: int = 0
+    capture_batches: int = 0
 
     def to_dict(self) -> dict:
         """Plain-dict form (JSON-able) of the sample."""

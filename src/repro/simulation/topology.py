@@ -28,7 +28,7 @@ from repro.simulation.network import DEFAULT_LATENCY, Fabric
 from repro.simulation.nodes import ClientNode, Router, ServiceNode
 from repro.simulation.workload import ClosedWorkload, OpenWorkload
 from repro.tracing.collector import TraceCollector
-from repro.tracing.records import CaptureRecord, NodeId
+from repro.tracing.records import NodeId
 from repro.tracing.tracer import Tracer
 
 
@@ -145,15 +145,11 @@ class Topology:
         tracer = self.fabric.tracer(observer)
         if tracer is None:
             return  # untraced endpoint (client side): invisible to the enterprise
-        self.collector.ingest(
-            CaptureRecord(
-                timestamp=timestamp + tracer.clock_skew,
-                src=src,
-                dst=dst,
-                observer=observer,
-                request_id=getattr(message, "request_id", None),
-                service_class=getattr(message, "service_class", None),
-            )
+        # Point ingest, no CaptureRecord object: this hook runs once per
+        # simulated packet, and the collector only consumes the black-box
+        # tuple anyway (request/class ground truth never reaches it).
+        self.collector.ingest_point(
+            timestamp + tracer.clock_skew, src, dst, observer == dst
         )
 
     # -- execution -------------------------------------------------------------------------

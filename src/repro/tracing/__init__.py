@@ -2,9 +2,13 @@
 
 from repro.tracing.access_log import access_log_to_captures, merge_server_logs, split_by_server
 from repro.tracing.collector import CollectedTraceWindow, TraceCollector
-from repro.tracing.records import AccessLogRecord, CaptureRecord
+from repro.tracing.records import AccessLogRecord, CaptureRecord, TimestampBatch
 from repro.tracing.storage import (
+    load_capture_batches,
     load_captures,
+    read_capture_binary,
+    read_capture_binary_records,
+    write_capture_binary,
     read_access_log_jsonl,
     read_capture_csv,
     read_capture_jsonl,
@@ -26,6 +30,7 @@ from repro.tracing.transport import (
 )
 from repro.tracing.wire import (
     BlockFrame,
+    TimestampFrame,
     decode_block,
     decode_frame,
     encode_block,

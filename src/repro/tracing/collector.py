@@ -11,13 +11,35 @@ Client nodes are never traced ("those are usually beyond the reach of
 enterprises"), so edges touching a client fall back to the server-side
 capture: ``client -> frontend`` uses the front end's receive timestamps,
 ``frontend -> client`` uses the front end's send timestamps.
+
+Ingest path
+-----------
+
+Online black-box tracing lives or dies on ingest throughput and trace
+volume, so the collector stores each ``(edge, side)`` stream columnar:
+a list of **sorted float64 chunks** plus a small unsorted pending tail.
+New captures (single timestamps or whole batches) land in the tail in
+O(1); the first query sorts the tail once with ``np.sort`` and merges it
+with only the sorted chunks it overlaps, so roughly-ordered arrivals --
+the steady state of a live capture stream -- never trigger a global
+re-sort. Window materialization and :meth:`TraceCollector.edge_timestamps`
+are then array concatenations and ``np.searchsorted`` slices.
+
+The legacy pure-Python store survives as ``columnar=False`` for A/B
+benchmarking; it keeps a per-edge dirty flag so one new record re-sorts
+only the edge it touched, never every edge's full history.
+
+Retention: pass ``retention=<seconds>`` (for example
+``config.retention_horizon``) and the collector evicts whole chunks older
+than ``newest seen - retention`` in O(chunks), keeping resident memory
+flat under sustained load (``collector_records_evicted_total`` counter,
+``collector_resident_records`` gauge).
 """
 
 from __future__ import annotations
 
-import bisect
 import logging
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -26,7 +48,7 @@ from repro.core.pathmap import TraceWindow
 from repro.core.rle import rle_encode
 from repro.core.timeseries import build_density_series
 from repro.errors import TraceError
-from repro.tracing.records import CaptureRecord, NodeId
+from repro.tracing.records import CaptureRecord, NodeId, TimestampBatch
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.registry import MetricsRegistry
@@ -34,6 +56,177 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 logger = logging.getLogger(__name__)
 
 EdgeKey = Tuple[NodeId, NodeId]
+
+#: Shared empty-stream sentinel; ``edge_timestamps`` on a never-captured
+#: edge returns this exact array from both sides, preserving the
+#: ``source is dest`` one-sided-capture check in clock-skew estimation.
+_EMPTY = np.empty(0, dtype=np.float64)
+_EMPTY.setflags(write=False)
+
+#: How many per-record ingests may pass between retention sweeps.
+_EVICT_STRIDE = 4096
+
+
+class _ColumnarStore:
+    """Columnar timestamp store for one ``(edge, side)`` stream.
+
+    ``chunks`` is a list of sorted float64 arrays whose concatenation is
+    globally sorted (chunk maxima non-decreasing, ranges non-overlapping).
+    Appends and batch extends go to an unsorted pending tail;
+    :meth:`consolidate` sorts the tail once and merges it with only the
+    trailing chunks it overlaps, so a mostly-ordered stream costs one
+    bounded ``np.sort`` per consolidation instead of a global re-sort.
+    """
+
+    __slots__ = (
+        "chunks", "_tail_scalars", "_tail_arrays", "count", "_cache", "sorts",
+    )
+
+    def __init__(self) -> None:
+        self.chunks: List[np.ndarray] = []
+        self._tail_scalars: List[float] = []
+        self._tail_arrays: List[np.ndarray] = []
+        self.count = 0
+        self._cache: Optional[np.ndarray] = None
+        self.sorts = 0
+
+    def append(self, timestamp: float) -> None:
+        self._tail_scalars.append(timestamp)
+        self.count += 1
+        self._cache = None
+
+    def extend(self, values: np.ndarray) -> None:
+        if values.size:
+            self._tail_arrays.append(values)
+            self.count += values.size
+            self._cache = None
+
+    @property
+    def pending(self) -> int:
+        return len(self._tail_scalars) + sum(a.size for a in self._tail_arrays)
+
+    def consolidate(self) -> None:
+        """Fold the pending tail into the sorted chunk list."""
+        if not self._tail_scalars and not self._tail_arrays:
+            return
+        parts: List[np.ndarray] = []
+        if self._tail_scalars:
+            parts.append(np.asarray(self._tail_scalars, dtype=np.float64))
+        parts.extend(self._tail_arrays)
+        fresh = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        fresh = np.sort(fresh)
+        self.sorts += 1
+        self._tail_scalars = []
+        self._tail_arrays = []
+        # Merge only the sorted chunks the fresh batch overlaps; an
+        # in-order stream appends a new chunk without touching history.
+        overlap: List[np.ndarray] = []
+        while self.chunks and self.chunks[-1][-1] > fresh[0]:
+            overlap.append(self.chunks.pop())
+        if overlap:
+            overlap.reverse()
+            fresh = np.sort(np.concatenate(overlap + [fresh]))
+            self.sorts += 1
+        self.chunks.append(fresh)
+
+    def array(self) -> np.ndarray:
+        """The stream as one sorted array (cached until the next write)."""
+        if self._cache is None:
+            self.consolidate()
+            if not self.chunks:
+                self._cache = _EMPTY
+            elif len(self.chunks) == 1:
+                self._cache = self.chunks[0]
+            else:
+                self._cache = np.concatenate(self.chunks)
+        return self._cache
+
+    def evict_before(self, cutoff: float) -> int:
+        """Drop timestamps ``< cutoff``; whole stale chunks in O(chunks),
+        plus one boundary-chunk slice. Returns how many were dropped."""
+        self.consolidate()
+        dropped = 0
+        keep = 0
+        for chunk in self.chunks:
+            if chunk[-1] >= cutoff:
+                break
+            dropped += chunk.size
+            keep += 1
+        if keep:
+            del self.chunks[:keep]
+        if self.chunks:
+            first = self.chunks[0]
+            idx = int(np.searchsorted(first, cutoff, side="left"))
+            if idx:
+                # Copy, not a view: a view pins the stale prefix in memory.
+                self.chunks[0] = first[idx:].copy()
+                dropped += idx
+        if dropped:
+            self.count -= dropped
+            self._cache = None
+        return dropped
+
+
+class _ListStore:
+    """Legacy per-edge Python-list store (``columnar=False``).
+
+    Kept as the A/B baseline for the ingest benchmarks. The dirty flag is
+    per-store, so one new record re-sorts only its own edge's history --
+    never every edge, as the old collector-global flag did.
+    """
+
+    __slots__ = ("stamps", "_dirty", "_cache", "sorts")
+
+    def __init__(self) -> None:
+        self.stamps: List[float] = []
+        self._dirty = False
+        self._cache: Optional[np.ndarray] = None
+        self.sorts = 0
+
+    def append(self, timestamp: float) -> None:
+        self.stamps.append(timestamp)
+        self._dirty = True
+        self._cache = None
+
+    def extend(self, values: np.ndarray) -> None:
+        if values.size:
+            self.stamps.extend(values.tolist())
+            self._dirty = True
+            self._cache = None
+
+    @property
+    def count(self) -> int:
+        return len(self.stamps)
+
+    @property
+    def pending(self) -> int:
+        return 0
+
+    def consolidate(self) -> None:
+        if self._dirty:
+            self.stamps.sort()
+            self.sorts += 1
+            self._dirty = False
+
+    def array(self) -> np.ndarray:
+        if self._cache is None:
+            self.consolidate()
+            self._cache = (
+                np.asarray(self.stamps, dtype=np.float64) if self.stamps else _EMPTY
+            )
+        return self._cache
+
+    def evict_before(self, cutoff: float) -> int:
+        self.consolidate()
+        arr = self.array()
+        idx = int(np.searchsorted(arr, cutoff, side="left"))
+        if idx:
+            del self.stamps[:idx]
+            self._cache = None
+        return idx
+
+
+_Store = Union[_ColumnarStore, _ListStore]
 
 
 class TraceCollector:
@@ -48,24 +241,61 @@ class TraceCollector:
         non-black-box input).
     metrics:
         Optional :class:`~repro.obs.registry.MetricsRegistry` receiving
-        ``collector_records_ingested_total`` and
+        ``collector_records_ingested_total``,
+        ``collector_batches_ingested_total``,
+        ``collector_records_evicted_total``, the
+        ``collector_resident_records`` gauge and
         ``collector_windows_total``.
+    columnar:
+        True (default) stores each stream as sorted numpy chunks plus an
+        unsorted tail; False keeps the legacy per-edge Python lists (the
+        ingest benchmark's baseline). Analysis results are identical.
+    retention:
+        Optional horizon in seconds. When set, timestamps older than
+        ``newest seen - retention`` are evicted (whole chunks at a time),
+        so resident memory stays flat under sustained load. None (the
+        default) retains everything. See
+        :attr:`~repro.config.PathmapConfig.retention_horizon` for the
+        analysis-safe default horizon.
     """
 
     def __init__(
         self,
         client_nodes: Iterable[NodeId] = (),
         metrics: Optional["MetricsRegistry"] = None,
+        columnar: bool = True,
+        retention: Optional[float] = None,
     ) -> None:
         self._clients: Set[NodeId] = set(client_nodes)
-        # (src, dst) -> sorted capture timestamps, per observing side.
-        self._at_src: Dict[EdgeKey, List[float]] = {}
-        self._at_dst: Dict[EdgeKey, List[float]] = {}
-        self._sorted = True
+        self.columnar = bool(columnar)
+        self._store_factory = _ColumnarStore if columnar else _ListStore
+        if retention is not None and not retention > 0:
+            raise TraceError(f"retention must be positive, got {retention}")
+        self.retention = retention
+        # (src, dst) -> timestamp store, per observing side.
+        self._at_src: Dict[EdgeKey, _Store] = {}
+        self._at_dst: Dict[EdgeKey, _Store] = {}
+        self._max_seen = float("-inf")
+        self._records_ingested = 0
+        self._batches_ingested = 0
+        self._records_evicted = 0
+        self._since_evict = 0
         if metrics is not None:
             self._m_records = metrics.counter(
                 "collector_records_ingested_total",
                 "Capture records ingested by the trace collector",
+            )
+            self._m_batches = metrics.counter(
+                "collector_batches_ingested_total",
+                "Timestamp batches ingested by the trace collector",
+            )
+            self._m_evicted = metrics.counter(
+                "collector_records_evicted_total",
+                "Capture records evicted past the retention horizon",
+            )
+            self._m_resident = metrics.gauge(
+                "collector_resident_records",
+                "Capture records currently resident in the trace collector",
             )
             self._m_windows = metrics.counter(
                 "collector_windows_total",
@@ -73,6 +303,9 @@ class TraceCollector:
             )
         else:
             self._m_records = None
+            self._m_batches = None
+            self._m_evicted = None
+            self._m_resident = None
             self._m_windows = None
 
     # -- ingestion -------------------------------------------------------------
@@ -84,29 +317,133 @@ class TraceCollector:
     def clients(self) -> Set[NodeId]:
         return set(self._clients)
 
+    def _store(self, key: EdgeKey, at_destination: bool) -> _Store:
+        stores = self._at_dst if at_destination else self._at_src
+        store = stores.get(key)
+        if store is None:
+            store = self._store_factory()
+            stores[key] = store
+        return store
+
     def ingest(self, record: CaptureRecord) -> None:
         """Add one capture record."""
-        store = self._at_dst if record.observed_at_destination else self._at_src
-        store.setdefault(record.edge, []).append(record.timestamp)
-        self._sorted = False
+        self.ingest_point(
+            record.timestamp, record.src, record.dst, record.observed_at_destination
+        )
+
+    def ingest_point(
+        self,
+        timestamp: float,
+        src: NodeId,
+        dst: NodeId,
+        observed_at_destination: bool = True,
+    ) -> None:
+        """Add one capture without materializing a :class:`CaptureRecord`.
+
+        The record-object path (:meth:`ingest`) funnels here; hot callers
+        (the simulation fabric's capture hook) skip the object entirely.
+        """
+        if src == dst:
+            raise TraceError(f"self-loop packet at {src!r}")
+        self._store((src, dst), observed_at_destination).append(timestamp)
+        self._records_ingested += 1
+        if timestamp > self._max_seen:
+            self._max_seen = timestamp
         if self._m_records is not None:
             self._m_records.inc()
+        if self.retention is not None:
+            self._since_evict += 1
+            if self._since_evict >= _EVICT_STRIDE:
+                self.evict_expired()
 
     def ingest_many(self, records: Iterable[CaptureRecord]) -> int:
-        """Add many capture records; returns how many were ingested."""
+        """Add many capture records; returns how many were ingested.
+
+        Metrics are updated once per call, not once per record.
+        """
         count = 0
+        max_seen = self._max_seen
         for record in records:
-            self.ingest(record)
+            ts = record.timestamp
+            self._store(record.edge, record.observed_at_destination).append(ts)
+            if ts > max_seen:
+                max_seen = ts
             count += 1
+        self._max_seen = max_seen
+        self._records_ingested += count
+        if self._m_records is not None and count:
+            self._m_records.inc(count)
+        if self.retention is not None and count:
+            self._since_evict += count
+            if self._since_evict >= _EVICT_STRIDE:
+                self.evict_expired()
         return count
 
-    def _ensure_sorted(self) -> None:
-        if self._sorted:
-            return
-        for store in (self._at_src, self._at_dst):
-            for key in store:
-                store[key].sort()
-        self._sorted = True
+    def ingest_batch(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        timestamps: Sequence[float],
+        observed_at_destination: bool = True,
+    ) -> int:
+        """Add one edge's timestamp batch as a single columnar write.
+
+        ``timestamps`` may arrive in any order (the store sorts on the
+        next query); returns how many were ingested. This is the
+        batch-frame / binary-storage fast path: no per-record objects, no
+        per-record metric dispatch.
+        """
+        if src == dst:
+            raise TraceError(f"self-loop packet at {src!r}")
+        values = np.asarray(timestamps, dtype=np.float64)
+        if values.ndim != 1:
+            raise TraceError(
+                f"timestamp batch must be one-dimensional, got shape {values.shape}"
+            )
+        if values.size == 0:
+            return 0
+        if not np.isfinite(values).all():
+            raise TraceError(f"non-finite timestamp in batch for {src!r}->{dst!r}")
+        self._store((src, dst), observed_at_destination).extend(values)
+        size = int(values.size)
+        self._records_ingested += size
+        self._batches_ingested += 1
+        newest = float(values.max())
+        if newest > self._max_seen:
+            self._max_seen = newest
+        if self._m_records is not None:
+            self._m_records.inc(size)
+            self._m_batches.inc()
+        if self.retention is not None:
+            self._since_evict += size
+            if self._since_evict >= _EVICT_STRIDE:
+                self.evict_expired()
+        return size
+
+    # -- retention -------------------------------------------------------------
+
+    def evict_expired(self) -> int:
+        """Evict everything older than ``newest seen - retention``.
+
+        Called automatically every :data:`_EVICT_STRIDE` ingested records
+        and on every :meth:`window`; harmless no-op without a retention
+        horizon. Returns how many records were evicted.
+        """
+        self._since_evict = 0
+        if self.retention is None or self._max_seen == float("-inf"):
+            return 0
+        cutoff = self._max_seen - self.retention
+        dropped = 0
+        for stores in (self._at_src, self._at_dst):
+            for store in stores.values():
+                dropped += store.evict_before(cutoff)
+        if dropped:
+            self._records_evicted += dropped
+            if self._m_evicted is not None:
+                self._m_evicted.inc(dropped)
+        if self._m_resident is not None:
+            self._m_resident.set(self.record_count())
+        return dropped
 
     # -- inspection ---------------------------------------------------------------
 
@@ -115,47 +452,94 @@ class TraceCollector:
         return sorted(set(self._at_src) | set(self._at_dst))
 
     def record_count(self) -> int:
-        return sum(len(v) for v in self._at_src.values()) + sum(
-            len(v) for v in self._at_dst.values()
+        return sum(s.count for s in self._at_src.values()) + sum(
+            s.count for s in self._at_dst.values()
         )
+
+    def ingest_stats(self) -> dict:
+        """JSON-able ingest/retention health snapshot."""
+        chunks = 0
+        pending = 0
+        sorts = 0
+        for stores in (self._at_src, self._at_dst):
+            for store in stores.values():
+                chunks += len(getattr(store, "chunks", ()))
+                pending += store.pending
+                sorts += store.sorts
+        return {
+            "columnar": self.columnar,
+            "retention": self.retention,
+            "resident_records": self.record_count(),
+            "records_ingested": self._records_ingested,
+            "batches_ingested": self._batches_ingested,
+            "records_evicted": self._records_evicted,
+            "chunks": chunks,
+            "pending": pending,
+            "sort_operations": sorts,
+        }
 
     def export_records(self) -> List[CaptureRecord]:
         """Reconstruct all captures as records (for persisting a trace).
 
         The round trip ``collector -> export_records -> write ->
-        load -> ingest_many`` reproduces an identical collector.
+        load -> ingest_many`` reproduces an identical collector. Ordering
+        is fully deterministic: records sort by ``(timestamp, src, dst,
+        observer)``, so equal timestamps tie-break on edge then observing
+        side regardless of ingestion order.
         """
-        self._ensure_sorted()
         out: List[CaptureRecord] = []
-        for (src, dst), stamps in self._at_src.items():
-            out.extend(CaptureRecord(t, src, dst, src) for t in stamps)
-        for (src, dst), stamps in self._at_dst.items():
-            out.extend(CaptureRecord(t, src, dst, dst) for t in stamps)
-        out.sort()
+        for stores, at_destination in ((self._at_src, False), (self._at_dst, True)):
+            for src, dst in sorted(stores):
+                observer = dst if at_destination else src
+                out.extend(
+                    CaptureRecord(t, src, dst, observer)
+                    for t in stores[(src, dst)].array().tolist()
+                )
+        out.sort(key=lambda r: (r.timestamp, r.src, r.dst, r.observer))
+        return out
+
+    def export_batches(self) -> List[TimestampBatch]:
+        """All captures as per-``(edge, side)`` sorted timestamp batches.
+
+        The columnar counterpart of :meth:`export_records` -- one
+        :class:`~repro.tracing.records.TimestampBatch` per stream in
+        deterministic ``(src, dst, side)`` order, for the binary trace
+        format (:func:`repro.tracing.storage.write_capture_binary`).
+        """
+        out: List[TimestampBatch] = []
+        for stores, at_destination in ((self._at_src, False), (self._at_dst, True)):
+            for src, dst in sorted(stores):
+                arr = stores[(src, dst)].array()
+                if arr.size:
+                    out.append(TimestampBatch(src, dst, at_destination, arr))
+        out.sort(key=lambda b: (b.src, b.dst, b.observed_at_destination))
         return out
 
     def edge_timestamps(
         self, src: NodeId, dst: NodeId, prefer_destination: bool = True
-    ) -> List[float]:
-        """The observation timestamps used for an edge's signal.
+    ) -> np.ndarray:
+        """The observation timestamps used for an edge's signal, sorted.
 
         Destination-side captures are preferred (Algorithm 1); source-side
         captures are the fallback for edges into untraced (client) nodes.
-        An edge never captured from either side yields an empty list --
+        An edge never captured from either side yields an empty array --
         consistent with :meth:`window` over an empty time range, which
         yields a window with no active edges.
+
+        Returns the store's cached array: both preferences return the
+        *same object* when only one side was captured (clock-skew
+        estimation relies on that identity to detect one-sided capture).
         """
-        self._ensure_sorted()
         key = (src, dst)
         primary, fallback = (self._at_dst, self._at_src)
         if not prefer_destination or dst in self._clients:
             primary, fallback = fallback, primary
-        stamps = primary.get(key)
-        if stamps is None:
-            stamps = fallback.get(key)
-        if stamps is None:
-            return []
-        return stamps
+        store = primary.get(key)
+        if store is None:
+            store = fallback.get(key)
+        if store is None:
+            return _EMPTY
+        return store.array()
 
     # -- window materialization ------------------------------------------------------
 
@@ -171,16 +555,17 @@ class TraceCollector:
         ``start_time`` defaults to ``end_time - config.window``. An empty
         time range (``start_time == end_time``) yields a window with no
         active edges -- consistent with :meth:`edge_timestamps` on an
-        unseen edge, which yields an empty list. An inverted range still
+        unseen edge, which yields an empty array. An inverted range still
         raises :class:`~repro.errors.TraceError`.
         """
-        self._ensure_sorted()
         if start_time is None:
             start_time = end_time - config.window
         if start_time > end_time:
             raise TraceError(
                 f"inverted window: start {start_time} > end {end_time}"
             )
+        if self.retention is not None:
+            self.evict_expired()
         if self._m_windows is not None:
             self._m_windows.inc()
         window = CollectedTraceWindow(self, config, start_time, end_time, use_rle)
@@ -214,12 +599,13 @@ class CollectedTraceWindow(TraceWindow):
         self._start_quantum = int(np.floor(self.start_time / tau))
         self._length_quanta = max(1, int(round((self.end_time - self.start_time) / tau)))
         self._series_cache: Dict[EdgeKey, object] = {}
-        # Pre-compute per-edge in-window activity once.
+        # Pre-compute per-edge in-window activity once (one searchsorted
+        # pair per edge over the store's sorted array).
         self._active_edges: Set[EdgeKey] = set()
         for src, dst in collector.edges():
             stamps = collector.edge_timestamps(src, dst)
-            lo = bisect.bisect_left(stamps, self.start_time)
-            hi = bisect.bisect_left(stamps, self.end_time)
+            lo = int(np.searchsorted(stamps, self.start_time, side="left"))
+            hi = int(np.searchsorted(stamps, self.end_time, side="left"))
             if hi > lo:
                 self._active_edges.add((src, dst))
 

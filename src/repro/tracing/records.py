@@ -19,6 +19,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional
 
+import numpy as np
+
 from repro.errors import TraceError
 
 NodeId = str
@@ -65,6 +67,58 @@ class CaptureRecord:
     @property
     def observed_at_destination(self) -> bool:
         return self.observer == self.dst
+
+
+@dataclasses.dataclass(frozen=True, eq=False)
+class TimestampBatch:
+    """Many observations of one ``(edge, side)`` stream, columnar.
+
+    The batch-first counterpart of :class:`CaptureRecord`: one float64
+    timestamp array for edge ``src -> dst`` as captured at one endpoint
+    (``observed_at_destination`` selects which). Batches carry no
+    request/class ground truth -- they exist purely on the high-throughput
+    ingest path (batch wire frames, binary trace files, columnar
+    collector writes), where pathmap's black-box inputs are all that is
+    needed.
+    """
+
+    src: NodeId
+    dst: NodeId
+    observed_at_destination: bool
+    timestamps: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise TraceError(f"self-loop batch at {self.src!r}")
+        arr = np.asarray(self.timestamps, dtype=np.float64)
+        if arr.ndim != 1:
+            raise TraceError(
+                f"timestamp batch must be one-dimensional, got shape {arr.shape}"
+            )
+        object.__setattr__(self, "timestamps", arr)
+
+    @property
+    def edge(self) -> tuple:
+        return (self.src, self.dst)
+
+    @property
+    def observer(self) -> NodeId:
+        return self.dst if self.observed_at_destination else self.src
+
+    def __len__(self) -> int:
+        return int(self.timestamps.size)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TimestampBatch):
+            return NotImplemented
+        return (
+            self.src == other.src
+            and self.dst == other.dst
+            and self.observed_at_destination == other.observed_at_destination
+            and np.array_equal(self.timestamps, other.timestamps)
+        )
+
+    __hash__ = None  # type: ignore[assignment]  # mutable array payload
 
 
 @dataclasses.dataclass(frozen=True, order=True)

@@ -17,7 +17,9 @@ module would stream them.
 from __future__ import annotations
 
 import logging
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.config import PathmapConfig
 
@@ -49,6 +51,9 @@ class Tracer:
         self.node = node
         self.clock_skew = float(clock_skew)
         self._timestamps: Dict[EdgeKey, List[float]] = {}
+        # Per-edge capture buffer for drain_batches(); None until batch
+        # streaming is enabled, so observe() pays one attribute check.
+        self._pending_batches: Optional[Dict[EdgeKey, List[float]]] = None
         self._count = 0
         #: How many times this tracer has been restarted (module reload /
         #: crash recovery). The transport layer bumps its stream epoch in
@@ -87,10 +92,69 @@ class Tracer:
             )
         local = timestamp + self.clock_skew
         self._timestamps.setdefault((src, dst), []).append(local)
+        if self._pending_batches is not None:
+            self._pending_batches.setdefault((src, dst), []).append(local)
         self._count += 1
         if self._m_packets is not None:
             self._m_packets.inc()
         return CaptureRecord(local, src, dst, self.node)
+
+    def observe_batch(
+        self, timestamps: Sequence[float], src: NodeId, dst: NodeId
+    ) -> int:
+        """Record many packets on edge ``src -> dst`` in one columnar write.
+
+        ``timestamps`` are true times; the stored values are shifted by
+        the local clock skew in one vectorized pass. Returns how many
+        were recorded. No per-packet :class:`CaptureRecord` objects are
+        materialized.
+        """
+        if self.node not in (src, dst):
+            raise TraceError(
+                f"tracer at {self.node!r} observed foreign packets {src!r}->{dst!r}"
+            )
+        local = np.asarray(timestamps, dtype=np.float64)
+        if local.ndim != 1:
+            raise TraceError(
+                f"timestamp batch must be one-dimensional, got shape {local.shape}"
+            )
+        if local.size == 0:
+            return 0
+        if self.clock_skew:
+            local = local + self.clock_skew
+        values = local.tolist()
+        self._timestamps.setdefault((src, dst), []).extend(values)
+        if self._pending_batches is not None:
+            self._pending_batches.setdefault((src, dst), []).extend(values)
+        self._count += local.size
+        if self._m_packets is not None:
+            self._m_packets.inc(local.size)
+        return int(local.size)
+
+    def enable_batch_streaming(self) -> None:
+        """Start buffering captures for :meth:`drain_batches`.
+
+        Off by default: the per-packet ``observe`` path then pays only
+        one attribute check. The engine enables it on ``attach`` when a
+        capture sink is configured.
+        """
+        if self._pending_batches is None:
+            self._pending_batches = {}
+
+    def drain_batches(self) -> Dict[EdgeKey, np.ndarray]:
+        """Per-edge timestamps captured since the last drain.
+
+        Returns float64 arrays in capture order (unsorted -- the columnar
+        collector sorts lazily). Empty until
+        :meth:`enable_batch_streaming` is called.
+        """
+        if not self._pending_batches:
+            return {}
+        pending, self._pending_batches = self._pending_batches, {}
+        return {
+            edge: np.asarray(stamps, dtype=np.float64)
+            for edge, stamps in pending.items()
+        }
 
     @property
     def packet_count(self) -> int:
@@ -150,6 +214,8 @@ class Tracer:
     def reset(self) -> None:
         """Discard all captured state (e.g. module reload)."""
         self._timestamps.clear()
+        if self._pending_batches is not None:
+            self._pending_batches.clear()
         self._count = 0
 
     def restart(self) -> None:

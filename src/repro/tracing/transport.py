@@ -48,7 +48,12 @@ from repro.config import TransportConfig
 from repro.core.rle import RunLengthSeries
 from repro.errors import TraceError
 from repro.tracing.records import NodeId
-from repro.tracing.wire import BlockFrame, decode_frame, encode_frame
+from repro.tracing.wire import (
+    BlockFrame,
+    TimestampFrame,
+    decode_frame,
+    encode_frame,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.events import EventBus
@@ -300,6 +305,9 @@ class TransportLink:
         self.restarts = 0
         self.frames_sent = 0
         self._seqs: Dict[EdgeKey, int] = {}
+        # Timestamp-batch streams sequence independently of block streams
+        # (they are not re-sequenced -- batches carry absolute times).
+        self._batch_seqs: Dict[EdgeKey, int] = {}
         self._heartbeat_seq = 0
 
     def restart(self) -> None:
@@ -307,6 +315,7 @@ class TransportLink:
         self.epoch += 1
         self.restarts += 1
         self._seqs.clear()
+        self._batch_seqs.clear()
         self._heartbeat_seq = 0
 
     def encode_blocks(
@@ -329,6 +338,36 @@ class TransportLink:
                 )
             )
             self._heartbeat_seq += 1
+        self.frames_sent += len(payloads)
+        return payloads
+
+    def encode_timestamp_batches(
+        self, batches: Dict[EdgeKey, "np.ndarray"]
+    ) -> List[bytes]:
+        """Frame one round of raw per-edge timestamp batches.
+
+        One packed :class:`~repro.tracing.wire.TimestampFrame` per
+        non-empty edge batch, sequenced on a per-edge stream separate
+        from the block streams. The observing side is derived from the
+        link's node: a batch for ``src -> dst`` captured here was
+        observed at the destination exactly when this node *is* ``dst``.
+        Empty batches are skipped (no frame, no sequence advance).
+        """
+        payloads: List[bytes] = []
+        for (src, dst), timestamps in batches.items():
+            arr = np.asarray(timestamps, dtype=np.float64)
+            if arr.size == 0:
+                continue
+            seq = self._batch_seqs.get((src, dst), 0)
+            self._batch_seqs[(src, dst)] = seq + 1
+            payloads.append(
+                encode_frame(
+                    TimestampFrame(
+                        self.node, self.epoch, seq, src, dst, arr,
+                        observed_at_destination=(self.node == dst),
+                    )
+                )
+            )
         self.frames_sent += len(payloads)
         return payloads
 
@@ -550,9 +589,18 @@ class TransportReceiver:
         self._buffers: Dict[StreamKey, ReorderBuffer] = {}
         self._ready: List[BlockFrame] = []
         self._edge_owner: Dict[EdgeKey, NodeId] = {}
+        # Timestamp-batch streams bypass the reorder buffers (batches
+        # carry absolute times, so arrival order is irrelevant); per
+        # stream we keep only the current epoch and the seqs delivered
+        # in it, to drop duplicates and pre-restart frames.
+        self._ready_batches: List[TimestampFrame] = []
+        self._batch_streams: Dict[StreamKey, Tuple[int, set]] = {}
         self.frames_received = 0
         self.corrupt_blocks = 0
         self.heartbeats = 0
+        self.timestamp_batches = 0
+        self.timestamp_duplicates = 0
+        self.timestamp_stale_epoch = 0
         if metrics is not None:
             self._m_received = metrics.counter(
                 "transport_frames_received_total",
@@ -565,10 +613,15 @@ class TransportReceiver:
             self._m_heartbeats = metrics.counter(
                 "transport_heartbeats_total", "Heartbeat frames received"
             )
+            self._m_batches = metrics.counter(
+                "transport_timestamp_batches_total",
+                "Packed timestamp-batch frames accepted",
+            )
         else:
             self._m_received = None
             self._m_corrupt = None
             self._m_heartbeats = None
+            self._m_batches = None
 
     def register_tracer(self, node: NodeId, now: float) -> None:
         """Make the watchdog expect ``node`` even before its first frame."""
@@ -589,6 +642,9 @@ class TransportReceiver:
                 logger.debug("dropped corrupt transport frame: %s", exc)
             return
         self.watchdog.heartbeat(frame.node, now, frame.epoch)
+        if isinstance(frame, TimestampFrame):
+            self._receive_batch(frame)
+            return
         if frame.is_heartbeat:
             self.heartbeats += 1
             if self._m_heartbeats is not None:
@@ -602,9 +658,38 @@ class TransportReceiver:
             self._buffers[key] = buffer
         self._ready.extend(buffer.push(frame))
 
+    def _receive_batch(self, frame: TimestampFrame) -> None:
+        """File one timestamp-batch frame: dedup within the stream's
+        current epoch, drop pre-restart epochs, deliver the rest.
+
+        No reorder buffering: batches carry absolute capture times, so
+        the collector can ingest them in any arrival order."""
+        key: StreamKey = (frame.node, frame.src, frame.dst)
+        stream = self._batch_streams.get(key)
+        if stream is None or frame.epoch > stream[0]:
+            stream = (frame.epoch, set())
+            self._batch_streams[key] = stream
+        epoch, seen = stream
+        if frame.epoch < epoch:
+            self.timestamp_stale_epoch += 1
+            return
+        if frame.seq in seen:
+            self.timestamp_duplicates += 1
+            return
+        seen.add(frame.seq)
+        self.timestamp_batches += 1
+        if self._m_batches is not None:
+            self._m_batches.inc()
+        self._ready_batches.append(frame)
+
     def poll(self) -> List[BlockFrame]:
         """Ordered frames accumulated since the last poll."""
         ready, self._ready = self._ready, []
+        return ready
+
+    def poll_timestamp_batches(self) -> List[TimestampFrame]:
+        """Timestamp-batch frames accepted since the last poll."""
+        ready, self._ready_batches = self._ready_batches, []
         return ready
 
     def drain_gap_notices(self) -> List[GapNotice]:
@@ -630,6 +715,9 @@ class TransportReceiver:
             "frames_received": self.frames_received,
             "corrupt_blocks": self.corrupt_blocks,
             "heartbeats": self.heartbeats,
+            "timestamp_batches": self.timestamp_batches,
+            "timestamp_duplicates": self.timestamp_duplicates,
+            "timestamp_stale_epoch": self.timestamp_stale_epoch,
             "delivered": 0,
             "duplicates": 0,
             "reordered": 0,

@@ -39,13 +39,30 @@ decoded). Layout (little-endian)::
     magic     2 bytes  b"RF"
     version   1 byte
     crc32     4 bytes  uint32, CRC-32 of every byte after this field
-    flags     1 byte   (bit 0: heartbeat -- no block payload)
+    flags     1 byte   (bit 0: heartbeat -- no block payload;
+                        bit 1: packed timestamp batch payload)
     epoch     varint
     seq       varint
     node      varint length + utf-8 (observing tracer id)
     src       varint length + utf-8 (edge source; empty for heartbeats)
     dst       varint length + utf-8 (edge destination; empty for heartbeats)
     block     remaining bytes: one encode_block() payload (data frames only)
+
+Packed timestamp frames
+-----------------------
+
+The high-throughput ingest path ships raw capture timestamps in bulk:
+one :class:`TimestampFrame` carries N float64 timestamps for one edge as
+a packed little-endian array (``np.frombuffer`` on decode -- no
+per-record parsing). It shares the CRC-framed envelope above; after the
+``dst`` string the payload continues::
+
+    side      1 byte   (1: observed at destination, 0: at source)
+    count     varint   (number of timestamps)
+    payload   count * 8 bytes, little-endian float64
+
+The per-record :class:`~repro.tracing.records.CaptureRecord` path stays
+available for compatibility; batch frames are strictly additive.
 """
 
 from __future__ import annotations
@@ -53,7 +70,7 @@ from __future__ import annotations
 import dataclasses
 import struct
 import zlib
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -70,6 +87,8 @@ FRAME_MAGIC = b"RF"
 FRAME_VERSION = 1
 #: Frame flag bit: heartbeat frame (liveness only, no block payload).
 FRAME_FLAG_HEARTBEAT = 0x01
+#: Frame flag bit: packed float64 timestamp-batch payload (no RLE block).
+FRAME_FLAG_TIMESTAMPS = 0x02
 
 _HEADER = struct.Struct("<2sBdqqI")
 _FRAME_PREFIX = struct.Struct("<2sBI")  # magic, version, crc32
@@ -247,6 +266,61 @@ class BlockFrame:
         return (self.src, self.dst)
 
 
+@dataclasses.dataclass(frozen=True, eq=False)
+class TimestampFrame:
+    """One transport frame carrying a packed timestamp batch.
+
+    The columnar sibling of :class:`BlockFrame`: the same envelope
+    (node identity, restart epoch, per-stream sequence number, CRC-32)
+    around N raw float64 capture timestamps for one edge instead of an
+    RLE block. ``observed_at_destination`` records which endpoint
+    captured the batch, so the receiving collector files it on the
+    correct side.
+    """
+
+    node: str
+    epoch: int
+    seq: int
+    src: str
+    dst: str
+    timestamps: np.ndarray
+    observed_at_destination: bool = True
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.timestamps, dtype=np.float64)
+        if arr.ndim != 1:
+            raise TraceError(
+                f"timestamp frame payload must be one-dimensional, got {arr.shape}"
+            )
+        object.__setattr__(self, "timestamps", arr)
+
+    @property
+    def edge(self) -> Tuple[str, str]:
+        return (self.src, self.dst)
+
+    def __len__(self) -> int:
+        return int(self.timestamps.size)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TimestampFrame):
+            return NotImplemented
+        return (
+            self.node == other.node
+            and self.epoch == other.epoch
+            and self.seq == other.seq
+            and self.src == other.src
+            and self.dst == other.dst
+            and self.observed_at_destination == other.observed_at_destination
+            and np.array_equal(self.timestamps, other.timestamps)
+        )
+
+    __hash__ = None  # type: ignore[assignment]  # mutable array payload
+
+
+#: Either transport frame kind, as returned by :func:`decode_frame`.
+AnyFrame = Union[BlockFrame, TimestampFrame]
+
+
 def _encode_string(text: str, out: bytearray) -> None:
     raw = text.encode("utf-8")
     _encode_varint(len(raw), out)
@@ -264,29 +338,38 @@ def _decode_string(data: bytes, pos: int) -> Tuple[str, int]:
     return text, pos + length
 
 
-def encode_frame(frame: BlockFrame) -> bytes:
-    """Serialize one :class:`BlockFrame` (header + embedded wire block)."""
+def encode_frame(frame: AnyFrame) -> bytes:
+    """Serialize one :class:`BlockFrame` or :class:`TimestampFrame`."""
     body = bytearray()
-    body.append(FRAME_FLAG_HEARTBEAT if frame.is_heartbeat else 0)
+    if isinstance(frame, TimestampFrame):
+        body.append(FRAME_FLAG_TIMESTAMPS)
+    else:
+        body.append(FRAME_FLAG_HEARTBEAT if frame.is_heartbeat else 0)
     _encode_varint(frame.epoch, body)
     _encode_varint(frame.seq, body)
     _encode_string(frame.node, body)
     _encode_string(frame.src, body)
     _encode_string(frame.dst, body)
-    if frame.block is not None:
+    if isinstance(frame, TimestampFrame):
+        body.append(1 if frame.observed_at_destination else 0)
+        _encode_varint(int(frame.timestamps.size), body)
+        body += np.ascontiguousarray(frame.timestamps, dtype="<f8").tobytes()
+    elif frame.block is not None:
         body += encode_block(frame.block)
     return _FRAME_PREFIX.pack(FRAME_MAGIC, FRAME_VERSION, zlib.crc32(body)) + bytes(
         body
     )
 
 
-def decode_frame(data: bytes) -> BlockFrame:
+def decode_frame(data: bytes) -> AnyFrame:
     """Exact inverse of :func:`encode_frame`.
 
-    Truncation, a failed CRC-32, or any corruption in the embedded block
-    raises :class:`~repro.errors.TraceError` -- the transport receiver
-    counts such frames (``transport_corrupt_blocks_total``) and drops
-    them instead of letting the refresh loop die.
+    Truncation, a failed CRC-32, or any corruption in the embedded
+    payload raises :class:`~repro.errors.TraceError` -- the transport
+    receiver counts such frames (``transport_corrupt_blocks_total``) and
+    drops them instead of letting the refresh loop die. Returns a
+    :class:`TimestampFrame` for packed-batch frames, a
+    :class:`BlockFrame` otherwise.
     """
     if len(data) < _FRAME_PREFIX.size + 1:
         raise TraceError("transport frame shorter than header")
@@ -305,12 +388,40 @@ def decode_frame(data: bytes) -> BlockFrame:
     node, pos = _decode_string(body, pos)
     src, pos = _decode_string(body, pos)
     dst, pos = _decode_string(body, pos)
+    if flags & FRAME_FLAG_TIMESTAMPS:
+        at_destination, timestamps, pos = _decode_timestamp_payload(body, pos)
+        if pos != len(body):
+            raise TraceError(f"{len(body) - pos} trailing bytes in timestamp frame")
+        return TimestampFrame(
+            node, epoch, seq, src, dst, timestamps,
+            observed_at_destination=at_destination,
+        )
     if flags & FRAME_FLAG_HEARTBEAT:
         if pos != len(body):
             raise TraceError(f"{len(body) - pos} trailing bytes in heartbeat frame")
         return BlockFrame(node, epoch, seq, src, dst, None)
     block = decode_block(body[pos:])
     return BlockFrame(node, epoch, seq, src, dst, block)
+
+
+def _decode_timestamp_payload(
+    body: bytes, pos: int
+) -> Tuple[bool, np.ndarray, int]:
+    """Decode ``side + count + packed float64`` from a timestamp frame."""
+    if pos >= len(body):
+        raise TraceError("truncated timestamp frame: missing side byte")
+    side = body[pos]
+    pos += 1
+    if side not in (0, 1):
+        raise TraceError(f"corrupt timestamp frame: bad side byte {side}")
+    count, pos = _decode_varint(body, pos)
+    end = pos + 8 * count
+    if end > len(body):
+        raise TraceError("truncated timestamp frame payload")
+    timestamps = np.frombuffer(body, dtype="<f8", count=count, offset=pos)
+    if count and not np.isfinite(timestamps).all():
+        raise TraceError("corrupt timestamp frame: non-finite timestamp")
+    return bool(side), timestamps, end
 
 
 def wire_sizes(series: RunLengthSeries, message_count: int = 0) -> dict:

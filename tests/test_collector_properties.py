@@ -52,7 +52,7 @@ class TestCollectorProperties:
         assert collector.record_count() == len(records)
         for src, dst in collector.edges():
             stamps = collector.edge_timestamps(src, dst)
-            assert stamps == sorted(stamps)
+            assert stamps.tolist() == sorted(stamps.tolist())
 
     @given(raw_tuples, st.floats(min_value=5.0, max_value=30.0))
     @settings(max_examples=60, deadline=None)
@@ -86,8 +86,8 @@ class TestCollectorProperties:
         assert clone.edges() == collector.edges()
         for src, dst in collector.edges():
             for prefer in (True, False):
-                assert clone.edge_timestamps(src, dst, prefer) == \
-                    collector.edge_timestamps(src, dst, prefer)
+                assert clone.edge_timestamps(src, dst, prefer).tolist() == \
+                    collector.edge_timestamps(src, dst, prefer).tolist()
 
     @given(raw_tuples)
     @settings(max_examples=40, deadline=None)

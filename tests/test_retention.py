@@ -1,0 +1,153 @@
+"""Tests for bounded trace retention in the columnar collector.
+
+Retention must keep resident memory flat under sustained ingest while
+leaving every analysis over the retained horizon bit-identical to an
+unbounded collector's -- eviction may only ever drop data the window can
+no longer reach.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import PathmapConfig
+from repro.errors import ConfigError, TraceError
+from repro.obs import MetricsRegistry, snapshot
+from repro.tracing.collector import TraceCollector
+
+CFG = PathmapConfig(
+    window=10.0,
+    refresh_interval=5.0,
+    quantum=1e-2,
+    sampling_window=5e-2,
+    max_transaction_delay=2.0,
+    retention=30.0,
+)
+
+
+def series_key(series):
+    """Comparable content of an RLE series."""
+    return (
+        series.start,
+        series.length,
+        series.quantum,
+        series.starts.tolist(),
+        series.counts.tolist(),
+        series.values.tolist(),
+    )
+
+
+def synthetic_stream(seed=0, duration=300.0, rate=40.0):
+    """Per-edge timestamp arrays of a three-edge synthetic workload."""
+    rng = np.random.default_rng(seed)
+    edges = [("C", "WS"), ("WS", "DB"), ("WS", "C")]
+    return {
+        edge: np.sort(rng.uniform(0.0, duration, size=int(duration * rate)))
+        for edge in edges
+    }
+
+
+class TestRetentionConfig:
+    def test_default_horizon(self):
+        config = PathmapConfig(window=60.0, max_transaction_delay=10.0)
+        assert config.retention_horizon == 3 * 60.0 + 10.0
+
+    def test_explicit_retention_wins(self):
+        assert CFG.retention_horizon == 30.0
+
+    def test_retention_floor_enforced(self):
+        with pytest.raises(ConfigError):
+            PathmapConfig(window=60.0, max_transaction_delay=10.0, retention=69.0)
+
+    def test_collector_rejects_non_positive_retention(self):
+        with pytest.raises(TraceError):
+            TraceCollector(retention=0.0)
+
+
+class TestBoundedResidency:
+    def test_resident_records_stay_flat_under_sustained_ingest(self):
+        registry = MetricsRegistry(enabled=True)
+        collector = TraceCollector(metrics=registry, retention=30.0)
+        rng = np.random.default_rng(1)
+        peak = 0
+        # 100 simulated seconds at ~2000 records/s, batched per second.
+        for second in range(100):
+            stamps = rng.uniform(second, second + 1.0, size=2000)
+            collector.ingest_batch("A", "B", stamps)
+            collector.evict_expired()
+            peak = max(peak, collector.record_count())
+        stats = collector.ingest_stats()
+        assert stats["records_ingested"] == 200_000
+        assert stats["records_evicted"] + stats["resident_records"] == 200_000
+        # Flat residency: never much more than retention * rate resident.
+        assert peak <= 2000 * 32
+        assert stats["resident_records"] <= 2000 * 32
+        gauge = snapshot(registry)["collector_resident_records"][""]["value"]
+        assert gauge == stats["resident_records"]
+
+    def test_eviction_respects_horizon_exactly(self):
+        collector = TraceCollector(retention=10.0)
+        collector.ingest_batch("A", "B", np.arange(0.0, 100.0))
+        collector.evict_expired()
+        resident = collector.edge_timestamps("A", "B")
+        # Newest is 99.0; everything >= 89.0 must survive.
+        assert resident[0] >= 89.0 - 1e-9
+        assert resident[-1] == 99.0
+        assert 99.0 - resident[0] <= 10.0 + 1e-9
+
+    def test_per_record_path_triggers_stride_eviction(self):
+        from repro.tracing.collector import _EVICT_STRIDE
+
+        collector = TraceCollector(retention=5.0)
+        for i in range(_EVICT_STRIDE + 10):
+            collector.ingest_point(float(i) * 0.01, "A", "B", True)
+        # The automatic sweep fired at the stride boundary.
+        assert collector.ingest_stats()["records_evicted"] > 0
+
+    def test_window_materialization_evicts(self):
+        collector = TraceCollector(retention=30.0)
+        collector.ingest_batch("C", "WS", np.arange(0.0, 100.0))
+        collector.window(CFG, end_time=100.0)
+        assert collector.ingest_stats()["records_evicted"] > 0
+
+
+class TestRetainedAnalysisUnchanged:
+    def test_window_results_identical_to_unbounded_collector(self):
+        stream = synthetic_stream()
+        unbounded = TraceCollector(client_nodes=["C"])
+        bounded = TraceCollector(client_nodes=["C"], retention=CFG.retention_horizon)
+        rng = np.random.default_rng(2)
+        for (src, dst), stamps in stream.items():
+            for lo in range(0, stamps.size, 500):
+                chunk = stamps[lo : lo + 500]
+                unbounded.ingest_batch(src, dst, chunk)
+                bounded.ingest_batch(src, dst, chunk)
+                if rng.random() < 0.5:
+                    bounded.evict_expired()
+        assert bounded.ingest_stats()["records_evicted"] > 0
+        end = 300.0
+        window_a = unbounded.window(CFG, end_time=end)
+        window_b = bounded.window(CFG, end_time=end)
+        assert window_a.active_edges() == window_b.active_edges()
+        assert window_a.front_end_nodes() == window_b.front_end_nodes()
+        for src, dst in window_a.active_edges():
+            assert series_key(window_a.edge_series(src, dst)) == series_key(
+                window_b.edge_series(src, dst)
+            )
+
+    def test_batched_and_per_record_ingest_produce_identical_windows(self):
+        stream = synthetic_stream(seed=5, duration=60.0)
+        per_record = TraceCollector(client_nodes=["C"])
+        batched = TraceCollector(client_nodes=["C"], retention=CFG.retention_horizon)
+        for (src, dst), stamps in stream.items():
+            for t in stamps:
+                per_record.ingest_point(float(t), src, dst, True)
+            shuffled = stamps.copy()
+            np.random.default_rng(3).shuffle(shuffled)
+            batched.ingest_batch(src, dst, shuffled)
+        window_a = per_record.window(CFG, end_time=60.0)
+        window_b = batched.window(CFG, end_time=60.0)
+        assert window_a.active_edges() == window_b.active_edges()
+        for src, dst in window_a.active_edges():
+            assert series_key(window_a.edge_series(src, dst)) == series_key(
+                window_b.edge_series(src, dst)
+            )

@@ -85,7 +85,7 @@ class TestWorkloadWiring:
             topo, client = tiny_topology(seed=seed)
             topo.open_workload(client, rate=50.0)
             topo.run_until(3.0)
-            return topo.collector.edge_timestamps("C", "WS")
+            return topo.collector.edge_timestamps("C", "WS").tolist()
 
         assert run(3) == run(3)
         assert run(3) != run(4)
