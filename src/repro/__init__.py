@@ -34,8 +34,10 @@ import logging as _logging
 _logging.getLogger(__name__).addHandler(_logging.NullHandler())
 
 from repro.config import DELTA_CONFIG, PathmapConfig, RUBIS_CONFIG, TransportConfig
+from repro.core.autotune import AdaptiveController, TrafficStats, autotune_config
 from repro.core.bottleneck import BottleneckReport, find_bottlenecks
 from repro.core.change_detection import ChangeDetector, ChangeEvent
+from repro.core.confidence import ConfidenceReport, timestamp_confidence, window_confidence
 from repro.core.clock_skew import SkewEstimate, estimate_clock_skew
 from repro.core.correlation import CorrelationSeries, cross_correlate
 from repro.core.engine import E2EProfEngine
@@ -84,11 +86,13 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AccessLogRecord",
+    "AdaptiveController",
     "AnalysisError",
     "BottleneckReport",
     "CaptureRecord",
     "ChangeDetector",
     "ChangeEvent",
+    "ConfidenceReport",
     "ConfigError",
     "CorrelationError",
     "CorrelationSeries",
@@ -124,9 +128,11 @@ __all__ = [
     "TraceCollector",
     "TraceError",
     "TraceWindow",
+    "TrafficStats",
     "TransportConfig",
     "TransportLink",
     "TransportReceiver",
+    "autotune_config",
     "build_delta",
     "build_density_series",
     "build_rubis",
@@ -139,5 +145,7 @@ __all__ = [
     "overall_quality",
     "rle_decode",
     "rle_encode",
+    "timestamp_confidence",
+    "window_confidence",
     "write_chrome_trace",
 ]

@@ -1,0 +1,133 @@
+"""Fan-out service mesh: the 100+-service regime of modern deployments.
+
+The paper's testbeds top out at a handful of services per path; the
+degradation cases it concedes (Section 4.3) and the follow-on tracing
+work (YTrace's datacenter meshes) live at a very different scale --
+dozens of front ends fanning out to shared backend pools over shared
+stores. This app builds that shape on the simulation substrate:
+
+* ``classes`` front-end stacks, each ``C{i} -> FE{i} -> AGG{i}``;
+* every aggregator fans out (one request, several parallel child
+  requests -- the paper's "changes in rate across nodes") to ``fanout``
+  backends drawn deterministically from a shared pool of ``backends``;
+* every backend queries one of ``stores`` shared stores.
+
+With the defaults (24 classes, 48 backends, 8 stores) the deployment has
+``24 * 2 + 48 + 8 + 24 = 128`` nodes counting clients -- two orders
+above RUBiS -- while every class keeps a distinct causal sub-mesh for
+ground-truth scoring (:mod:`repro.scenarios` uses this as its scale
+scenario).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.config import PathmapConfig
+from repro.errors import TopologyError
+from repro.simulation.distributions import Erlang
+from repro.simulation.nodes import ClientNode, StaticRouter
+from repro.simulation.topology import Topology
+from repro.simulation.workload import OpenWorkload
+
+#: Analysis parameters for the mesh: many-class scale economics (short
+#: window, tight transaction-delay bound) -- see MANY_CLASS_CONFIG.
+MESH_CONFIG = PathmapConfig(
+    window=8.0,
+    refresh_interval=2.0,
+    quantum=1e-3,
+    sampling_window=50e-3,
+    max_transaction_delay=0.5,
+    min_spike_height=0.10,
+)
+
+
+@dataclasses.dataclass
+class MeshDeployment:
+    """A wired fan-out mesh ready to run."""
+
+    topology: Topology
+    config: PathmapConfig
+    clients: Dict[str, ClientNode]
+    workloads: Dict[str, OpenWorkload]
+    #: Service-class name -> its front-end node id.
+    fronts: Dict[str, str]
+    #: Backend node ids each class's aggregator fans out to.
+    class_backends: Dict[str, List[str]]
+    #: Total service nodes (excluding clients).
+    service_count: int
+
+    @property
+    def collector(self):
+        return self.topology.collector
+
+    def run_until(self, end_time: float) -> int:
+        return self.topology.run_until(end_time)
+
+
+def build_mesh(
+    classes: int = 24,
+    backends: int = 48,
+    stores: int = 8,
+    fanout: int = 3,
+    seed: int = 0,
+    request_rate: float = 5.0,
+    config: PathmapConfig = MESH_CONFIG,
+) -> MeshDeployment:
+    """Build the fan-out mesh.
+
+    Class ``i`` is ``C{i} -> FE{i} -> AGG{i} -=> {fanout backends}``,
+    with backend ``B{j}`` querying store ``ST{j % stores}``. Backend
+    assignment is the deterministic stride ``B{(i * fanout + k) %
+    backends}``, so every seed sees the same topology (only traffic
+    varies) and neighbouring classes overlap on shared backends --
+    the per-class correlation has to disentangle them.
+    """
+    if classes < 1:
+        raise TopologyError(f"classes must be >= 1, got {classes}")
+    if backends < 1:
+        raise TopologyError(f"backends must be >= 1, got {backends}")
+    if stores < 1:
+        raise TopologyError(f"stores must be >= 1, got {stores}")
+    if not 1 <= fanout <= backends:
+        raise TopologyError(
+            f"fanout must be in [1, backends], got {fanout} (backends={backends})"
+        )
+    topo = Topology(seed=seed)
+    for s in range(stores):
+        topo.add_service_node(f"ST{s}", Erlang(0.003, k=8), workers=16)
+    for b in range(backends):
+        topo.add_service_node(
+            f"B{b}", Erlang(0.005, k=8), workers=8,
+            router=StaticRouter({}, default=f"ST{b % stores}"),
+        )
+    clients: Dict[str, ClientNode] = {}
+    workloads: Dict[str, OpenWorkload] = {}
+    fronts: Dict[str, str] = {}
+    class_backends: Dict[str, List[str]] = {}
+    for i in range(classes):
+        name = f"M{i}"
+        targets = [f"B{(i * fanout + k) % backends}" for k in range(fanout)]
+        topo.add_service_node(
+            f"AGG{i}", Erlang(0.004, k=8), workers=8,
+            router=StaticRouter({}, default=tuple(targets)),
+        )
+        topo.add_service_node(
+            f"FE{i}", Erlang(0.002, k=8), workers=8,
+            router=StaticRouter({}, default=f"AGG{i}"),
+        )
+        client = topo.add_client(f"C{i}", name, front_end=f"FE{i}")
+        clients[name] = client
+        fronts[name] = f"FE{i}"
+        class_backends[name] = targets
+        workloads[name] = topo.open_workload(client, rate=request_rate)
+    return MeshDeployment(
+        topology=topo,
+        config=config,
+        clients=clients,
+        workloads=workloads,
+        fronts=fronts,
+        class_backends=class_backends,
+        service_count=stores + backends + 2 * classes,
+    )

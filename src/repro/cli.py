@@ -489,6 +489,119 @@ def cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scenario_modes(spec: str) -> Sequence[str]:
+    from repro.scenarios.runner import STATIC_GRID
+
+    valid = ("adaptive",) + tuple(sorted(STATIC_GRID))
+    modes = [m for m in spec.split(",") if m]
+    for mode in modes:
+        if mode not in valid:
+            raise E2EProfError(
+                f"unknown mode {mode!r}: pick from {', '.join(valid)}"
+            )
+    if not modes:
+        raise E2EProfError("no analysis modes given")
+    return modes
+
+
+def _score_scenario(name: str, mode: str, seed: int):
+    """Build, simulate and grade one scenario under one analysis mode."""
+    from repro.scenarios import get_scenario
+    from repro.scenarios.runner import (
+        STATIC_GRID,
+        analyze_adaptive,
+        analyze_static,
+        grid_config,
+    )
+
+    if mode != "adaptive" and mode not in STATIC_GRID:
+        raise E2EProfError(
+            f"unknown mode {mode!r}: pick adaptive or one of "
+            f"{', '.join(sorted(STATIC_GRID))}"
+        )
+    run = get_scenario(name).build(seed=seed)
+    if mode == "adaptive":
+        return analyze_adaptive(run)
+    return analyze_static(run, grid_config(run, mode), mode=mode)
+
+
+def cmd_scenarios_list(args: argparse.Namespace) -> int:
+    from repro.scenarios import list_scenarios
+
+    for scenario in list_scenarios():
+        kind = "steady" if scenario.steady else "shift "
+        print(f"{scenario.name:16s} [{kind}] {scenario.description}")
+    return 0
+
+
+def cmd_scenarios_run(args: argparse.Namespace) -> int:
+    score = _score_scenario(args.scenario, args.mode, args.seed)
+    if args.format == "json":
+        payload = json.dumps(
+            score.to_dict(include_cells=args.cells), indent=2, sort_keys=True
+        )
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"wrote score to {args.output}", file=sys.stderr)
+        else:
+            print(payload)
+        return 0
+    detected = [
+        f"{latency:.1f}s" if latency is not None else "missed"
+        for latency in score.detection
+    ]
+    err = score.mean_delay_error
+    print(f"scenario {score.scenario} (seed {score.seed}, mode {score.mode}):")
+    print(f"  f1        {score.aggregate_f1:.3f}  "
+          f"(precision {score.aggregate_precision:.3f}, "
+          f"recall {score.aggregate_recall:.3f})")
+    print(f"  delay err {err:.3f}" if err is not None else "  delay err n/a")
+    if detected:
+        print(f"  detection {', '.join(detected)}")
+    return 0
+
+
+def cmd_scenarios_score(args: argparse.Namespace) -> int:
+    from repro.scenarios import list_scenarios
+
+    names = [n for n in (args.scenarios or "").split(",") if n]
+    if not names:
+        names = [scenario.name for scenario in list_scenarios()]
+    modes = _scenario_modes(args.modes)
+    rows = []
+    for name in names:
+        for mode in modes:
+            score = _score_scenario(name, mode, args.seed)
+            rows.append(score.to_dict(include_cells=False))
+            print(
+                f"{name:16s} {mode:8s} f1={score.aggregate_f1:.3f} "
+                f"p={score.aggregate_precision:.3f} "
+                f"r={score.aggregate_recall:.3f}",
+                file=sys.stderr,
+            )
+    aggregates = {
+        mode: sum(r["aggregate_f1"] for r in rows if r["mode"] == mode)
+        / sum(1 for r in rows if r["mode"] == mode)
+        for mode in modes
+    }
+    doc = {
+        "seed": args.seed,
+        "scenarios": names,
+        "modes": list(modes),
+        "scores": rows,
+        "aggregate_f1_by_mode": aggregates,
+    }
+    payload = json.dumps(doc, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote scorecard to {args.output}", file=sys.stderr)
+    else:
+        print(payload)
+    return 0
+
+
 def cmd_simulate_rubis(args: argparse.Namespace) -> int:
     rubis = build_rubis(dispatch=args.dispatch, seed=args.seed,
                         request_rate=args.rate)
@@ -663,6 +776,44 @@ def build_parser() -> argparse.ArgumentParser:
                           help="demo-mode simulated seconds (default 65)")
     _add_config_arguments(timeline)
     timeline.set_defaults(func=cmd_timeline)
+
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="run the labeled non-steady-state scenario suite",
+    )
+    scen_sub = scenarios.add_subparsers(dest="scenario_command", required=True)
+
+    scen_list = scen_sub.add_parser("list", help="list available scenarios")
+    scen_list.set_defaults(func=cmd_scenarios_list)
+
+    scen_run = scen_sub.add_parser(
+        "run", help="simulate and grade one scenario"
+    )
+    scen_run.add_argument("scenario", help="scenario name (see 'scenarios list')")
+    scen_run.add_argument("--seed", type=int, default=0)
+    scen_run.add_argument("--mode", default="adaptive",
+                          help="analysis mode: adaptive (default) or a "
+                               "static grid name (fast, medium, slow)")
+    scen_run.add_argument("--format", default="text",
+                          choices=["text", "json"])
+    scen_run.add_argument("--cells", action="store_true",
+                          help="include per-refresh per-class cells in JSON")
+    scen_run.add_argument("-o", "--output", default=None,
+                          help="write JSON to a file instead of stdout")
+    scen_run.set_defaults(func=cmd_scenarios_run)
+
+    scen_score = scen_sub.add_parser(
+        "score",
+        help="grade scenarios across analysis modes into a JSON scorecard",
+    )
+    scen_score.add_argument("--scenarios", default="",
+                            help="comma-separated scenario names (default all)")
+    scen_score.add_argument("--modes", default="adaptive,fast,medium,slow",
+                            help="comma-separated analysis modes")
+    scen_score.add_argument("--seed", type=int, default=0)
+    scen_score.add_argument("-o", "--output", default=None,
+                            help="write the scorecard to a file")
+    scen_score.set_defaults(func=cmd_scenarios_score)
 
     rubis = sub.add_parser("simulate-rubis", help="generate a RUBiS packet trace")
     rubis.add_argument("-o", "--output", required=True)

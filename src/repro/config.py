@@ -209,6 +209,32 @@ class PathmapConfig:
             ),
         )
 
+    def with_resolution(
+        self,
+        quantum: float,
+        omega_quanta: int = DEFAULT_OMEGA_QUANTA,
+        max_transaction_delay: float | None = None,
+    ) -> "PathmapConfig":
+        """Return a copy at a different time resolution.
+
+        ``omega`` is given in quanta (so it always stays an integral
+        multiple of the new ``tau``); any explicit resolution window is
+        dropped back to its ``omega`` default. This is how the auto-tuner
+        and the scenario harness derive comparable configs that differ
+        only in resolution.
+        """
+        return dataclasses.replace(
+            self,
+            quantum=quantum,
+            sampling_window=omega_quanta * quantum,
+            max_transaction_delay=(
+                max_transaction_delay
+                if max_transaction_delay is not None
+                else self.max_transaction_delay
+            ),
+            resolution_window=None,
+        )
+
 
 @dataclasses.dataclass(frozen=True)
 class TransportConfig:

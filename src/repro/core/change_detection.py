@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 import logging
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -98,6 +98,7 @@ class ChangeDetector:
         self.event_bus = events
         self._history: Dict[Tuple[ClassKey, EdgeKey], List[DelaySample]] = {}
         self._events: List[ChangeEvent] = []
+        self._callbacks: List[Callable[[ChangeEvent], None]] = []
 
     # -- feeding -------------------------------------------------------------------
 
@@ -134,7 +135,14 @@ class ChangeDetector:
                     current=event.current,
                     magnitude=event.magnitude,
                 )
+            for callback in self._callbacks:
+                callback(event)
         return fresh
+
+    def on_change(self, callback: Callable[[ChangeEvent], None]) -> None:
+        """Register a callback invoked for every fresh change event --
+        how the adaptive controller triggers re-windowing."""
+        self._callbacks.append(callback)
 
     def subscribe_to(self, engine: "object") -> None:
         """Convenience: hook into an :class:`E2EProfEngine`.

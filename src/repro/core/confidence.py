@@ -1,0 +1,254 @@
+"""Steady-state confidence scoring for pathmap windows.
+
+The pathmap algorithm assumes near-steady-state traffic inside each
+analysis window: the cross-correlation between a class's reference
+signal and an edge signal only locates causal delays reliably when the
+arrival process is (locally) stationary. The paper concedes exactly this
+(Section 4.3: pathmap "degrades under large queueing delays and drastic
+traffic variation"). Instead of silently emitting paths of unknown
+trustworthiness, this module grades how well one window honours the
+assumption, per service class, from nothing but the class's reference
+signal -- the same black-box data pathmap itself consumes.
+
+Two violations are scored:
+
+* **Burstiness** -- the reference signal's rate varies far more across
+  the window than a Poisson process of the same mean rate would (flash
+  crowds, retry storms, cache stampedes). Measured as the *excess*
+  squared coefficient of variation of per-bin message counts: the
+  portion of ``cv^2`` beyond the ``1/mean`` a Poisson process
+  contributes on its own, so low-rate classes are not unfairly
+  penalized.
+* **Staleness** -- the newest refresh block carries (almost) none of the
+  window's traffic (traffic troughs, a canary shifting 100% away, a
+  class disappearing). Any path emitted from such a window describes
+  the past, not the present.
+
+Both combine into a score in ``[0, 1]``; ``1`` means the window looks
+like the steady state the algorithm was designed for. The online engine
+computes a :class:`ConfidenceReport` per service class on every refresh
+and annotates :class:`~repro.core.pathmap.PathmapResult` with it --
+mirroring how PR 3's transport ``DataQuality`` annotates, never censors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+#: Sub-bins per refresh block when deriving counts from block history:
+#: enough resolution to see a burst inside one block, few enough that a
+#: steady class keeps tens of messages per bin at typical rates.
+DEFAULT_BINS_PER_BLOCK = 8
+
+#: Below this score a window is considered to violate the steady-state
+#: assumption (the engine publishes ``EVENT_LOW_CONFIDENCE``).
+DEFAULT_LOW_CONFIDENCE = 0.5
+
+#: Steepness of the burstiness penalty: ``stability = exp(-k * excess_cv2)``.
+_BURSTINESS_STEEPNESS = 2.0
+
+#: A newest block carrying at least this fraction of the window's mean
+#: per-block traffic counts as fully current.
+_RECENCY_KNEE = 0.3
+
+
+@dataclasses.dataclass(frozen=True)
+class ConfidenceReport:
+    """How steady one service class's window looked.
+
+    Attributes
+    ----------
+    score:
+        Overall steady-state confidence in ``[0, 1]``
+        (``stability * recency``).
+    stability:
+        Burstiness component: 1 for Poisson-like rate, toward 0 as the
+        per-bin rate variance exceeds the Poisson expectation.
+    recency:
+        Staleness component: 1 when the newest refresh block carries its
+        share of the window's traffic, toward 0 as the class goes quiet
+        while old traffic still fills the window.
+    excess_cv2:
+        Squared coefficient of variation of per-bin counts, in excess of
+        the ``1/mean`` a Poisson process would show.
+    mean_rate:
+        Mean message rate over the window (messages per second).
+    newest_ratio:
+        Newest block's message count over the per-block window mean.
+    bins:
+        Number of count bins the verdict was computed from.
+    """
+
+    score: float
+    stability: float
+    recency: float
+    excess_cv2: float
+    mean_rate: float
+    newest_ratio: float
+    bins: int
+
+    @property
+    def ok(self) -> bool:
+        """True when the window honours the steady-state assumption."""
+        return self.score >= DEFAULT_LOW_CONFIDENCE
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "score": self.score,
+            "stability": self.stability,
+            "recency": self.recency,
+            "excess_cv2": self.excess_cv2,
+            "mean_rate": self.mean_rate,
+            "newest_ratio": self.newest_ratio,
+            "bins": self.bins,
+        }
+
+
+#: Confidence of a window with no signal at all: no traffic means no
+#: basis for any path claim, so the score is zero on every axis.
+SILENT_REPORT = ConfidenceReport(
+    score=0.0,
+    stability=0.0,
+    recency=0.0,
+    excess_cv2=0.0,
+    mean_rate=0.0,
+    newest_ratio=0.0,
+    bins=0,
+)
+
+
+def block_bin_counts(
+    blocks: Sequence[object],
+    bins_per_block: int = DEFAULT_BINS_PER_BLOCK,
+    mass_per_message: float = 1.0,
+) -> np.ndarray:
+    """Per-sub-bin message counts across a window of density blocks.
+
+    Each block (a :class:`~repro.core.rle.RunLengthSeries` or anything
+    with ``to_sparse()``) is split into ``bins_per_block`` equal spans;
+    the density values falling in each span are summed and divided by
+    ``mass_per_message`` -- the total density mass one message deposits.
+    The boxcar density function adds 1 to every quantum of one sampling
+    window per message, so a message's mass is ``omega / tau``
+    (``config.sampling_quanta``); with that passed in, a bin's value
+    approximates the number of messages observed in it.
+    """
+    if bins_per_block < 1:
+        raise AnalysisError(
+            f"bins_per_block must be >= 1, got {bins_per_block}"
+        )
+    if mass_per_message <= 0:
+        raise AnalysisError(
+            f"mass_per_message must be positive, got {mass_per_message}"
+        )
+    per_block = []
+    for block in blocks:
+        sparse = block.to_sparse() if hasattr(block, "to_sparse") else block
+        length = max(int(sparse.length), 1)
+        counts = np.zeros(bins_per_block, dtype=np.float64)
+        if sparse.indices.size:
+            offsets = sparse.indices.astype(np.int64) - int(sparse.start)
+            bins = np.clip(
+                offsets * bins_per_block // length, 0, bins_per_block - 1
+            )
+            counts = np.bincount(
+                bins, weights=sparse.values, minlength=bins_per_block
+            ).astype(np.float64)
+        per_block.append(counts)
+    if not per_block:
+        return np.zeros(0, dtype=np.float64)
+    return np.concatenate(per_block) / mass_per_message
+
+
+def confidence_from_counts(
+    counts: np.ndarray, bins_per_block: int = DEFAULT_BINS_PER_BLOCK, bin_seconds: float = 0.0
+) -> ConfidenceReport:
+    """Grade one window's steadiness from per-bin message counts.
+
+    ``counts`` is the flat bin-count array of :func:`block_bin_counts`
+    (oldest block first). ``bin_seconds`` (optional) converts the mean
+    count into a rate for the report; 0 reports a rate of 0.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    total = float(counts.sum())
+    if counts.size == 0 or total <= 0.0:
+        return SILENT_REPORT
+    mean = total / counts.size
+    # Burstiness: cv^2 of the bin counts beyond the 1/mean a Poisson
+    # process of the same mean contributes by chance alone.
+    cv2 = float(counts.var()) / (mean * mean)
+    excess = max(0.0, cv2 - 1.0 / mean)
+    stability = math.exp(-_BURSTINESS_STEEPNESS * excess)
+    # Staleness: compare the newest block's traffic to the per-block
+    # window mean. (The newest block is the trailing bins_per_block bins.)
+    tail = counts[-bins_per_block:] if counts.size >= bins_per_block else counts
+    newest = float(tail.sum())
+    per_block_mean = total * tail.size / counts.size
+    newest_ratio = newest / per_block_mean if per_block_mean > 0 else 0.0
+    recency = min(1.0, newest_ratio / _RECENCY_KNEE)
+    rate = mean / bin_seconds if bin_seconds > 0 else 0.0
+    return ConfidenceReport(
+        score=stability * recency,
+        stability=stability,
+        recency=recency,
+        excess_cv2=excess,
+        mean_rate=rate,
+        newest_ratio=newest_ratio,
+        bins=int(counts.size),
+    )
+
+
+def window_confidence(
+    blocks: Sequence[object],
+    bins_per_block: int = DEFAULT_BINS_PER_BLOCK,
+    quantum: float = 0.0,
+    mass_per_message: float = 1.0,
+) -> ConfidenceReport:
+    """Confidence of one class's window straight from its block history.
+
+    ``quantum`` (seconds per sample) sizes the rate estimate; pass the
+    analysis config's quantum when available, and its
+    ``sampling_quanta`` as ``mass_per_message`` (see
+    :func:`block_bin_counts`).
+    """
+    counts = block_bin_counts(blocks, bins_per_block, mass_per_message)
+    bin_seconds = 0.0
+    if quantum > 0 and blocks:
+        first = blocks[0]
+        length = getattr(first, "length", 0)
+        bin_seconds = (length / bins_per_block) * quantum if length else 0.0
+    return confidence_from_counts(counts, bins_per_block, bin_seconds)
+
+
+def timestamp_confidence(
+    timestamps: Sequence[float],
+    start: float,
+    end: float,
+    num_blocks: int,
+    bins_per_block: int = DEFAULT_BINS_PER_BLOCK,
+) -> ConfidenceReport:
+    """Confidence of one class's window from raw message timestamps.
+
+    The offline twin of :func:`window_confidence`: ``[start, end)`` is
+    split into ``num_blocks * bins_per_block`` equal bins (num_blocks
+    mirroring the online engine's refresh blocks, so the staleness axis
+    means the same thing in both paths).
+    """
+    if end <= start:
+        raise AnalysisError(f"empty confidence window [{start}, {end})")
+    if num_blocks < 1:
+        raise AnalysisError(f"num_blocks must be >= 1, got {num_blocks}")
+    bins = num_blocks * bins_per_block
+    stamps = np.asarray(list(timestamps), dtype=np.float64)
+    stamps = stamps[(stamps >= start) & (stamps < end)]
+    counts, _ = np.histogram(stamps, bins=bins, range=(start, end))
+    bin_seconds = (end - start) / bins
+    return confidence_from_counts(
+        counts.astype(np.float64), bins_per_block, bin_seconds
+    )

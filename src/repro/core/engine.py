@@ -32,6 +32,11 @@ from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from repro.config import PathmapConfig, TransportConfig
+from repro.core.confidence import (
+    DEFAULT_LOW_CONFIDENCE,
+    ConfidenceReport,
+    window_confidence,
+)
 from repro.core.correlation import CorrelationSeries, SeriesLike, batch_lag_products
 from repro.core.incremental import IncrementalCorrelator, _pair_products, block_is_quiet
 from repro.core.pathmap import Pathmap, PathmapResult, TraceWindow
@@ -40,6 +45,7 @@ from repro.core.timeseries import DensityTimeSeries
 from repro.errors import AnalysisError
 from repro.obs.events import (
     EVENT_DEGRADED_REFRESH,
+    EVENT_LOW_CONFIDENCE,
     EVENT_SUBSCRIBER_ERROR,
     EVENT_TRACER_STALE,
     EVENT_TRANSPORT_GAP,
@@ -94,6 +100,7 @@ class E2EProfEngine:
         workers: Optional[int] = None,
         batched: bool = True,
         capture_sink: Optional[TraceCollector] = None,
+        adaptive: bool = False,
     ) -> None:
         self.config = config
         self._clients: Set[NodeId] = set(clients or ())
@@ -267,6 +274,33 @@ class E2EProfEngine:
             "transport_stale_epoch_frames_total",
             "Pre-restart frames rejected by epoch checks",
         )
+        #: When True, every refresh also derives per-class tuned-parameter
+        #: recommendations (:mod:`repro.core.autotune`) from the observed
+        #: reference-signal statistics into ``latest_recommendations``.
+        #: The running analysis keeps its own parameters either way --
+        #: blocks are quantized at ingest, so a resolution change needs a
+        #: re-analysis, not a mid-flight swap.
+        self.adaptive = bool(adaptive)
+        #: Per-class steady-state confidence of the latest refresh.
+        self.latest_confidence: Dict[RefKey, ConfidenceReport] = {}
+        #: Overall (minimum per-class) confidence of the latest refresh.
+        self.confidence_score: float = 1.0
+        #: Per-class tuned-config recommendations (``adaptive=True`` only).
+        self.latest_recommendations: Dict[RefKey, PathmapConfig] = {}
+        #: History-blanking re-windows performed (see :meth:`rewindow`).
+        self.rewindows = 0
+        self._m_confidence = m.gauge(
+            "engine_confidence_score",
+            "Steady-state confidence of the latest refresh (1 = steady)",
+        )
+        self._m_low_confidence = m.counter(
+            "engine_low_confidence_total",
+            "Refreshes with at least one class below the confidence threshold",
+        )
+        self._m_rewindows = m.counter(
+            "engine_rewindows_total",
+            "Change-point-triggered history re-windows performed",
+        )
 
     # -- wiring ---------------------------------------------------------------------
 
@@ -414,6 +448,9 @@ class E2EProfEngine:
         pathmap_seconds = time.perf_counter() - pathmap_started
         if self._receiver is not None:
             self._apply_quality(result, now, block_start)
+        self._apply_confidence(result, now)
+        if self.adaptive:
+            self._update_recommendations(result)
         self.latest_result = result
         self.latest_refresh_time = now
         self.last_refresh_seconds = time.perf_counter() - started
@@ -798,6 +835,117 @@ class E2EProfEngine:
             if delta > 0:
                 metric.inc(delta)
             self._transport_totals[key] = totals[key]
+
+    # -- steady-state confidence and adaptivity ------------------------------------
+
+    def _class_reference_edges(self) -> List[RefKey]:
+        """Every (client, front-end) reference edge with block history,
+        in sorted order (iteration order must not depend on dict history
+        so refreshes stay reproducible)."""
+        return sorted(
+            edge
+            for edge in self._blocks
+            if edge[0] in self._clients and edge[1] not in self._clients
+        )
+
+    def _apply_confidence(self, result: PathmapResult, now: float) -> None:
+        """Grade every service class's reference signal against the
+        steady-state assumption and annotate the result. Runs serially
+        after the DFS, so ``workers`` never affects the verdicts."""
+        reports: Dict[RefKey, ConfidenceReport] = {}
+        for class_key in self._class_reference_edges():
+            reports[class_key] = window_confidence(
+                self._blocks[class_key],
+                quantum=self.config.quantum,
+                mass_per_message=self.config.sampling_quanta,
+            )
+        result.annotate_confidence(reports)
+        self.latest_confidence = reports
+        self.confidence_score = result.confidence
+        self._m_confidence.set(result.confidence)
+        low = {k: r for k, r in reports.items() if not r.ok}
+        if low:
+            self._m_low_confidence.inc()
+            for class_key, report in sorted(low.items()):
+                self.events.publish(
+                    EVENT_LOW_CONFIDENCE,
+                    now,
+                    service_class=f"{class_key[0]}@{class_key[1]}",
+                    score=report.score,
+                    stability=report.stability,
+                    recency=report.recency,
+                    threshold=DEFAULT_LOW_CONFIDENCE,
+                )
+
+    def _update_recommendations(self, result: PathmapResult) -> None:
+        """Refresh the per-class tuned-parameter recommendations from the
+        confidence reports' traffic statistics (``adaptive=True``)."""
+        from repro.core.autotune import (
+            TrafficStats,
+            autotune_config,
+            observed_delay_bound,
+        )
+        from repro.core.confidence import DEFAULT_BINS_PER_BLOCK
+
+        rounds = min(self._refreshes, self._num_blocks)
+        duration = rounds * self.config.refresh_interval
+        bin_seconds = self.config.refresh_interval / DEFAULT_BINS_PER_BLOCK
+        recommendations: Dict[RefKey, PathmapConfig] = {}
+        for class_key, report in self.latest_confidence.items():
+            if report.mean_rate <= 0 or duration <= 0:
+                continue
+            graph = result.graphs.get(class_key)
+            delay_bound = (
+                observed_delay_bound(graph) if graph is not None else None
+            )
+            # Excess Fano factor = excess CV^2 of bin counts x mean bin
+            # count (F = cv2 * mean).
+            burstiness = report.excess_cv2 * report.mean_rate * bin_seconds
+            stats = TrafficStats.from_rate(
+                report.mean_rate,
+                duration,
+                burstiness=burstiness,
+                delay_bound=delay_bound,
+            )
+            recommendations[class_key] = autotune_config(self.config, stats)
+        self.latest_recommendations = recommendations
+
+    def rewindow(self, cutoff: float) -> int:
+        """Blank all block history that ends at or before ``cutoff``.
+
+        Change-point response: once a detected shift invalidates the
+        steady-state assumption for the pre-change past, the engine
+        replaces every affected block with silence and invalidates the
+        correlators touching it (the same lazy-rebuild machinery used for
+        transport late-block patching). The next refresh then computes
+        its graphs as if the window began at the cutoff -- delay
+        estimates converge on the new regime in one refresh instead of
+        bleeding the old regime for a full window length.
+
+        Returns the number of non-empty blocks blanked.
+        """
+        if self._base_quantum is None:
+            raise AnalysisError("engine was never attached")
+        tau = self.config.quantum
+        cutoff_quantum = int(round(cutoff / tau))
+        blanked = 0
+        for edge, deque_ in self._blocks.items():
+            touched = False
+            for index, block in enumerate(deque_):
+                if block.start + self._block_quanta > cutoff_quantum:
+                    break
+                if block.num_runs:
+                    deque_[index] = RunLengthSeries.empty(
+                        block.start, self._block_quanta, tau
+                    )
+                    blanked += 1
+                    touched = True
+            if touched:
+                self._invalidate_correlators(edge)
+        if blanked:
+            self.rewindows += 1
+            self._m_rewindows.inc()
+        return blanked
 
     def restart_tracer(self, node_id: NodeId) -> None:
         """Simulate a tracer crash/restart: captured state is lost, the

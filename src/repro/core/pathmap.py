@@ -34,6 +34,7 @@ from repro.core.spikes import Spike, detect_spikes
 from repro.errors import AnalysisError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.confidence import ConfidenceReport
     from repro.obs.registry import MetricsRegistry
     from repro.obs.spans import SpanTracer
     from repro.tracing.transport import DataQuality
@@ -105,6 +106,36 @@ class PathmapResult:
     )
     #: Overall data-quality score of the window (1.0 = fully fresh).
     quality: float = 1.0
+    #: Per-class steady-state confidence (empty until annotated).
+    class_confidence: Dict[Tuple[NodeId, NodeId], "ConfidenceReport"] = (
+        dataclasses.field(default_factory=dict)
+    )
+    #: Overall steady-state confidence of the window: the minimum class
+    #: score, 1.0 when nothing was graded (no classes, scoring off).
+    confidence: float = 1.0
+
+    def annotate_confidence(
+        self, class_confidence: Dict[Tuple[NodeId, NodeId], "ConfidenceReport"]
+    ) -> None:
+        """Attach per-class steady-state confidence reports and stamp
+        each onto its service graph. The overall score is the minimum --
+        one unsteady class makes the whole window suspect for comparison
+        across refreshes, while per-class verdicts stay available."""
+        self.class_confidence = dict(class_confidence)
+        if self.class_confidence:
+            self.confidence = min(
+                report.score for report in self.class_confidence.values()
+            )
+        for class_key, graph in self.graphs.items():
+            report = self.class_confidence.get(class_key)
+            if report is not None:
+                graph.confidence = report
+
+    def low_confidence_classes(
+        self,
+    ) -> Dict[Tuple[NodeId, NodeId], "ConfidenceReport"]:
+        """Classes whose window violated the steady-state assumption."""
+        return {k: r for k, r in self.class_confidence.items() if not r.ok}
 
     def annotate_quality(
         self,

@@ -126,6 +126,10 @@ class ServiceGraph:
     def __init__(self, client: NodeId, root: NodeId) -> None:
         self.client = client
         self.root = root
+        #: Steady-state confidence report
+        #: (:class:`~repro.core.confidence.ConfidenceReport`) stamped by
+        #: :meth:`PathmapResult.annotate_confidence`; None when ungraded.
+        self.confidence: Optional[object] = None
         self._nodes: Set[NodeId] = {client, root}
         self._edges: Dict[EdgeKey, ServiceEdge] = {}
         self._out: Dict[NodeId, List[NodeId]] = {client: [root], root: []}
@@ -294,6 +298,13 @@ class ServiceGraph:
         return {
             "client": self.client,
             "root": self.root,
+            # Like edge quality below, the confidence verdict is exported
+            # only when the window was flagged unsteady.
+            **(
+                {"confidence": self.confidence.to_dict()}
+                if self.confidence is not None and not self.confidence.ok
+                else {}
+            ),
             "nodes": sorted(self._nodes),
             "edges": [
                 {

@@ -42,6 +42,8 @@ from repro.obs.events import (
     EVENT_TRACER_STALE,
     EVENT_TRANSPORT_GAP,
     EVENT_DEGRADED_REFRESH,
+    EVENT_LOW_CONFIDENCE,
+    EVENT_REWINDOW,
     DiagnosticEvent,
     EventBus,
 )
@@ -75,6 +77,8 @@ __all__ = [
     "EVENT_TRACER_STALE",
     "EVENT_TRANSPORT_GAP",
     "EVENT_DEGRADED_REFRESH",
+    "EVENT_LOW_CONFIDENCE",
+    "EVENT_REWINDOW",
     "EventBus",
     "FlightRecorder",
     "Gauge",

@@ -53,6 +53,12 @@ EVENT_TRANSPORT_GAP = "transport_gap"
 EVENT_TRACER_STALE = "tracer_stale"
 #: A refresh ran on incomplete data (overall quality score below 1).
 EVENT_DEGRADED_REFRESH = "degraded_refresh"
+#: A refresh's steady-state confidence fell below the threshold for at
+#: least one service class (flash crowd, trough, disappearing class...).
+EVENT_LOW_CONFIDENCE = "low_confidence"
+#: The adaptive controller blanked pre-change history after a detected
+#: change point (change-point-triggered re-windowing).
+EVENT_REWINDOW = "rewindow"
 
 EventCallback = Callable[["DiagnosticEvent"], None]
 

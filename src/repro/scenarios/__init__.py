@@ -1,0 +1,51 @@
+"""Non-steady-state scenario suite with ground-truth accuracy scoring.
+
+E2EProf's pathmap assumes near-steady-state traffic inside each analysis
+window, and the paper concedes degradation under large queueing delays
+and drastic traffic variation (Section 4.3). This package is the
+measurement substrate for that concession: a parameterized library of
+labeled workloads -- flash crowd, diurnal cycle, retry storm, cache
+stampede, canary shift, 100+-service fan-out mesh -- each built on the
+simulation substrate with exact ground truth attached, plus a scoring
+harness that grades any :class:`~repro.config.PathmapConfig` (or the
+adaptive auto-tuned analysis) against any scenario on path
+precision/recall/F1, delay-estimate error and change-detection latency.
+
+Usage::
+
+    from repro.scenarios import get_scenario, run_scenario
+
+    run = get_scenario("flash_crowd").build(seed=7)
+    score = run_scenario(run, adaptive=True)
+    print(score.aggregate_f1, score.mean_delay_error)
+
+or from the CLI: ``repro scenarios list | run | score``.
+"""
+
+from repro.scenarios.base import ChangePoint, Scenario, ScenarioRun
+from repro.scenarios.library import SCENARIOS, get_scenario, list_scenarios
+from repro.scenarios.runner import analyze_adaptive, analyze_static, run_scenario
+from repro.scenarios.scoring import (
+    ClassScore,
+    EdgeScore,
+    ScenarioScore,
+    edge_f1,
+    score_refresh,
+)
+
+__all__ = [
+    "ChangePoint",
+    "ClassScore",
+    "EdgeScore",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioRun",
+    "ScenarioScore",
+    "analyze_adaptive",
+    "analyze_static",
+    "edge_f1",
+    "get_scenario",
+    "list_scenarios",
+    "run_scenario",
+    "score_refresh",
+]

@@ -1,0 +1,126 @@
+"""Scenario abstractions: labeled workloads with ground truth attached.
+
+A :class:`Scenario` is a named, seeded recipe; :meth:`Scenario.build`
+wires a fresh :class:`~repro.simulation.topology.Topology` with ground
+truth recorders and scheduled perturbations and returns a
+:class:`ScenarioRun` -- everything the scoring harness needs to simulate,
+analyze and grade one instance:
+
+* per-class ground truth (which edges, what delays -- the labels),
+* the scenario's base analysis config (its pacing: W and dW),
+* labeled :class:`ChangePoint` markers for change-detection latency,
+* a ``steady`` flag separating regression baselines from stress cases.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.config import PathmapConfig
+from repro.errors import AnalysisError
+from repro.simulation.groundtruth import GroundTruth
+from repro.simulation.topology import Topology
+from repro.tracing.records import NodeId
+
+EdgeKey = Tuple[NodeId, NodeId]
+
+
+@dataclasses.dataclass(frozen=True)
+class ChangePoint:
+    """A labeled moment where the system's behaviour shifts.
+
+    ``edge`` optionally names the edge whose *observed arrival delays*
+    shift (the edge a change detector should flag); None marks a pure
+    traffic-shape change with no specific delay edge.
+    """
+
+    time: float
+    description: str
+    edge: Optional[EdgeKey] = None
+
+
+@dataclasses.dataclass
+class ScenarioRun:
+    """One wired scenario instance, ready to simulate and grade."""
+
+    name: str
+    topology: Topology
+    #: The scenario's base analysis config. Its window/refresh pacing is
+    #: kept by every graded config; resolution (tau/omega/T_u) is what
+    #: the static grid and the auto-tuner vary.
+    config: PathmapConfig
+    #: Simulation end time (seconds).
+    duration: float
+    #: Service class -> its client node id.
+    clients: Dict[str, NodeId]
+    #: Service class -> its front-end node id.
+    fronts: Dict[str, NodeId]
+    #: Service class -> exact recorder for its front end.
+    truths: Dict[str, GroundTruth]
+    #: Labeled behaviour shifts (may be empty).
+    change_points: List[ChangePoint] = dataclasses.field(default_factory=list)
+    #: True for steady-state scenarios (regression baselines).
+    steady: bool = False
+    #: Grade only refreshes whose window starts at/after this time.
+    warmup: float = 0.0
+    #: Seed the run was built from (stamped by :meth:`Scenario.build`).
+    seed: int = 0
+    _simulated: bool = dataclasses.field(default=False, repr=False)
+
+    def simulate(self) -> "ScenarioRun":
+        """Run the simulation to ``duration`` (idempotent)."""
+        if not self._simulated:
+            self.topology.run_until(self.duration)
+            self._simulated = True
+        return self
+
+    def refresh_ends(self, config: Optional[PathmapConfig] = None) -> List[float]:
+        """Gradeable refresh end times: every ``dW`` tick whose full
+        window fits after warmup and inside the simulated span."""
+        cfg = config if config is not None else self.config
+        ends: List[float] = []
+        k = 1
+        while True:
+            end = k * cfg.refresh_interval
+            if end > self.duration:
+                break
+            if end - cfg.window >= self.warmup:
+                ends.append(end)
+            k += 1
+        if not ends:
+            raise AnalysisError(
+                f"scenario {self.name!r}: no refresh window fits "
+                f"(duration={self.duration}, window={cfg.window}, "
+                f"warmup={self.warmup})"
+            )
+        return ends
+
+    def class_keys(self) -> Dict[str, Tuple[NodeId, NodeId]]:
+        """Service class -> the (client, root) key used by PathmapResult."""
+        return {
+            cls: (self.clients[cls], self.fronts[cls]) for cls in sorted(self.clients)
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class Scenario:
+    """A named, parameterized scenario recipe."""
+
+    name: str
+    description: str
+    #: builder(seed) -> ScenarioRun (not yet simulated).
+    builder: Callable[[int], ScenarioRun]
+    steady: bool = False
+    tags: Tuple[str, ...] = ()
+
+    def build(self, seed: int = 0) -> ScenarioRun:
+        """Wire one instance of the scenario (deterministic per seed)."""
+        run = self.builder(seed)
+        if run.name != self.name:
+            raise AnalysisError(
+                f"scenario builder returned run named {run.name!r}, "
+                f"expected {self.name!r}"
+            )
+        run.seed = seed
+        return run

@@ -1,0 +1,447 @@
+"""The scenario catalog.
+
+Eight labeled workloads spanning the regimes where pathmap's
+steady-state assumption holds, bends and breaks:
+
+========================  =====================================================
+``steady_state``          Poisson baseline (the paper's RUBiS regime).
+``fanout_mesh``           Steady traffic at 100+-service scale (fan-out mesh).
+``flash_crowd``           8x rate step mid-run; queueing shifts deep delays.
+``diurnal_cycle``         Slow sinusoidal load on slow (100ms+) services.
+``retry_storm``           Backend slowdown + timeout retries (load feedback).
+``cache_stampede``        Periodic cache expiry re-routes traffic in bursts.
+``canary_shift``          Traffic ramps 0 -> 100% from path v1 to path v2.
+``traffic_trough``        Rate drops to zero mid-run, then recovers.
+========================  =====================================================
+
+Every builder is deterministic per seed: same seed, same topology, same
+record stream. Perturbations are driven by the simulation clock, and all
+randomness flows from the topology's seeded generator.
+
+Adding a scenario: write a ``_build_<name>(seed) -> ScenarioRun`` that
+wires a topology with ground truth attached *before* traffic starts,
+register it in :data:`SCENARIOS`, and document it in
+``docs/SCENARIOS.md``. Mark it ``steady=True`` only if its traffic honours
+the steady-state assumption end to end (steady scenarios form the
+regression baseline the adaptive analysis must not regress).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.mesh import build_mesh
+from repro.config import PathmapConfig
+from repro.errors import AnalysisError
+from repro.scenarios.base import ChangePoint, Scenario, ScenarioRun
+from repro.simulation.distributions import Erlang
+from repro.simulation.groundtruth import GroundTruth
+from repro.simulation.nodes import (
+    Decision,
+    Forward,
+    Message,
+    Reply,
+    Router,
+    ServiceNode,
+    StaticRouter,
+)
+from repro.simulation.topology import Topology
+
+#: Fast-regime analysis pacing: millisecond services, 8 s window.
+FAST_CONFIG = PathmapConfig(
+    window=8.0,
+    refresh_interval=2.0,
+    quantum=1e-3,
+    sampling_window=50e-3,
+    max_transaction_delay=0.5,
+    min_spike_height=0.10,
+)
+
+#: Slow-regime analysis pacing for the diurnal scenario: 100ms+ services
+#: need a coarser quantum and a far larger transaction-delay bound.
+SLOW_CONFIG = PathmapConfig(
+    window=60.0,
+    refresh_interval=15.0,
+    quantum=20e-3,
+    sampling_window=1.0,
+    max_transaction_delay=10.0,
+    min_spike_height=0.10,
+)
+
+
+class StampedeRouter(Router):
+    """Cache node: replies from cache except during periodic expiry
+    windows, when every request stampedes through to the backing store.
+
+    ``(now - offset) mod period < duration`` defines the stampede
+    windows -- pure simulation-clock logic, deterministic per seed.
+    """
+
+    def __init__(
+        self,
+        target: str,
+        period: float = 8.0,
+        duration: float = 1.0,
+        offset: float = 0.0,
+    ) -> None:
+        if period <= 0 or not 0 < duration < period:
+            raise AnalysisError(
+                f"need 0 < duration < period, got {duration}/{period}"
+            )
+        self.target = target
+        self.period = period
+        self.duration = duration
+        self.offset = offset
+
+    def in_stampede(self, now: float) -> bool:
+        return (now - self.offset) % self.period < self.duration
+
+    def route(self, node: ServiceNode, message: Message) -> Decision:
+        if self.in_stampede(node.sim.now):
+            return Forward(self.target)
+        return Reply()
+
+
+class CanaryRouter(Router):
+    """Load balancer shifting traffic between two path variants.
+
+    Each request goes to ``v2`` with probability ``fraction(now)`` (else
+    ``v1``), drawn from the node's seeded generator -- the canary ramp of
+    a progressive rollout. ``fraction`` returning 1.0 retires v1
+    entirely: its path disappears mid-run.
+    """
+
+    def __init__(self, v1: str, v2: str, fraction) -> None:
+        self.v1 = v1
+        self.v2 = v2
+        self.fraction = fraction
+
+    def route(self, node: ServiceNode, message: Message) -> Decision:
+        p = min(max(self.fraction(node.sim.now), 0.0), 1.0)
+        # Consume exactly one uniform per request regardless of p, so
+        # seeded runs stay aligned across fraction schedules.
+        if float(node.rng.uniform()) < p:
+            return Forward(self.v2)
+        return Forward(self.v1)
+
+
+def _three_tier(
+    topo: Topology,
+    index: int,
+    cls: str,
+    fe_kwargs: Optional[dict] = None,
+    ap_kwargs: Optional[dict] = None,
+) -> Tuple[str, str]:
+    """One ``C -> FE -> AP -> DB`` stack (DB must already exist).
+    Returns (client node id, front-end node id)."""
+    fe_kwargs = dict(fe_kwargs or {})
+    ap_kwargs = dict(ap_kwargs or {})
+    ap_kwargs.setdefault("service_time", Erlang(0.006, k=8))
+    ap_kwargs.setdefault("workers", 8)
+    fe_kwargs.setdefault("service_time", Erlang(0.002, k=8))
+    fe_kwargs.setdefault("workers", 8)
+    topo.add_service_node(
+        f"AP{index}", router=StaticRouter({}, default="DB"), **ap_kwargs
+    )
+    topo.add_service_node(
+        f"FE{index}", router=StaticRouter({}, default=f"AP{index}"), **fe_kwargs
+    )
+    topo.add_client(f"C{index}", cls, front_end=f"FE{index}")
+    return f"C{index}", f"FE{index}"
+
+
+def _finish(
+    name: str,
+    topo: Topology,
+    config: PathmapConfig,
+    duration: float,
+    clients: Dict[str, str],
+    fronts: Dict[str, str],
+    change_points: Optional[List[ChangePoint]] = None,
+    steady: bool = False,
+    warmup: float = 0.0,
+) -> ScenarioRun:
+    truths: Dict[str, GroundTruth] = {
+        cls: topo.ground_truth(front) for cls, front in fronts.items()
+    }
+    return ScenarioRun(
+        name=name,
+        topology=topo,
+        config=config,
+        duration=duration,
+        clients=clients,
+        fronts=fronts,
+        truths=truths,
+        change_points=list(change_points or []),
+        steady=steady,
+        warmup=warmup,
+    )
+
+
+def _build_steady_state(seed: int) -> ScenarioRun:
+    topo = Topology(seed=seed)
+    topo.add_service_node("DB", Erlang(0.004, k=8), workers=16)
+    clients, fronts = {}, {}
+    for i, cls in enumerate(("browse", "bid", "sell")):
+        client, front = _three_tier(topo, i, cls)
+        clients[cls], fronts[cls] = client, front
+    run = _finish(
+        "steady_state", topo, FAST_CONFIG, 30.0, clients, fronts,
+        steady=True, warmup=2.0,
+    )
+    for cls in clients:
+        topo.open_workload(topo.clients[clients[cls]], rate=10.0)
+    return run
+
+
+def _build_fanout_mesh(seed: int) -> ScenarioRun:
+    # build_mesh wires its own workloads; attach ground truth first by
+    # rebuilding the hooks -- the recorders tap the fabric, and no
+    # traffic flows until run_until, so attach order is safe here.
+    mesh = build_mesh(classes=24, backends=48, stores=8, fanout=3,
+                      seed=seed, request_rate=5.0)
+    topo = mesh.topology
+    clients = {cls: client.node_id for cls, client in mesh.clients.items()}
+    return _finish(
+        "fanout_mesh", topo, mesh.config, 20.0, clients, mesh.fronts,
+        steady=True, warmup=2.0,
+    )
+
+
+def _build_flash_crowd(seed: int) -> ScenarioRun:
+    topo = Topology(seed=seed)
+    topo.add_service_node("DB", Erlang(0.004, k=8), workers=16)
+    clients, fronts = {}, {}
+    # The crowd class's app server is deliberately under-provisioned:
+    # the 8x rate step drives its utilization toward saturation, so
+    # queueing shifts every downstream arrival -- the "large queueing
+    # delays" regime of paper Section 4.3.
+    client, front = _three_tier(
+        topo, 0, "crowd",
+        ap_kwargs={"service_time": Erlang(0.015, k=8), "workers": 1},
+    )
+    clients["crowd"], fronts["crowd"] = client, front
+    client, front = _three_tier(topo, 1, "background")
+    clients["background"], fronts["background"] = client, front
+    run = _finish(
+        "flash_crowd", topo, FAST_CONFIG, 30.0, clients, fronts,
+        change_points=[
+            ChangePoint(14.0, "flash crowd onset (6 -> 48 req/s)", ("AP0", "DB")),
+            ChangePoint(22.0, "flash crowd subsides"),
+        ],
+        warmup=2.0,
+    )
+    topo.modulated_workload(
+        topo.clients[clients["crowd"]],
+        lambda t: 48.0 if 14.0 <= t < 22.0 else 6.0,
+        peak_rate=48.0,
+    )
+    topo.open_workload(topo.clients[clients["background"]], rate=8.0)
+    return run
+
+
+def _build_diurnal_cycle(seed: int) -> ScenarioRun:
+    topo = Topology(seed=seed)
+    topo.add_service_node("DB", Erlang(0.100, k=8), workers=16)
+    clients, fronts = {}, {}
+    for i, cls in enumerate(("day", "night")):
+        client, front = _three_tier(
+            topo, i, cls,
+            fe_kwargs={"service_time": Erlang(0.150, k=8), "workers": 8},
+            ap_kwargs={"service_time": Erlang(0.300, k=8), "workers": 8},
+        )
+        clients[cls], fronts[cls] = client, front
+    run = _finish(
+        "diurnal_cycle", topo, SLOW_CONFIG, 140.0, clients, fronts,
+        warmup=0.0,
+    )
+    period = 40.0
+    for phase, cls in enumerate(clients):
+        topo.modulated_workload(
+            topo.clients[clients[cls]],
+            # Opposite phases: "day" peaks while "night" troughs.
+            lambda t, p=phase: 3.0
+            * (1.0 + 0.9 * math.sin(2.0 * math.pi * (t / period + 0.5 * p))),
+            peak_rate=6.0,
+        )
+    return run
+
+
+def _build_retry_storm(seed: int) -> ScenarioRun:
+    topo = Topology(seed=seed)
+    topo.add_service_node("DB", Erlang(0.004, k=8), workers=16)
+    clients, fronts = {}, {}
+    client, front = _three_tier(topo, 0, "orders")
+    clients["orders"], fronts["orders"] = client, front
+    client, front = _three_tier(topo, 1, "background")
+    clients["background"], fronts["background"] = client, front
+    run = _finish(
+        "retry_storm", topo, FAST_CONFIG, 30.0, clients, fronts,
+        change_points=[
+            # The slowdown is injected into DB *processing*, so request
+            # arrivals at DB are unchanged; the response edge back to
+            # the app server is where the delay shift lands.
+            ChangePoint(14.0, "DB slows by 300 ms; retries ignite", ("DB", "AP0")),
+        ],
+        warmup=2.0,
+    )
+    topo.retry_workload(
+        topo.clients[clients["orders"]], rate=8.0,
+        timeout=0.2, retry_delay=0.1, max_retries=2,
+    )
+    topo.open_workload(topo.clients[clients["background"]], rate=8.0)
+    topo.node("DB").set_extra_delay(lambda t: 0.3 if t >= 14.0 else 0.0)
+    return run
+
+
+def _build_cache_stampede(seed: int) -> ScenarioRun:
+    topo = Topology(seed=seed)
+    topo.add_service_node("DB", Erlang(0.010, k=8), workers=8)
+    router = StampedeRouter("DB", period=8.0, duration=1.0, offset=4.0)
+    topo.add_service_node("CACHE", Erlang(0.001, k=8), workers=8, router=router)
+    topo.add_service_node(
+        "FE0", Erlang(0.002, k=8), workers=8,
+        router=StaticRouter({}, default="CACHE"),
+    )
+    topo.add_client("C0", "lookup", front_end="FE0")
+    clients = {"lookup": "C0"}
+    fronts = {"lookup": "FE0"}
+    run = _finish(
+        "cache_stampede", topo, FAST_CONFIG, 30.0, clients, fronts,
+        warmup=2.0,
+    )
+    topo.open_workload(topo.clients["C0"], rate=12.0)
+    return run
+
+
+def _build_canary_shift(seed: int) -> ScenarioRun:
+    topo = Topology(seed=seed)
+    topo.add_service_node("DB", Erlang(0.004, k=8), workers=16)
+    for v in (1, 2):
+        topo.add_service_node(
+            f"AP{v}",
+            # v2 is the faster rewrite being canaried in.
+            Erlang(0.008 if v == 1 else 0.003, k=8),
+            workers=8,
+            router=StaticRouter({}, default="DB"),
+        )
+
+    def fraction(t: float) -> float:
+        if t < 10.0:
+            return 0.0
+        if t >= 18.0:
+            return 1.0
+        return (t - 10.0) / 8.0
+
+    topo.add_service_node(
+        "LB", Erlang(0.001, k=8), workers=8,
+        router=CanaryRouter("AP1", "AP2", fraction),
+    )
+    topo.add_client("C0", "checkout", front_end="LB")
+    clients = {"checkout": "C0"}
+    fronts = {"checkout": "LB"}
+    run = _finish(
+        "canary_shift", topo, FAST_CONFIG, 32.0, clients, fronts,
+        change_points=[
+            ChangePoint(10.0, "canary ramp begins (v1 -> v2)"),
+            ChangePoint(18.0, "100% on v2; v1 path retired"),
+        ],
+        warmup=2.0,
+    )
+    topo.open_workload(topo.clients["C0"], rate=12.0)
+    return run
+
+
+def _build_traffic_trough(seed: int) -> ScenarioRun:
+    topo = Topology(seed=seed)
+    topo.add_service_node("DB", Erlang(0.004, k=8), workers=16)
+    clients, fronts = {}, {}
+    client, front = _three_tier(topo, 0, "regional")
+    clients["regional"], fronts["regional"] = client, front
+    client, front = _three_tier(topo, 1, "steady")
+    clients["steady"], fronts["steady"] = client, front
+    run = _finish(
+        "traffic_trough", topo, FAST_CONFIG, 32.0, clients, fronts,
+        change_points=[
+            ChangePoint(14.0, "regional traffic drops to zero"),
+            ChangePoint(24.0, "regional traffic returns"),
+        ],
+        warmup=2.0,
+    )
+    topo.modulated_workload(
+        topo.clients[clients["regional"]],
+        lambda t: 0.0 if 14.0 <= t < 24.0 else 10.0,
+        peak_rate=10.0,
+    )
+    topo.open_workload(topo.clients[clients["steady"]], rate=8.0)
+    return run
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            "steady_state",
+            "Poisson baseline: three 3-tier classes over a shared DB",
+            _build_steady_state,
+            steady=True,
+            tags=("baseline",),
+        ),
+        Scenario(
+            "fanout_mesh",
+            "Steady traffic across a 128-node fan-out mesh (24 classes)",
+            _build_fanout_mesh,
+            steady=True,
+            tags=("baseline", "scale"),
+        ),
+        Scenario(
+            "flash_crowd",
+            "8x rate step onto an under-provisioned app server",
+            _build_flash_crowd,
+            tags=("bursty", "queueing"),
+        ),
+        Scenario(
+            "diurnal_cycle",
+            "Slow sinusoidal load on 100ms+ services (coarse regime)",
+            _build_diurnal_cycle,
+            tags=("slow", "nonstationary"),
+        ),
+        Scenario(
+            "retry_storm",
+            "Backend slowdown ignites timeout-driven client retries",
+            _build_retry_storm,
+            tags=("bursty", "feedback", "change"),
+        ),
+        Scenario(
+            "cache_stampede",
+            "Periodic cache expiry stampedes traffic to the store",
+            _build_cache_stampede,
+            tags=("bursty", "path-variant"),
+        ),
+        Scenario(
+            "canary_shift",
+            "Traffic ramps 0 -> 100% from path v1 to v2; v1 disappears",
+            _build_canary_shift,
+            tags=("path-variant", "disappearance", "change"),
+        ),
+        Scenario(
+            "traffic_trough",
+            "Traffic drops to zero mid-run, then recovers",
+            _build_traffic_trough,
+            tags=("trough", "disappearance"),
+        ),
+    )
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise AnalysisError(f"unknown scenario {name!r} (known: {known})") from None
+
+
+def list_scenarios() -> List[Scenario]:
+    return [SCENARIOS[name] for name in sorted(SCENARIOS)]

@@ -101,11 +101,26 @@ class GroundTruth:
             return float("nan")
         return float(np.mean(delays))
 
-    def traversed_edges(self, service_class: str) -> Dict[EdgeKey, int]:
-        """Every edge requests of a class traversed, with request counts."""
+    def traversed_edges(
+        self,
+        service_class: str,
+        since: float = 0.0,
+        until: float = float("inf"),
+    ) -> Dict[EdgeKey, int]:
+        """Every edge requests of a class traversed, with request counts.
+
+        ``since``/``until`` restrict to requests whose *front-end arrival*
+        fell in ``[since, until)`` -- the same windowing convention as
+        :meth:`edge_delays`, so a sliding-window analysis can be graded
+        against exactly the requests its window contained.
+        """
         counts: Dict[EdgeKey, int] = {}
         for trace in self._requests.values():
             if trace.service_class != service_class:
+                continue
+            if trace.front_arrival is None or not (
+                since <= trace.front_arrival < until
+            ):
                 continue
             for edge in trace.edge_arrivals:
                 counts[edge] = counts.get(edge, 0) + 1

@@ -26,7 +26,13 @@ from repro.simulation.distributions import Distribution, Exponential
 from repro.simulation.groundtruth import GroundTruth
 from repro.simulation.network import DEFAULT_LATENCY, Fabric
 from repro.simulation.nodes import ClientNode, Router, ServiceNode
-from repro.simulation.workload import ClosedWorkload, OpenWorkload
+from repro.simulation.workload import (
+    ClosedWorkload,
+    ModulatedWorkload,
+    OpenWorkload,
+    RateFunction,
+    RetryWorkload,
+)
 from repro.tracing.collector import TraceCollector
 from repro.tracing.records import NodeId
 from repro.tracing.tracer import Tracer
@@ -125,6 +131,38 @@ class Topology:
         """``sessions`` think-loop sessions (httperf style) from ``client``."""
         workload = ClosedWorkload(
             self.sim, client, sessions, think_time or Exponential(1.0), self.rng
+        )
+        self.workloads.append(workload)
+        if start:
+            workload.start()
+        return workload
+
+    def modulated_workload(
+        self,
+        client: ClientNode,
+        rate_fn: RateFunction,
+        peak_rate: float,
+        start: bool = True,
+    ) -> ModulatedWorkload:
+        """Non-homogeneous Poisson arrivals with rate ``rate_fn(t)``."""
+        workload = ModulatedWorkload(self.sim, client, rate_fn, peak_rate, self.rng)
+        self.workloads.append(workload)
+        if start:
+            workload.start()
+        return workload
+
+    def retry_workload(
+        self,
+        client: ClientNode,
+        rate: float,
+        timeout: float,
+        retry_delay: float = 0.05,
+        max_retries: int = 2,
+        start: bool = True,
+    ) -> RetryWorkload:
+        """Open arrivals plus timeout-driven client retries."""
+        workload = RetryWorkload(
+            self.sim, client, rate, self.rng, timeout, retry_delay, max_retries
         )
         self.workloads.append(workload)
         if start:

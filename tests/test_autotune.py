@@ -1,0 +1,217 @@
+"""The self-tuning parameter rules: bounds, monotonicity, fixed points.
+
+The tuner (:mod:`repro.core.autotune`) replaces the paper's hand-picked
+(tau, omega, T_u) with pure functions of observed traffic statistics.
+Three contracts make it safe to run unattended, pinned here with
+hypothesis:
+
+* every tuned parameter stays inside its documented absolute bounds,
+  whatever the traffic looks like;
+* the tuned quantum is monotone in the inter-arrival scale (at a fixed
+  delay bound) -- slower traffic never gets a *finer* quantum -- and
+  omega is monotone non-increasing in burstiness;
+* tuning is a fixed point: re-tuning a tuned config on the same
+  observations returns the identical config (no oscillation when the
+  closed loop feeds its own output back).
+"""
+
+import dataclasses
+import math
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, strategies as st  # noqa: E402
+
+from repro.config import PathmapConfig
+from repro.core.autotune import (
+    OMEGA_QUANTA_MAX,
+    OMEGA_QUANTA_MIN,
+    TAU_MAX,
+    TAU_MIN,
+    TU_MAX,
+    TrafficStats,
+    autotune_config,
+    observed_delay_bound,
+    snap_to_grid,
+    snap_up_to_grid,
+    tuned_omega_quanta,
+    tuned_quantum,
+)
+from repro.errors import AnalysisError
+
+BASE = PathmapConfig(
+    window=8.0,
+    refresh_interval=2.0,
+    quantum=1e-3,
+    sampling_window=50e-3,
+    max_transaction_delay=0.5,
+    min_spike_height=0.10,
+)
+
+stats_strategy = st.builds(
+    TrafficStats,
+    requests=st.integers(min_value=0, max_value=100_000),
+    duration=st.floats(min_value=0.1, max_value=3600.0),
+    median_inter_arrival=st.floats(min_value=0.0, max_value=100.0),
+    burstiness=st.floats(min_value=0.0, max_value=50.0),
+    delay_bound=st.one_of(
+        st.none(), st.floats(min_value=1e-5, max_value=200.0)
+    ),
+)
+
+base_strategy = st.builds(
+    lambda refresh, tu: dataclasses.replace(
+        BASE,
+        window=4.0 * refresh,
+        refresh_interval=refresh,
+        max_transaction_delay=tu,
+    ),
+    refresh=st.floats(min_value=0.5, max_value=60.0),
+    tu=st.floats(min_value=0.01, max_value=300.0),
+)
+
+
+class TestGrids:
+    def test_snap_down_examples(self):
+        assert snap_to_grid(1e-3) == 1e-3
+        assert snap_to_grid(3e-3) == 2e-3
+        assert snap_to_grid(9.99e-3) == 5e-3
+        assert snap_to_grid(0.7) == 0.5
+
+    def test_snap_up_examples(self):
+        assert snap_up_to_grid(1e-3) == 1e-3
+        assert snap_up_to_grid(3e-3) == 5e-3
+        assert snap_up_to_grid(0.7) == 1.0
+        assert snap_up_to_grid(6.0) == 10.0
+
+    @pytest.mark.parametrize("snap", [snap_to_grid, snap_up_to_grid])
+    def test_non_positive_rejected(self, snap):
+        with pytest.raises(AnalysisError):
+            snap(0.0)
+        with pytest.raises(AnalysisError):
+            snap(-1.0)
+
+    @given(st.floats(min_value=1e-6, max_value=1e6))
+    def test_snap_brackets_value(self, value):
+        assert snap_to_grid(value) <= value * (1.0 + 1e-9)
+        assert snap_up_to_grid(value) >= value * (1.0 - 1e-9)
+
+
+class TestBounds:
+    @given(stats=stats_strategy, base=base_strategy)
+    def test_all_parameters_inside_documented_bounds(self, stats, base):
+        tuned = autotune_config(base, stats)
+        assert TAU_MIN <= tuned.quantum <= TAU_MAX
+        assert tuned.quantum <= base.refresh_interval
+        quanta = tuned.sampling_window / tuned.quantum
+        assert OMEGA_QUANTA_MIN - 0.5 <= quanta <= OMEGA_QUANTA_MAX + 0.5
+        assert tuned.max_transaction_delay <= TU_MAX
+        assert tuned.max_transaction_delay >= min(
+            tuned.sampling_window, TU_MAX
+        )
+        # Pacing is operator territory: the tuner never touches it.
+        assert tuned.window == base.window
+        assert tuned.refresh_interval == base.refresh_interval
+
+
+class TestMonotonicity:
+    @given(
+        scale_a=st.floats(min_value=1e-4, max_value=50.0),
+        scale_b=st.floats(min_value=1e-4, max_value=50.0),
+        delay_bound=st.one_of(
+            st.none(), st.floats(min_value=1e-4, max_value=100.0)
+        ),
+    )
+    def test_quantum_monotone_in_inter_arrival_scale(
+        self, scale_a, scale_b, delay_bound
+    ):
+        lo, hi = sorted((scale_a, scale_b))
+        tau_lo = tuned_quantum(
+            TrafficStats(100, 10.0, lo, 0.0, delay_bound=delay_bound)
+        )
+        tau_hi = tuned_quantum(
+            TrafficStats(100, 10.0, hi, 0.0, delay_bound=delay_bound)
+        )
+        assert tau_lo <= tau_hi
+
+    @given(
+        burst_a=st.floats(min_value=0.0, max_value=50.0),
+        burst_b=st.floats(min_value=0.0, max_value=50.0),
+    )
+    def test_omega_non_increasing_in_burstiness(self, burst_a, burst_b):
+        lo, hi = sorted((burst_a, burst_b))
+        quiet = tuned_omega_quanta(TrafficStats(100, 10.0, 0.1, lo))
+        bursty = tuned_omega_quanta(TrafficStats(100, 10.0, 0.1, hi))
+        assert bursty <= quiet
+
+
+class TestFixedPoint:
+    @given(stats=stats_strategy, base=base_strategy)
+    def test_retuning_a_tuned_config_is_identity(self, stats, base):
+        once = autotune_config(base, stats)
+        twice = autotune_config(once, stats)
+        assert once == twice
+
+
+class TestTrafficStats:
+    def test_from_timestamps_under_two_stamps_is_zeroed(self):
+        stats = TrafficStats.from_timestamps([5.0], 0.0, 10.0)
+        assert stats.requests == 1
+        assert stats.median_inter_arrival == 0.0
+        assert stats.burstiness == 0.0
+
+    def test_from_timestamps_rejects_empty_span(self):
+        with pytest.raises(AnalysisError):
+            TrafficStats.from_timestamps([1.0], 5.0, 5.0)
+
+    def test_from_timestamps_poisson_like_has_low_burstiness(self):
+        stamps = [i * 0.1 for i in range(240)]
+        stats = TrafficStats.from_timestamps(stamps, 0.0, 24.0)
+        assert stats.median_inter_arrival == pytest.approx(0.1)
+        assert stats.burstiness < 1.0
+
+    def test_from_rate_matches_poisson_median(self):
+        stats = TrafficStats.from_rate(10.0, 60.0)
+        assert stats.median_inter_arrival == pytest.approx(math.log(2) / 10.0)
+        assert stats.requests == 600
+
+    def test_zero_inter_arrival_gets_minimum_quantum(self):
+        assert tuned_quantum(TrafficStats(0, 10.0, 0.0, 0.0)) == snap_to_grid(
+            TAU_MIN
+        )
+
+
+class TestObservedDelayBound:
+    class _Spike:
+        def __init__(self, height):
+            self.height = height
+
+    class _Edge:
+        def __init__(self, max_delay, height):
+            self.max_delay = max_delay
+            self._height = height
+
+        def strongest_spike(self):
+            if self._height is None:
+                return None
+            return TestObservedDelayBound._Spike(self._height)
+
+    class _Graph:
+        def __init__(self, edges):
+            self.edges = edges
+
+    def test_weak_spikes_never_feed_the_hint(self):
+        graph = self._Graph(
+            [
+                self._Edge(0.9, 0.12),  # barely over detection threshold
+                self._Edge(0.4, 0.8),
+                self._Edge(0.2, None),  # no spike recorded at all
+            ]
+        )
+        assert observed_delay_bound(graph) == pytest.approx(0.4)
+
+    def test_no_confident_edges_returns_none(self):
+        graph = self._Graph([self._Edge(1.5, 0.11)])
+        assert observed_delay_bound(graph) is None
+        assert observed_delay_bound(self._Graph([])) is None

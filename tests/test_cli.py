@@ -280,3 +280,47 @@ class TestSkew:
             "--clients", "C1,C2",
         ])
         assert code == 2
+
+
+class TestScenariosCli:
+    def test_list_names_every_scenario(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("steady_state", "flash_crowd", "retry_storm",
+                     "cache_stampede", "canary_shift", "traffic_trough",
+                     "diurnal_cycle", "fanout_mesh"):
+            assert name in out
+
+    def test_run_text_mode(self, capsys):
+        assert main(["scenarios", "run", "cache_stampede",
+                     "--mode", "adaptive"]) == 0
+        out = capsys.readouterr().out
+        assert "cache_stampede" in out
+        assert "f1" in out
+
+    def test_run_json_with_cells(self, capsys):
+        assert main(["scenarios", "run", "cache_stampede",
+                     "--mode", "fast", "--format", "json", "--cells"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["scenario"] == "cache_stampede"
+        assert doc["mode"] == "fast"
+        assert doc["cell_scores"]
+        assert 0.0 <= doc["aggregate_f1"] <= 1.0
+
+    def test_score_writes_scorecard(self, tmp_path, capsys):
+        out = tmp_path / "scorecard.json"
+        assert main(["scenarios", "score",
+                     "--scenarios", "cache_stampede,traffic_trough",
+                     "--modes", "adaptive,fast", "-o", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["scenarios"] == ["cache_stampede", "traffic_trough"]
+        assert len(doc["scores"]) == 4
+        assert set(doc["aggregate_f1_by_mode"]) == {"adaptive", "fast"}
+
+    def test_unknown_scenario_is_an_error(self, capsys):
+        assert main(["scenarios", "run", "nope"]) == 2
+        assert "nope" in capsys.readouterr().err
+
+    def test_unknown_mode_is_an_error(self, capsys):
+        assert main(["scenarios", "score", "--modes", "adaptive,warp"]) == 2
+        assert "warp" in capsys.readouterr().err

@@ -1,0 +1,162 @@
+"""Steady-state confidence scoring: units, scenarios, engine wiring.
+
+The confidence score (:mod:`repro.core.confidence`) grades how well one
+analysis window honours the steady-state assumption pathmap relies on.
+Pinned here:
+
+* unit behaviour of the two axes -- burstiness (stability) and
+  staleness (recency) -- and the silent-window zero;
+* scenario-level behaviour: a steady Poisson class scores high, a flash
+  crowd's surge window and a retry storm's burst window score low;
+* engine integration: every refresh annotates its
+  :class:`~repro.core.pathmap.PathmapResult`, and a class that violates
+  the assumption publishes ``EVENT_LOW_CONFIDENCE`` on the EventBus.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.manyclass import build_many_class
+from repro.config import PathmapConfig
+from repro.core.confidence import (
+    DEFAULT_LOW_CONFIDENCE,
+    SILENT_REPORT,
+    confidence_from_counts,
+    timestamp_confidence,
+)
+from repro.core.engine import E2EProfEngine
+from repro.errors import AnalysisError
+from repro.obs import EVENT_LOW_CONFIDENCE
+from repro.scenarios import get_scenario
+
+
+class TestUnits:
+    def test_uniform_counts_score_high(self):
+        report = confidence_from_counts(np.full(32, 40.0), bins_per_block=8)
+        assert report.score > 0.9
+        assert report.ok
+
+    def test_bursty_counts_lose_stability(self):
+        counts = np.full(32, 5.0)
+        counts[12:16] = 200.0  # one violent burst mid-window
+        report = confidence_from_counts(counts, bins_per_block=8)
+        assert report.stability < 0.5
+        assert not report.ok
+
+    def test_trailing_silence_loses_recency(self):
+        counts = np.full(32, 40.0)
+        counts[-8:] = 0.0  # newest block empty: window describes the past
+        report = confidence_from_counts(counts, bins_per_block=8)
+        assert report.recency == 0.0
+        assert report.score == 0.0
+
+    def test_empty_window_is_the_silent_report(self):
+        assert confidence_from_counts(np.zeros(32)) == SILENT_REPORT
+        assert SILENT_REPORT.score == 0.0
+        assert not SILENT_REPORT.ok
+
+    def test_poisson_noise_is_not_penalized(self):
+        rng = np.random.default_rng(5)
+        counts = rng.poisson(30.0, size=64).astype(float)
+        report = confidence_from_counts(counts, bins_per_block=8)
+        assert report.stability > 0.8
+
+    def test_timestamp_confidence_validates_inputs(self):
+        with pytest.raises(AnalysisError):
+            timestamp_confidence([1.0], 5.0, 5.0, num_blocks=4)
+        with pytest.raises(AnalysisError):
+            timestamp_confidence([1.0], 0.0, 5.0, num_blocks=0)
+
+
+class TestScenarioWindows:
+    """Grade real scenario reference signals through the offline twin."""
+
+    def _reference_stamps(self, run, cls):
+        client, front = run.class_keys()[cls]
+        return run.topology.collector.edge_timestamps(client, front)
+
+    def test_steady_state_windows_score_high(self):
+        run = get_scenario("steady_state").build(seed=0).simulate()
+        stamps = self._reference_stamps(run, "browse")
+        report = timestamp_confidence(stamps, 10.0, 18.0, num_blocks=4)
+        assert report.ok
+        assert report.score > 0.7
+
+    def test_flash_crowd_surge_window_scores_low(self):
+        run = get_scenario("flash_crowd").build(seed=0).simulate()
+        stamps = self._reference_stamps(run, "crowd")
+        # [10, 18) straddles the 8x rate step at t=14.
+        surge = timestamp_confidence(stamps, 10.0, 18.0, num_blocks=4)
+        before = timestamp_confidence(stamps, 4.0, 12.0, num_blocks=4)
+        assert not surge.ok
+        assert surge.stability < before.stability
+
+    def test_retry_storm_window_scores_low(self):
+        run = get_scenario("retry_storm").build(seed=0).simulate()
+        stamps = self._reference_stamps(run, "orders")
+        # [10, 18) straddles the backend slowdown at t=14 that ignites
+        # timeout-driven retries.
+        storm = timestamp_confidence(stamps, 10.0, 18.0, num_blocks=4)
+        steady = timestamp_confidence(stamps, 4.0, 12.0, num_blocks=4)
+        # Retries roughly double the reference rate mid-window: clearly
+        # degraded stability, though milder than a flash crowd's 8x step.
+        assert storm.score < steady.score
+        assert storm.stability < 0.8 < steady.stability
+
+    def test_trough_window_loses_recency(self):
+        run = get_scenario("traffic_trough").build(seed=0).simulate()
+        stamps = self._reference_stamps(run, "regional")
+        # Window ends deep in the [14, 24) trough: old traffic only.
+        report = timestamp_confidence(stamps, 10.0, 18.0, num_blocks=4)
+        assert report.recency < 0.5
+        assert not report.ok
+
+
+CFG = PathmapConfig(
+    window=6.0,
+    refresh_interval=2.0,
+    quantum=1e-3,
+    sampling_window=20e-3,
+    max_transaction_delay=1.0,
+    min_spike_height=0.10,
+)
+
+
+def _run_engine(quiet_fraction, end_time=16.0):
+    deployment = build_many_class(
+        classes=4,
+        quiet_fraction=quiet_fraction,
+        seed=11,
+        request_rate=10.0,
+        quiet_after=5.0,
+        config=CFG,
+    )
+    engine = E2EProfEngine(CFG)
+    engine.attach(deployment.topology)
+    deployment.run_until(end_time)
+    engine.detach()
+    return engine
+
+
+class TestEngineIntegration:
+    def test_steady_refresh_annotates_high_confidence(self):
+        engine = _run_engine(quiet_fraction=0.0)
+        result = engine.latest_result
+        assert result.class_confidence, "refresh must annotate confidence"
+        assert engine.confidence_score == result.confidence
+        assert engine.confidence_score >= DEFAULT_LOW_CONFIDENCE
+        assert all(r.ok for r in engine.latest_confidence.values())
+        assert not engine.events.events(kind=EVENT_LOW_CONFIDENCE)
+
+    def test_disappearing_classes_publish_low_confidence_events(self):
+        engine = _run_engine(quiet_fraction=0.75)
+        low = {
+            key for key, r in engine.latest_confidence.items() if not r.ok
+        }
+        assert low, "quiet classes must lose confidence"
+        events = engine.events.events(kind=EVENT_LOW_CONFIDENCE)
+        assert events, "low confidence must reach the EventBus"
+        flagged = {e.attributes["service_class"] for e in events}
+        assert {f"{c}@{f}" for c, f in low} <= flagged
+        for event in events:
+            assert event.attributes["score"] < DEFAULT_LOW_CONFIDENCE

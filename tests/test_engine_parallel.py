@@ -196,3 +196,40 @@ class TestEdgeSeriesRefactor:
         engine, _ = run_engine(end_time=10.0)
         with pytest.raises(AnalysisError):
             engine._edge_series(("nope", "nowhere"))
+
+
+class TestAdaptiveDeterminism:
+    """The adaptive annotations (confidence reports, tuned-parameter
+    recommendations) are derived serially from the refresh result, so
+    ``workers`` must not change a single one of them."""
+
+    def test_workers_do_not_change_adaptive_outputs(self):
+        serial_engine, _ = run_engine(adaptive=True, workers=1)
+        parallel_engine, _ = run_engine(adaptive=True, workers=3)
+
+        serial = serial_engine.latest_result
+        parallel = parallel_engine.latest_result
+        assert set(serial.graphs) == set(parallel.graphs)
+        for key, graph in serial.graphs.items():
+            assert parallel.graphs[key].to_dict() == graph.to_dict(), key
+
+        # Confidence reports are dataclasses of floats computed from the
+        # same block history: bit-identical, class for class.
+        assert serial_engine.latest_confidence == parallel_engine.latest_confidence
+        assert serial_engine.confidence_score == parallel_engine.confidence_score
+        assert serial.confidence == parallel.confidence
+
+        # And the tuner saw identical statistics, so it recommended
+        # identical configs.
+        assert (
+            serial_engine.latest_recommendations
+            == parallel_engine.latest_recommendations
+        )
+        assert serial_engine.latest_recommendations, (
+            "adaptive engine must produce recommendations for active classes"
+        )
+
+    def test_adaptive_flag_gates_recommendations(self):
+        engine, _ = run_engine(adaptive=False, workers=2)
+        assert engine.latest_recommendations == {}
+        assert engine.latest_confidence  # confidence is always on

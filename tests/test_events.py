@@ -97,3 +97,28 @@ class TestSubscribers:
         assert got == [event]
         assert bus.subscriber_errors == 1
         assert bus.published == 1
+
+
+class TestAdaptiveEventKinds:
+    def test_low_confidence_and_rewindow_kinds_are_exported(self):
+        from repro.obs import EVENT_LOW_CONFIDENCE, EVENT_REWINDOW
+
+        assert EVENT_LOW_CONFIDENCE == "low_confidence"
+        assert EVENT_REWINDOW == "rewindow"
+
+    def test_low_confidence_event_round_trips_through_the_bus(self):
+        from repro.obs import EVENT_LOW_CONFIDENCE
+
+        bus = EventBus()
+        bus.publish(
+            EVENT_LOW_CONFIDENCE,
+            12.0,
+            service_class="C1@WS",
+            score=0.21,
+            stability=0.3,
+            recency=0.7,
+            threshold=0.5,
+        )
+        (event,) = bus.events(kind=EVENT_LOW_CONFIDENCE)
+        assert event.attributes["service_class"] == "C1@WS"
+        assert json.dumps(event.to_dict())  # JSON-able like every event

@@ -100,3 +100,57 @@ class TestOddTraffic:
         for graph in result.graphs.values():
             for edge in graph.edges:
                 assert edge.delays  # any reported edge carries delays
+
+
+class TestNonSteadyWindows:
+    """Empty analysis windows must degrade to silence, never to stale
+    paths or exceptions (trough / disappearing-class regression)."""
+
+    def test_adaptive_trough_reports_silence_not_stale_paths(self):
+        from repro.scenarios import get_scenario
+        from repro.scenarios.runner import analyze_adaptive
+
+        run = get_scenario("traffic_trough").build(seed=0)
+        score = analyze_adaptive(run)  # must not raise anywhere
+        # The [16, 24) window sits entirely inside the [14, 24) trough:
+        # the regional class sent nothing, so the correct answer is an
+        # empty graph -- and any claimed edge would be a stale path.
+        in_trough = [
+            cell
+            for cell in score.cells
+            if cell.service_class == "regional" and cell.window_end == 24.0
+        ]
+        assert in_trough, "the trough window must have been graded"
+        for cell in in_trough:
+            assert cell.edges == [], "stale path survived the trough"
+            assert cell.f1 == 1.0
+        # The co-tenant steady class keeps its paths through the trough.
+        steady_cells = [
+            cell
+            for cell in score.cells
+            if cell.service_class == "steady" and cell.window_end == 24.0
+        ]
+        assert steady_cells and steady_cells[0].recall == 1.0
+
+    def test_engine_survives_every_class_disappearing(self):
+        from repro.apps.manyclass import build_many_class
+
+        deployment = build_many_class(
+            classes=3,
+            quiet_fraction=1.0,  # every class stops at quiet_after
+            seed=2,
+            request_rate=10.0,
+            quiet_after=5.0,
+            config=CFG,
+        )
+        engine = E2EProfEngine(CFG, adaptive=True)
+        engine.attach(deployment.topology)
+        deployment.run_until(95.0)  # window slides fully past all traffic
+        engine.detach()
+        result = engine.latest_result
+        assert result is not None
+        # All-quiet window: no graphs, zero confidence, and the tuner
+        # recommends nothing rather than extrapolating from nothing.
+        assert not result.graphs
+        assert engine.confidence_score == 0.0
+        assert engine.latest_recommendations == {}

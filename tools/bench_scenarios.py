@@ -1,0 +1,139 @@
+"""Benchmark the scenario accuracy matrix: adaptive vs the static grid.
+
+Simulates every labeled scenario once per analysis mode and grades the
+discovered service graphs against the simulator's exact ground truth
+(:mod:`repro.scenarios`). Modes are ``adaptive`` (the self-tuning
+closed loop) and the three static resolutions the paper's operator
+would have to pick blind (``fast``/``medium``/``slow``). Run from the
+repository root:
+
+    PYTHONPATH=src python tools/bench_scenarios.py           # full matrix
+    PYTHONPATH=src python tools/bench_scenarios.py --quick   # CI-sized
+
+The JSON lands in ``BENCH_scenarios.json`` (override with ``--output``).
+Every accuracy field is deterministic for a given seed -- simulation,
+analysis and scoring are all seeded and unthreaded -- so the committed
+file is reproducible bit-for-bit apart from ``elapsed_seconds``.
+``benchmarks/test_scenario_matrix.py`` asserts the headline claims
+(adaptive beats every static config on aggregate F1; steady scenarios
+unregressed) on the same machinery.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.scenarios import get_scenario, list_scenarios  # noqa: E402
+from repro.scenarios.runner import (  # noqa: E402
+    STATIC_GRID,
+    analyze_adaptive,
+    analyze_static,
+    grid_config,
+)
+
+#: All analysis modes the matrix sweeps, adaptive first.
+ALL_MODES = ("adaptive",) + tuple(sorted(STATIC_GRID))
+
+#: The --quick subset: every scenario except the 128-node mesh (which
+#: dominates runtime) while still spanning steady, bursty, path-variant
+#: and coarse-regime behaviours.
+QUICK_SCENARIOS = (
+    "steady_state",
+    "flash_crowd",
+    "retry_storm",
+    "cache_stampede",
+    "canary_shift",
+    "traffic_trough",
+)
+
+
+def score_one(name: str, mode: str, seed: int) -> dict:
+    """Simulate and grade one scenario under one mode; returns the
+    score dict plus wall-clock ``elapsed_seconds``."""
+    run = get_scenario(name).build(seed=seed)
+    started = time.perf_counter()
+    if mode == "adaptive":
+        score = analyze_adaptive(run)
+    else:
+        score = analyze_static(run, grid_config(run, mode), mode=mode)
+    row = score.to_dict(include_cells=False)
+    row["steady"] = run.steady
+    row["elapsed_seconds"] = round(time.perf_counter() - started, 3)
+    return row
+
+
+def score_matrix(
+    names: Sequence[str],
+    modes: Sequence[str] = ALL_MODES,
+    seed: int = 0,
+    verbose: bool = False,
+) -> dict:
+    """The full scenarios x modes scorecard document."""
+    scores: List[dict] = []
+    for name in names:
+        for mode in modes:
+            row = score_one(name, mode, seed)
+            scores.append(row)
+            if verbose:
+                print(
+                    f"{name:16s} {mode:8s} f1={row['aggregate_f1']:.3f} "
+                    f"p={row['aggregate_precision']:.3f} "
+                    f"r={row['aggregate_recall']:.3f} "
+                    f"({row['elapsed_seconds']:.1f}s)",
+                    file=sys.stderr,
+                )
+    aggregates: Dict[str, float] = {}
+    steady_aggregates: Dict[str, Optional[float]] = {}
+    for mode in modes:
+        rows = [r for r in scores if r["mode"] == mode]
+        aggregates[mode] = round(
+            sum(r["aggregate_f1"] for r in rows) / len(rows), 4
+        )
+        steady = [r for r in rows if r["steady"]]
+        steady_aggregates[mode] = (
+            round(sum(r["aggregate_f1"] for r in steady) / len(steady), 4)
+            if steady
+            else None
+        )
+    return {
+        "generator": "tools/bench_scenarios.py",
+        "seed": seed,
+        "scenarios": list(names),
+        "modes": list(modes),
+        "scores": scores,
+        "aggregate_f1_by_mode": aggregates,
+        "steady_aggregate_f1_by_mode": steady_aggregates,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized subset (skips the fan-out mesh)")
+    parser.add_argument("--output", default="BENCH_scenarios.json")
+    args = parser.parse_args(argv)
+
+    names = (
+        list(QUICK_SCENARIOS)
+        if args.quick
+        else [scenario.name for scenario in list_scenarios()]
+    )
+    doc = score_matrix(names, ALL_MODES, seed=args.seed, verbose=True)
+    payload = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    pathlib.Path(args.output).write_text(payload, encoding="utf-8")
+    print(f"wrote {args.output}", file=sys.stderr)
+    for mode in ALL_MODES:
+        print(f"  {mode:8s} aggregate f1 {doc['aggregate_f1_by_mode'][mode]:.4f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
