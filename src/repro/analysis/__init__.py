@@ -12,6 +12,7 @@ from repro.analysis.graph_export import adjacency, to_edge_list, to_networkx
 from repro.analysis.reportgen import report_json, report_text, summarize_graph, summarize_result
 from repro.analysis.svg import render_svg, write_svg
 from repro.analysis.render import render_ascii, render_comparison_table, render_dot
+from repro.analysis.top import render_profile, render_top
 from repro.analysis.timeline import (
     render_timeline_ascii,
     render_timeline_svg,

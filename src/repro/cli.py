@@ -23,6 +23,11 @@ The workflows the paper's operators would run, without writing Python::
     python -m repro timeline --demo --format chrome -o trace.json
     python -m repro timeline trace.jsonl --clients C1,C2 --format ascii
 
+    # continuous self-profiling: watch per-stage / per-kernel refresh
+    # costs live, or dump the refresh cost ledger for CI artifacts
+    python -m repro top --interval 0.5
+    python -m repro profile --json -o ledger.json
+
 Pass ``--log-level debug`` (before the subcommand) to see the pipeline's
 stdlib-logging diagnostics on stderr.
 
@@ -489,6 +494,119 @@ def cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _demo_engine(args: argparse.Namespace):
+    """Build the RUBiS demo wired to an online engine (not yet run).
+
+    Shared by the ledger-driven subcommands (``top``, ``profile``): the
+    caller subscribes whatever it needs, then drives the simulation with
+    ``rubis.run_until(args.duration)``.
+    """
+    from repro.core.engine import E2EProfEngine
+
+    config = PathmapConfig(
+        window=args.window,
+        refresh_interval=args.window / 2.0,
+        quantum=args.quantum,
+        sampling_window=args.sampling_window or 50 * args.quantum,
+        max_transaction_delay=args.max_delay,
+        workers=getattr(args, "workers", 1),
+        measured_dispatch=getattr(args, "measured_dispatch", False),
+    )
+    rubis = build_rubis(dispatch="affinity", seed=args.seed)
+    engine = E2EProfEngine(config, wire_fidelity=True)
+    engine.attach(rubis.topology)
+    return rubis, engine, config
+
+
+def _require_refresh(engine, args: argparse.Namespace, config) -> None:
+    if engine.latest_ledger is None:
+        raise E2EProfError(
+            f"no refresh fired: --duration {args.duration} is shorter "
+            f"than one refresh interval ({config.refresh_interval:.0f}s)"
+        )
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live per-refresh cost view over the engine's refresh ledgers.
+
+    Runs the bundled RUBiS demo through the online engine and redraws a
+    ``top``-style frame after every refresh: refresh rate, per-stage
+    bars (last/p50), kernel mix with measured ns/row EWMAs, and the
+    quiet-skip / cache ratios. With ``--once`` (or when stdout is not a
+    terminal) prints a single final frame instead.
+    """
+    from repro.analysis.top import render_top
+
+    rubis, engine, config = _demo_engine(args)
+    title = f"repro top | RUBiS demo seed {args.seed}"
+    live = not args.once and sys.stdout.isatty()
+    if live:
+        def redraw(now, result, sample):
+            sys.stdout.write("\x1b[2J\x1b[H")
+            sys.stdout.write(
+                render_top(
+                    engine.ledger.history(args.last),
+                    engine.ledger.ewma_snapshot(),
+                    title=title,
+                )
+            )
+            sys.stdout.flush()
+            if args.interval > 0:
+                time.sleep(args.interval)
+
+        engine.subscribe_metrics(redraw)
+    rubis.run_until(args.duration)
+    _require_refresh(engine, args, config)
+    frame = render_top(
+        engine.ledger.history(args.last),
+        engine.ledger.ewma_snapshot(),
+        title=title,
+    )
+    if live:
+        sys.stdout.write("\x1b[2J\x1b[H")
+    print(frame, end="")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Dump the refresh cost ledger after an instrumented demo run.
+
+    Default output is the human-readable profile frame; ``--json`` emits
+    the full :meth:`LedgerRecorder.export` document (per-kernel EWMAs
+    plus every retained per-refresh ledger) with deterministically
+    ordered keys, suitable as a CI artifact.
+    """
+    from repro.analysis.top import render_profile
+
+    rubis, engine, config = _demo_engine(args)
+    rubis.run_until(args.duration)
+    _require_refresh(engine, args, config)
+    if args.json:
+        doc = engine.ledger.export(args.last)
+        doc["workload"] = {
+            "app": "rubis",
+            "duration": args.duration,
+            "measured_dispatch": engine.measured_dispatch,
+            "refresh_interval": config.refresh_interval,
+            "seed": args.seed,
+            "window": config.window,
+        }
+        payload = json.dumps(doc, indent=2, sort_keys=True)
+    else:
+        payload = render_profile(
+            engine.ledger.history(args.last),
+            engine.ledger.ewma_snapshot(),
+            title=f"repro profile | RUBiS demo seed {args.seed}",
+        )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload if payload.endswith("\n") else payload + "\n")
+        print(f"wrote profile to {args.output}", file=sys.stderr)
+    else:
+        print(payload, end="" if payload.endswith("\n") else "\n")
+    return 0
+
+
 def _scenario_modes(spec: str) -> Sequence[str]:
     from repro.scenarios.runner import STATIC_GRID
 
@@ -776,6 +894,50 @@ def build_parser() -> argparse.ArgumentParser:
                           help="demo-mode simulated seconds (default 65)")
     _add_config_arguments(timeline)
     timeline.set_defaults(func=cmd_timeline)
+
+    top = sub.add_parser(
+        "top",
+        help="live per-refresh cost view (stages, kernels, ns/row EWMAs)",
+    )
+    top.add_argument("--once", action="store_true",
+                     help="print one final frame instead of redrawing live "
+                          "(implied when stdout is not a terminal)")
+    top.add_argument("--last", type=int, default=32,
+                     help="ledger window for rates/percentiles (default 32)")
+    top.add_argument("--interval", type=float, default=0.0,
+                     help="live mode: wall-clock pause after each redraw, "
+                          "so the simulated run is watchable (default 0)")
+    top.add_argument("--seed", type=int, default=0,
+                     help="demo-mode simulation seed")
+    top.add_argument("--duration", type=float, default=185.0,
+                     help="demo-mode simulated seconds (default 185)")
+    top.add_argument("--measured-dispatch", action="store_true",
+                     help="drive kernel dispatch from measured ns/unit "
+                          "EWMAs instead of the modeled cost constant")
+    _add_config_arguments(top)
+    top.set_defaults(func=cmd_top)
+
+    profile = sub.add_parser(
+        "profile",
+        help="dump the refresh cost ledger (per-stage/per-kernel accounting)",
+    )
+    profile.add_argument("--json", action="store_true",
+                         help="emit the full ledger export document "
+                              "(EWMAs + retained per-refresh ledgers) "
+                              "instead of the human-readable frame")
+    profile.add_argument("--last", type=int, default=None,
+                         help="export only the last N retained ledgers")
+    profile.add_argument("-o", "--output", default=None,
+                         help="write to a file instead of stdout")
+    profile.add_argument("--seed", type=int, default=0,
+                         help="demo-mode simulation seed")
+    profile.add_argument("--duration", type=float, default=185.0,
+                         help="demo-mode simulated seconds (default 185)")
+    profile.add_argument("--measured-dispatch", action="store_true",
+                         help="drive kernel dispatch from measured ns/unit "
+                              "EWMAs instead of the modeled cost constant")
+    _add_config_arguments(profile)
+    profile.set_defaults(func=cmd_profile)
 
     scenarios = sub.add_parser(
         "scenarios",

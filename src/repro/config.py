@@ -91,6 +91,12 @@ class PathmapConfig:
     #: must cover at least one window plus the transaction delay bound,
     #: or the retained trace could not serve a full analysis window.
     retention: float | None = None
+    #: Drive the sparse-vs-RLE kernel dispatch from the refresh ledger's
+    #: *measured* per-kernel cost EWMAs instead of the modeled cost
+    #: constant. Output is bit-identical either way (both kernels produce
+    #: the same lag products); only which kernel runs may differ. Falls
+    #: back to the modeled rule until both kernel EWMAs have warmed up.
+    measured_dispatch: bool = False
 
     def __post_init__(self) -> None:
         if self.quantum <= 0:

@@ -178,6 +178,29 @@ def correlate_dense(
 #: to bound peak memory on pathological inputs.
 _PAIR_CHUNK = 1 << 20
 
+#: Modeled cost ratio of the density dispatch rule: one RLE run pair is
+#: assumed ~4x the cost of one expected sparse sample pair, so a row goes
+#: to the sparse batch kernel when ``sparse_units <= 4 * rle_units``.
+#: The refresh ledger's measured per-unit EWMAs replace this constant
+#: when ``PathmapConfig.measured_dispatch`` is on.
+MODELED_RLE_COST_RATIO = 4.0
+
+
+def sparse_dispatch_units(x_nnz: int, y_nnz: int, y_span: int, max_lag: int) -> float:
+    """Dispatch cost units of the sparse batch kernel for one row.
+
+    Proportional to the expected number of (x sample, y sample) pairs
+    within ``max_lag``: every x sample sweeps a ``max_lag + 1`` wide
+    window over a y series of density ``y_nnz / y_span``.
+    """
+    return x_nnz * (max_lag + 1) * y_nnz / max(y_span, 1)
+
+
+def rle_dispatch_units(x_runs: int, y_runs: int) -> float:
+    """Dispatch cost units of the RLE pair-product kernel for one row
+    (the kernel's cost scales with the run-pair count, not samples)."""
+    return float(x_runs * y_runs)
+
 
 def sparse_lag_products(
     x: DensityTimeSeries, y: DensityTimeSeries, max_lag: int

@@ -37,7 +37,14 @@ from repro.core.confidence import (
     ConfidenceReport,
     window_confidence,
 )
-from repro.core.correlation import CorrelationSeries, SeriesLike, batch_lag_products
+from repro.core.correlation import (
+    MODELED_RLE_COST_RATIO,
+    CorrelationSeries,
+    SeriesLike,
+    batch_lag_products,
+    rle_dispatch_units,
+    sparse_dispatch_units,
+)
 from repro.core.incremental import IncrementalCorrelator, _pair_products, block_is_quiet
 from repro.core.pathmap import Pathmap, PathmapResult, TraceWindow
 from repro.core.rle import RunLengthSeries
@@ -52,6 +59,20 @@ from repro.obs.events import (
     EventBus,
 )
 from repro.obs.flight import DEFAULT_FLIGHT_CAPACITY, FlightRecorder, RefreshFrame
+from repro.obs.instruments import DEFAULT_STAGE_BUCKETS
+from repro.obs.ledger import (
+    CORRELATION_KERNELS,
+    KERNEL_LEGACY,
+    KERNEL_RLE,
+    KERNEL_SPARSE_BATCH,
+    PIPELINE_STAGES,
+    STAGE_CORRELATE,
+    STAGE_DFS,
+    STAGE_INGEST,
+    STAGE_PUBLISH,
+    LedgerRecorder,
+    RefreshLedger,
+)
 from repro.obs.registry import MetricsRegistry
 from repro.obs.sample import MetricsSample
 from repro.obs.spans import SpanTracer
@@ -101,6 +122,8 @@ class E2EProfEngine:
         batched: bool = True,
         capture_sink: Optional[TraceCollector] = None,
         adaptive: bool = False,
+        ledger: bool = True,
+        measured_dispatch: Optional[bool] = None,
     ) -> None:
         self.config = config
         self._clients: Set[NodeId] = set(clients or ())
@@ -115,6 +138,23 @@ class E2EProfEngine:
         #: quiet-edge skipping and correlation memoization. False restores
         #: the legacy one-kernel-per-pair refresh (the benchmark baseline).
         self.batched = bool(batched)
+        #: Always-on refresh cost ledger (:mod:`repro.obs.ledger`): one
+        #: :class:`RefreshLedger` per refresh with per-stage wall times
+        #: and per-kernel measured costs, attached to every result.
+        #: ``ledger=False`` disables the recording (the overhead
+        #: benchmark's baseline); results then carry zero ledgers.
+        self.ledger = LedgerRecorder(enabled=ledger)
+        #: The most recent refresh's ledger (None before the first).
+        self.latest_ledger: Optional[RefreshLedger] = None
+        #: When True, sparse-vs-RLE kernel dispatch compares predicted
+        #: kernel times from the ledger's measured per-unit cost EWMAs
+        #: instead of the modeled constant. Output is bit-identical
+        #: either way. Defaults to ``config.measured_dispatch``.
+        self.measured_dispatch = (
+            bool(measured_dispatch)
+            if measured_dispatch is not None
+            else config.measured_dispatch
+        )
         self._pool: Optional[concurrent.futures.ThreadPoolExecutor] = None
         # Guards the plain-int per-refresh tallies below when provider
         # callbacks run on pool threads (workers > 1).
@@ -172,6 +212,11 @@ class E2EProfEngine:
         # blocks, and correlations served from the dirty-flag result cache.
         self._refresh_skips = 0
         self._refresh_corr_cache_hits = 0
+        # Per-refresh adaptivity tallies (satellite of the cost ledger):
+        # classes below the confidence threshold this refresh, and the
+        # rewindow total already reported through a MetricsSample.
+        self._refresh_low_confidence = 0
+        self._rewindows_sampled = 0
         #: Subscriber callbacks that raised and were isolated (all time,
         #: counted regardless of the registry switch).
         self.subscriber_errors = 0
@@ -190,6 +235,40 @@ class E2EProfEngine:
             "correlator_batch_seconds",
             "Seconds per refresh spent in the reference-grouped batch append",
         )
+        self._m_stage = {
+            stage: m.histogram(
+                "engine_stage_seconds",
+                "Wall-clock seconds per pipeline stage per refresh "
+                "(ingest / correlate / dfs / publish, from the refresh ledger)",
+                labels={"stage": stage},
+                buckets=DEFAULT_STAGE_BUCKETS,
+            )
+            for stage in PIPELINE_STAGES
+        }
+        self._m_kernel_rows = {
+            kernel: m.counter(
+                "ledger_kernel_rows_total",
+                "Correlation rows processed per kernel (from the refresh ledger)",
+                labels={"kernel": kernel},
+            )
+            for kernel in CORRELATION_KERNELS
+        }
+        self._m_kernel_seconds = {
+            kernel: m.counter(
+                "ledger_kernel_seconds_total",
+                "Wall-clock seconds spent per kernel (from the refresh ledger)",
+                labels={"kernel": kernel},
+            )
+            for kernel in CORRELATION_KERNELS
+        }
+        self._m_kernel_ns = {
+            kernel: m.gauge(
+                "ledger_kernel_ns_per_row",
+                "EWMA of measured nanoseconds per row per kernel",
+                labels={"kernel": kernel},
+            )
+            for kernel in CORRELATION_KERNELS
+        }
         self._m_refreshes = m.counter("engine_refreshes_total", "Engine refreshes run")
         self._m_blocks = m.counter(
             "engine_blocks_ingested_total", "Streamed RLE blocks pulled from tracers"
@@ -395,11 +474,14 @@ class E2EProfEngine:
         self._refresh_skips = 0
         self._refresh_corr_cache_hits = 0
         self._refresh_capture_batches = 0
+        self._refresh_low_confidence = 0
+        self.ledger.begin_refresh()
         wire_metrics = self.metrics if self.metrics.enabled else None
         wire_bytes_before = self.wire_bytes_received
 
         fresh: Dict[EdgeKey, RunLengthSeries] = {}
         late_frames: List[BlockFrame] = []
+        ingest_started = time.perf_counter()
         with self.tracer.span("engine.ingest") as ingest_span:
             if self._receiver is not None:
                 late_frames = self._transport_ingest(fresh, block_start, now)
@@ -429,7 +511,11 @@ class E2EProfEngine:
                             )
                             self._refresh_capture_batches += 1
             ingest_span.set_attribute("blocks", len(fresh))
+        self.ledger.record_stage(
+            STAGE_INGEST, time.perf_counter() - ingest_started, len(fresh)
+        )
 
+        correlate_started = time.perf_counter()
         self._refreshes += 1
         self._store_blocks(fresh, block_start)
         if late_frames:
@@ -438,6 +524,9 @@ class E2EProfEngine:
             "engine.correlators", correlators=len(self._correlators)
         ):
             self._append_to_correlators()
+        self.ledger.record_stage(
+            STAGE_CORRELATE, time.perf_counter() - correlate_started, len(self._blocks)
+        )
 
         window = _EngineWindow(self)
         pathmap_started = time.perf_counter()
@@ -446,6 +535,10 @@ class E2EProfEngine:
                 window, workers=self.workers, executor=self._pool
             )
         pathmap_seconds = time.perf_counter() - pathmap_started
+        self.ledger.record_stage(
+            STAGE_DFS, pathmap_seconds, result.stats.correlations
+        )
+        annotate_started = time.perf_counter()
         if self._receiver is not None:
             self._apply_quality(result, now, block_start)
         self._apply_confidence(result, now)
@@ -454,6 +547,21 @@ class E2EProfEngine:
         self.latest_result = result
         self.latest_refresh_time = now
         self.last_refresh_seconds = time.perf_counter() - started
+        # The annotation slice of publish happens before the fan-out; the
+        # completed ledger object is shared with the history/flight copy,
+        # so the post-fanout record_stage below finishes it in place.
+        self.ledger.record_stage(
+            STAGE_PUBLISH, time.perf_counter() - annotate_started
+        )
+        ledger = self.ledger.complete(
+            now,
+            self._refreshes - 1,
+            self.last_refresh_seconds,
+            skips=self._refresh_skips,
+            cache_hits=self._refresh_cache_hits,
+        )
+        result.annotate_ledger(ledger)
+        self.latest_ledger = ledger
         self._m_refresh.observe(self.last_refresh_seconds)
         self._m_pathmap.observe(pathmap_seconds)
         self._m_refreshes.inc()
@@ -486,7 +594,11 @@ class E2EProfEngine:
             correlator_skips=self._refresh_skips,
             correlation_cache_hits=self._refresh_corr_cache_hits,
             capture_batches=self._refresh_capture_batches,
+            autotune_recommendations=len(self.latest_recommendations),
+            low_confidence_events=self._refresh_low_confidence,
+            rewindow_clips=self.rewindows - self._rewindows_sampled,
         )
+        self._rewindows_sampled = self.rewindows
         with self.tracer.span(
             "engine.fanout_metrics", subscribers=len(self._metrics_subscribers)
         ):
@@ -494,6 +606,21 @@ class E2EProfEngine:
                 self._notify(
                     metrics_subscriber, now, (now, result, self.latest_sample)
                 )
+        self.ledger.record_stage(
+            STAGE_PUBLISH,
+            time.perf_counter() - fanout_started,
+            len(self._subscribers) + len(self._metrics_subscribers),
+        )
+        if self.ledger.enabled:
+            for stage in PIPELINE_STAGES:
+                self._m_stage[stage].observe(ledger.stage_seconds(stage))
+            for kernel in CORRELATION_KERNELS:
+                kernel_sample = ledger.kernel(kernel)
+                if kernel_sample.rows:
+                    self._m_kernel_rows[kernel].inc(kernel_sample.rows)
+                    self._m_kernel_seconds[kernel].inc(kernel_sample.seconds)
+                if kernel_sample.ns_per_row_ewma is not None:
+                    self._m_kernel_ns[kernel].set(kernel_sample.ns_per_row_ewma)
         if logger.isEnabledFor(logging.DEBUG):
             logger.debug(
                 "refresh %d at t=%.3f: %d blocks, %d correlators, "
@@ -537,6 +664,12 @@ class E2EProfEngine:
         sample_dict = (
             sample.to_dict() if sample is not None and sample.time == now else {}
         )
+        ledger = self.latest_ledger
+        ledger_dict = (
+            ledger.to_dict()
+            if ledger is not None and ledger.sequence == sequence
+            else {}
+        )
         self.flight.record(
             RefreshFrame(
                 time=now,
@@ -544,6 +677,7 @@ class E2EProfEngine:
                 sample=sample_dict,
                 spans=spans,
                 events=self.events.events_since(events_mark),
+                ledger=ledger_dict,
             )
         )
 
@@ -864,6 +998,7 @@ class E2EProfEngine:
         self.confidence_score = result.confidence
         self._m_confidence.set(result.confidence)
         low = {k: r for k, r in reports.items() if not r.ok}
+        self._refresh_low_confidence = len(low)
         if low:
             self._m_low_confidence.inc()
             for class_key, report in sorted(low.items()):
@@ -1011,24 +1146,37 @@ class E2EProfEngine:
         self._m_batch.observe(time.perf_counter() - started)
 
     def _append_per_pair(self) -> None:
-        """Legacy refresh: one kernel invocation per (reference, edge) pair."""
-        if self.tracer.enabled:
-            # Traced path: one span per correlator update, labelled by the
-            # (reference, edge) pair it maintains.
+        """Legacy refresh: one kernel invocation per (reference, edge) pair.
+
+        The whole loop is ledgered as one ``legacy_pair`` kernel sample
+        (rows = correlator appends) -- per-append timing would cost more
+        than the appends themselves on quiet windows.
+        """
+        kernel_started = time.perf_counter()
+        try:
+            if self.tracer.enabled:
+                # Traced path: one span per correlator update, labelled by the
+                # (reference, edge) pair it maintains.
+                for (ref_edge, edge), correlator in self._correlators.items():
+                    with self.tracer.span(
+                        "correlator.append",
+                        ref=f"{ref_edge[0]}->{ref_edge[1]}",
+                        edge=f"{edge[0]}->{edge[1]}",
+                    ):
+                        correlator.append(self._blocks[ref_edge][-1], self._blocks[edge][-1])
+                return
+            # Untraced hot path: kept span-free so the disabled-tracing
+            # overhead stays at one attribute check per refresh, not per edge.
             for (ref_edge, edge), correlator in self._correlators.items():
-                with self.tracer.span(
-                    "correlator.append",
-                    ref=f"{ref_edge[0]}->{ref_edge[1]}",
-                    edge=f"{edge[0]}->{edge[1]}",
-                ):
-                    correlator.append(self._blocks[ref_edge][-1], self._blocks[edge][-1])
-            return
-        # Untraced hot path: kept span-free so the disabled-tracing
-        # overhead stays at one attribute check per refresh, not per edge.
-        for (ref_edge, edge), correlator in self._correlators.items():
-            ref_block = self._blocks[ref_edge][-1]
-            edge_block = self._blocks[edge][-1]
-            correlator.append(ref_block, edge_block)
+                ref_block = self._blocks[ref_edge][-1]
+                edge_block = self._blocks[edge][-1]
+                correlator.append(ref_block, edge_block)
+        finally:
+            self.ledger.record_kernel(
+                KERNEL_LEGACY,
+                rows=len(self._correlators),
+                seconds=time.perf_counter() - kernel_started,
+            )
 
     def _group_vectors(
         self,
@@ -1047,28 +1195,90 @@ class E2EProfEngine:
         opposite regime. Both estimates are pure functions of the blocks,
         so grouped appends, history replays and parallel shards all make
         the identical choice and stay bit-for-bit reproducible.
+
+        With ``measured_dispatch`` on (and both kernel EWMAs warmed), the
+        comparison weighs each side's dispatch units by the ledger's
+        *measured* ns/unit instead of the modeled constant. Both kernels
+        produce bitwise-identical lag products, so the choice never
+        changes the output -- only where the time goes.
+
+        Kernel timing is recorded per dispatch group (a handful of
+        ``perf_counter`` calls per pending x block), never per row.
         """
         if block_is_quiet(x_block):
             return None
         xs = x_block.to_sparse()
         rows: List[Optional[np.ndarray]] = [None] * len(y_blocks)
         batched_rows: List[int] = []
-        weight = xs.indices.size * (max_lag + 1)
+        rle_rows: List[int] = []
+        sparse_units_total = 0.0
+        rle_units_total = 0.0
+        ns_sparse = ns_rle = None
+        if self.measured_dispatch:
+            ns_sparse = self.ledger.ns_per_unit(KERNEL_SPARSE_BATCH)
+            ns_rle = self.ledger.ns_per_unit(KERNEL_RLE)
+        measured = ns_sparse is not None and ns_rle is not None
         for i, (y_block, ys) in enumerate(zip(y_blocks, ys_sparse)):
             span = max(int(ys.indices[-1]) - int(ys.indices[0]) + 1, 1)
-            if weight * ys.indices.size / span <= 4.0 * x_block.num_runs * y_block.num_runs:
-                batched_rows.append(i)
+            sparse_units = sparse_dispatch_units(
+                xs.indices.size, ys.indices.size, span, max_lag
+            )
+            rle_units = rle_dispatch_units(x_block.num_runs, y_block.num_runs)
+            if measured:
+                choose_sparse = sparse_units * ns_sparse <= rle_units * ns_rle
             else:
-                rows[i] = _pair_products(x_block, y_block, max_lag)
+                choose_sparse = sparse_units <= MODELED_RLE_COST_RATIO * rle_units
+            if choose_sparse:
+                batched_rows.append(i)
+                sparse_units_total += sparse_units
+            else:
+                rle_rows.append(i)
+                rle_units_total += rle_units
+        record = self.ledger.record_kernel if self.ledger.enabled else None
+        if rle_rows:
+            rle_started = time.perf_counter()
+            for i in rle_rows:
+                rows[i] = _pair_products(x_block, y_blocks[i], max_lag)
+            if record is not None:
+                # RunLengthSeries data: starts + counts (int64) + values
+                # (float64) = 24 bytes per run.
+                record(
+                    KERNEL_RLE,
+                    rows=len(rle_rows),
+                    seconds=time.perf_counter() - rle_started,
+                    work_units=rle_units_total,
+                    bytes_touched=24 * (
+                        x_block.num_runs * len(rle_rows)
+                        + sum(y_blocks[i].num_runs for i in rle_rows)
+                    ),
+                )
+        if not batched_rows:
+            return np.stack(rows)
+        batch_started = time.perf_counter()
         if len(batched_rows) == len(y_blocks):
-            return batch_lag_products(xs, ys_sparse, max_lag)
-        if batched_rows:
+            mat = batch_lag_products(xs, ys_sparse, max_lag)
+            out: Optional[np.ndarray] = mat
+        else:
             mat = batch_lag_products(
                 xs, [ys_sparse[i] for i in batched_rows], max_lag
             )
             for r, i in enumerate(batched_rows):
                 rows[i] = mat[r]
-        return np.stack(rows)
+            out = None
+        if record is not None:
+            # DensityTimeSeries data: indices (int64) + values (float64)
+            # = 16 bytes per nonzero.
+            record(
+                KERNEL_SPARSE_BATCH,
+                rows=len(batched_rows),
+                seconds=time.perf_counter() - batch_started,
+                work_units=sparse_units_total,
+                bytes_touched=16 * (
+                    xs.indices.size
+                    + sum(ys_sparse[i].indices.size for i in batched_rows)
+                ),
+            )
+        return out if out is not None else np.stack(rows)
 
     def _append_group(
         self,
@@ -1126,16 +1336,26 @@ class E2EProfEngine:
                         skipped += correlator.append(x_new, y_new, pair_vectors=vectors)
                 else:
                     skipped += correlator.append(x_new, y_new, pair_vectors=vectors)
-        for edge, correlator, y_new in plain:
-            if traced:
-                with self.tracer.span(
-                    "correlator.append",
-                    ref=f"{ref_edge[0]}->{ref_edge[1]}",
-                    edge=f"{edge[0]}->{edge[1]}",
-                ):
+        if plain:
+            # Quiet / mismatched members take the per-pair append path
+            # (which computes its own kernels); ledger them as one
+            # legacy_pair sample per group.
+            plain_started = time.perf_counter()
+            for edge, correlator, y_new in plain:
+                if traced:
+                    with self.tracer.span(
+                        "correlator.append",
+                        ref=f"{ref_edge[0]}->{ref_edge[1]}",
+                        edge=f"{edge[0]}->{edge[1]}",
+                    ):
+                        skipped += correlator.append(x_new, y_new)
+                else:
                     skipped += correlator.append(x_new, y_new)
-            else:
-                skipped += correlator.append(x_new, y_new)
+            self.ledger.record_kernel(
+                KERNEL_LEGACY,
+                rows=len(plain),
+                seconds=time.perf_counter() - plain_started,
+            )
         return skipped
 
     # -- correlation provider (plugged into pathmap) ----------------------------------------

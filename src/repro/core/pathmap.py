@@ -35,6 +35,7 @@ from repro.errors import AnalysisError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.confidence import ConfidenceReport
+    from repro.obs.ledger import RefreshLedger
     from repro.obs.registry import MetricsRegistry
     from repro.obs.spans import SpanTracer
     from repro.tracing.transport import DataQuality
@@ -113,6 +114,14 @@ class PathmapResult:
     #: Overall steady-state confidence of the window: the minimum class
     #: score, 1.0 when nothing was graded (no classes, scoring off).
     confidence: float = 1.0
+    #: Per-stage / per-kernel cost accounting of the refresh that built
+    #: this result (:class:`repro.obs.ledger.RefreshLedger`; None for
+    #: results computed outside an engine, e.g. one-shot analysis).
+    ledger: Optional["RefreshLedger"] = None
+
+    def annotate_ledger(self, ledger: "RefreshLedger") -> None:
+        """Attach the producing refresh's cost ledger to this result."""
+        self.ledger = ledger
 
     def annotate_confidence(
         self, class_confidence: Dict[Tuple[NodeId, NodeId], "ConfidenceReport"]

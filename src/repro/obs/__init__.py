@@ -44,6 +44,8 @@ from repro.obs.events import (
     EVENT_DEGRADED_REFRESH,
     EVENT_LOW_CONFIDENCE,
     EVENT_REWINDOW,
+    EVENT_SLO_BURN,
+    EVENT_PERF_REGRESSION,
     DiagnosticEvent,
     EventBus,
 )
@@ -53,26 +55,57 @@ from repro.obs.flight import DEFAULT_FLIGHT_CAPACITY, FlightRecorder, RefreshFra
 from repro.obs.instruments import (
     DEFAULT_COUNT_BUCKETS,
     DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_STAGE_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     Timer,
+    exponential_buckets,
+)
+from repro.obs.ledger import (
+    CORRELATION_KERNELS,
+    KERNEL_LEGACY,
+    KERNEL_RLE,
+    KERNEL_SPARSE_BATCH,
+    PIPELINE_STAGES,
+    STAGE_CORRELATE,
+    STAGE_DFS,
+    STAGE_INGEST,
+    STAGE_PUBLISH,
+    Ewma,
+    KernelSample,
+    LedgerRecorder,
+    RefreshLedger,
+    StageSample,
 )
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.obs.sample import MetricsSample
+from repro.obs.slo import (
+    RegressionWatch,
+    SLOMonitor,
+    StageObjective,
+    default_objectives,
+    ingest_baseline,
+    load_baselines,
+    refresh_baseline,
+)
 from repro.obs.spans import NULL_TRACER, Span, SpanTracer
 
 __all__ = [
+    "CORRELATION_KERNELS",
     "Counter",
     "DEFAULT_COUNT_BUCKETS",
     "DEFAULT_FLIGHT_CAPACITY",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_STAGE_BUCKETS",
     "DiagnosticEvent",
     "EVENT_ANOMALY",
     "EVENT_CHANGE",
     "EVENT_LATENCY",
     "EVENT_PATH_SELECTION",
+    "EVENT_PERF_REGRESSION",
     "EVENT_SLA_VIOLATION",
+    "EVENT_SLO_BURN",
     "EVENT_SUBSCRIBER_ERROR",
     "EVENT_TRACER_STALE",
     "EVENT_TRANSPORT_GAP",
@@ -80,18 +113,39 @@ __all__ = [
     "EVENT_LOW_CONFIDENCE",
     "EVENT_REWINDOW",
     "EventBus",
+    "Ewma",
     "FlightRecorder",
     "Gauge",
     "Histogram",
+    "KERNEL_LEGACY",
+    "KERNEL_RLE",
+    "KERNEL_SPARSE_BATCH",
+    "KernelSample",
+    "LedgerRecorder",
     "MetricsRegistry",
     "MetricsSample",
     "NULL_REGISTRY",
     "NULL_TRACER",
+    "PIPELINE_STAGES",
     "RefreshFrame",
+    "RefreshLedger",
+    "RegressionWatch",
+    "SLOMonitor",
+    "STAGE_CORRELATE",
+    "STAGE_DFS",
+    "STAGE_INGEST",
+    "STAGE_PUBLISH",
     "Span",
     "SpanTracer",
+    "StageObjective",
+    "StageSample",
     "Timer",
     "chrome_trace",
+    "default_objectives",
+    "exponential_buckets",
+    "ingest_baseline",
+    "load_baselines",
+    "refresh_baseline",
     "snapshot",
     "to_prometheus",
     "write_chrome_trace",

@@ -59,6 +59,13 @@ EVENT_LOW_CONFIDENCE = "low_confidence"
 #: The adaptive controller blanked pre-change history after a detected
 #: change point (change-point-triggered re-windowing).
 EVENT_REWINDOW = "rewindow"
+#: A pipeline stage is burning its latency error budget too fast (both
+#: the fast and slow burn-rate windows over threshold; SRE-style
+#: multi-window alerting on the refresh ledger).
+EVENT_SLO_BURN = "slo_burn"
+#: A ledger quantity drifted beyond tolerance from its committed
+#: benchmark baseline (BENCH_refresh.json / BENCH_ingest.json).
+EVENT_PERF_REGRESSION = "perf_regression"
 
 EventCallback = Callable[["DiagnosticEvent"], None]
 

@@ -10,6 +10,9 @@ flight-record dump (``engine.dump_flight_record()`` or
   ``ts``/``dur`` normalized to the dump's earliest span;
 * every diagnostic event becomes an instant event (``ph: "i"``) on the
   thread of the span it was attached to;
+* every frame's refresh ledger becomes counter events (``ph: "C"``) --
+  per-stage milliseconds, per-kernel rows, and skip/cache counts render
+  as counter tracks above the span lanes;
 * thread ids are compacted and named so the viewer shows stable lanes.
 
 The export is pure data-in/data-out: it works on a freshly dumped dict or
@@ -95,6 +98,64 @@ def chrome_trace(dump: dict) -> dict:
                 "tid": tid_of(raw_thread),
                 "s": "t" if raw_thread is not None else "p",
                 "args": {"time": event["time"], **event.get("attributes", {})},
+            }
+        )
+    for frame in frames:
+        ledger = frame.get("ledger") or {}
+        if not ledger:
+            continue
+        frame_spans = frame.get("spans", [])
+        frame_events = frame.get("events", [])
+        frame_anchors = [s["start"] for s in frame_spans] + [
+            e["monotonic"] for e in frame_events
+        ]
+        if not frame_anchors:
+            continue  # nothing to anchor the counter sample to
+        ts = us(min(frame_anchors))
+        stages = ledger.get("stages", {})
+        if stages:
+            trace_events.append(
+                {
+                    "name": "ledger stage ms",
+                    "cat": "ledger",
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": 1,
+                    "tid": 0,
+                    "args": {
+                        name: stages[name].get("seconds", 0.0) * 1e3
+                        for name in sorted(stages)
+                    },
+                }
+            )
+        kernels = ledger.get("kernels", {})
+        if kernels:
+            trace_events.append(
+                {
+                    "name": "ledger kernel rows",
+                    "cat": "ledger",
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": 1,
+                    "tid": 0,
+                    "args": {
+                        name: kernels[name].get("rows", 0)
+                        for name in sorted(kernels)
+                    },
+                }
+            )
+        trace_events.append(
+            {
+                "name": "ledger skip/cache",
+                "cat": "ledger",
+                "ph": "C",
+                "ts": ts,
+                "pid": 1,
+                "tid": 0,
+                "args": {
+                    "cache_hits": ledger.get("cache_hits", 0),
+                    "skips": ledger.get("skips", 0),
+                },
             }
         )
     for raw, tid in sorted(tids.items(), key=lambda kv: kv[1]):

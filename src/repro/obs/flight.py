@@ -46,6 +46,10 @@ class RefreshFrame:
         The refresh's finished spans (empty when tracing is off).
     events:
         Diagnostic events raised during the refresh.
+    ledger:
+        JSON-able dict of the refresh's cost ledger
+        (``RefreshLedger.to_dict()``), or empty when the producer keeps
+        no ledger (replays, pre-ledger dumps).
     """
 
     time: float
@@ -53,6 +57,7 @@ class RefreshFrame:
     sample: Dict[str, object]
     spans: List[Span] = dataclasses.field(default_factory=list)
     events: List[DiagnosticEvent] = dataclasses.field(default_factory=list)
+    ledger: Dict[str, object] = dataclasses.field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -61,6 +66,7 @@ class RefreshFrame:
             "sample": dict(self.sample),
             "spans": [s.to_dict() for s in self.spans],
             "events": [e.to_dict() for e in self.events],
+            "ledger": dict(self.ledger),
         }
 
 

@@ -38,6 +38,38 @@ DEFAULT_COUNT_BUCKETS: Tuple[float, ...] = (
 )
 
 
+def exponential_buckets(start: float, factor: float, count: int) -> Tuple[float, ...]:
+    """Log-spaced histogram bounds: ``start * factor**i`` for i in [0, count).
+
+    The natural bucketing for latency-style quantities spanning orders of
+    magnitude (a pipeline stage can run 50 us on a quiet refresh and
+    50 ms on a surge). Mirrors Prometheus client ``ExponentialBuckets``.
+    """
+    if start <= 0:
+        raise ObservabilityError(
+            f"exponential buckets need start > 0, got {start}"
+        )
+    if factor <= 1:
+        raise ObservabilityError(
+            f"exponential buckets need factor > 1, got {factor}"
+        )
+    if count < 1:
+        raise ObservabilityError(
+            f"exponential buckets need count >= 1, got {count}"
+        )
+    bounds = []
+    bound = float(start)
+    for _ in range(int(count)):
+        bounds.append(bound)
+        bound *= float(factor)
+    return tuple(bounds)
+
+
+#: Log-bucketed boundaries for per-stage wall times: 20 us to ~5.5 s in
+#: x2 steps, fine enough to separate a fast ingest from a slow DFS.
+DEFAULT_STAGE_BUCKETS: Tuple[float, ...] = exponential_buckets(2e-5, 2.0, 19)
+
+
 class Switch:
     """Shared on/off flag between a registry and its instruments.
 

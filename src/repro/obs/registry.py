@@ -35,6 +35,7 @@ from repro.obs.instruments import (
     LabelsKey,
     Switch,
     Timer,
+    exponential_buckets,
     labels_key,
 )
 
@@ -127,6 +128,26 @@ class MetricsRegistry:
     ) -> Histogram:
         """Get or create a fixed-bucket histogram."""
         return self._get_or_create(Histogram, name, help, labels, buckets=buckets)
+
+    def log_histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Dict[str, str]] = None,
+        start: float = 2e-5,
+        factor: float = 2.0,
+        count: int = 19,
+    ) -> Histogram:
+        """Get or create a histogram with log-spaced (exponential) buckets.
+
+        Convenience over :meth:`histogram` for latency-style quantities
+        spanning orders of magnitude; bounds are
+        :func:`repro.obs.instruments.exponential_buckets`.
+        """
+        return self._get_or_create(
+            Histogram, name, help, labels,
+            buckets=exponential_buckets(start, factor, count),
+        )
 
     def timer(
         self,

@@ -74,6 +74,17 @@ class MetricsSample:
     capture_batches:
         Columnar timestamp batches forwarded to the engine's capture
         sink this refresh (0 unless a ``capture_sink`` is configured).
+    autotune_recommendations:
+        Per-class tuning recommendations the adaptive controller holds
+        after this refresh (0 unless the engine runs with
+        ``adaptive=True``).
+    low_confidence_events:
+        Service classes whose steady-state confidence checks failed
+        this refresh (each also publishes an ``EVENT_LOW_CONFIDENCE``
+        diagnostic event).
+    rewindow_clips:
+        Change-point-triggered window clips the adaptive controller
+        applied this refresh (delta, not the engine's running total).
     """
 
     time: float
@@ -91,6 +102,9 @@ class MetricsSample:
     correlator_skips: int = 0
     correlation_cache_hits: int = 0
     capture_batches: int = 0
+    autotune_recommendations: int = 0
+    low_confidence_events: int = 0
+    rewindow_clips: int = 0
 
     def to_dict(self) -> dict:
         """Plain-dict form (JSON-able) of the sample."""

@@ -324,3 +324,58 @@ class TestScenariosCli:
     def test_unknown_mode_is_an_error(self, capsys):
         assert main(["scenarios", "score", "--modes", "adaptive,warp"]) == 2
         assert "warp" in capsys.readouterr().err
+
+
+class TestTopCli:
+    def test_once_renders_single_frame(self, capsys):
+        assert main(["top", "--once", "--duration", "125"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        for name in ("ingest", "correlate", "dfs", "publish",
+                     "sparse_batch", "rle", "legacy_pair"):
+            assert name in out
+        assert "quiet skips" in out
+        assert "\x1b[2J" not in out  # non-tty stdout: no ANSI clears
+
+    def test_too_short_duration_is_an_error(self, capsys):
+        assert main(["top", "--once", "--duration", "5"]) == 2
+        assert "no refresh fired" in capsys.readouterr().err
+
+
+class TestProfileCli:
+    def test_text_mode(self, capsys):
+        assert main(["profile", "--duration", "125"]) == 0
+        out = capsys.readouterr().out
+        assert "repro profile" in out
+        assert "kernel cost model" in out
+
+    def test_json_round_trips_ledgers(self, tmp_path, capsys):
+        from repro.obs import RefreshLedger
+
+        path = tmp_path / "ledger.json"
+        assert main(["profile", "--json", "--duration", "125",
+                     "-o", str(path)]) == 0
+        assert "wrote profile" in capsys.readouterr().err
+        doc = json.loads(path.read_text())
+        assert sorted(doc) == ["ewma", "ledgers", "workload"]
+        assert doc["workload"]["app"] == "rubis"
+        assert doc["ledgers"]
+        for entry in doc["ledgers"]:
+            ledger = RefreshLedger.from_dict(entry)
+            assert ledger.to_dict() == entry
+        assert set(doc["ewma"]) == {"sparse_batch", "rle", "legacy_pair"}
+
+    def test_json_keys_deterministically_ordered(self, capsys):
+        assert main(["profile", "--json", "--duration", "125",
+                     "--last", "1"]) == 0
+        text = capsys.readouterr().out
+        doc = json.loads(text)
+        assert len(doc["ledgers"]) == 1
+        # sort_keys=True output is byte-stable across runs of the same doc
+        assert text.strip() == json.dumps(doc, indent=2, sort_keys=True)
+
+    def test_measured_dispatch_flag_recorded(self, capsys):
+        assert main(["profile", "--json", "--duration", "125",
+                     "--measured-dispatch"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["workload"]["measured_dispatch"] is True

@@ -94,3 +94,28 @@ def test_labeled_series_share_one_header():
 
 def test_empty_registry_renders_empty_string():
     assert MetricsRegistry(enabled=True).to_prometheus() == ""
+
+
+def test_log_bucket_histogram_exact_text():
+    """exponential_buckets-backed histograms follow the same exposition
+    rules: sorted bounds, cumulative counts, mandatory +Inf."""
+    registry = MetricsRegistry(enabled=True, namespace="repro")
+    stage = registry.log_histogram(
+        "stage_seconds", "Stage wall time",
+        labels={"stage": "dfs"}, start=0.001, factor=10.0, count=3,
+    )
+    stage.observe(0.0005)  # <= 0.001
+    stage.observe(0.005)   # <= 0.01
+    stage.observe(5.0)     # overflow -> +Inf only
+
+    expected = (
+        "# HELP repro_stage_seconds Stage wall time\n"
+        "# TYPE repro_stage_seconds histogram\n"
+        'repro_stage_seconds_bucket{stage="dfs",le="0.001"} 1\n'
+        'repro_stage_seconds_bucket{stage="dfs",le="0.01"} 2\n'
+        'repro_stage_seconds_bucket{stage="dfs",le="0.1"} 2\n'
+        'repro_stage_seconds_bucket{stage="dfs",le="+Inf"} 3\n'
+        'repro_stage_seconds_sum{stage="dfs"} 5.0055\n'
+        'repro_stage_seconds_count{stage="dfs"} 3\n'
+    )
+    assert registry.to_prometheus() == expected

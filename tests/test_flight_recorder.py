@@ -107,6 +107,7 @@ class TestFlightRecorder:
                 for frame in dump["frames"]:
                     assert set(frame) == {
                         "time", "sequence", "sample", "spans", "events",
+                        "ledger",
                     }
                 json.dumps(dump)  # always serializable
         finally:

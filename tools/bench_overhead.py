@@ -1,0 +1,175 @@
+"""Benchmark the always-on refresh ledger's overhead.
+
+A/B-drives the online engine over the synthetic many-class topology with
+the cost ledger enabled (the default) and disabled, and reports per-mode
+refresh latencies plus the priced cost of the ledger's bookkeeping
+operations. The ledger's contract is O(stages + kernel invocations) per
+refresh -- this tool is how that "<5% of refresh cost" claim is produced
+outside the test suite. Run from the repository root:
+
+    PYTHONPATH=src python tools/bench_overhead.py            # full workload
+    PYTHONPATH=src python tools/bench_overhead.py --quick    # CI-sized
+
+The JSON lands in ``BENCH_overhead.json`` (override with ``--output``);
+``benchmarks/test_ledger_overhead.py`` asserts the bound on the same
+machinery.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.apps.manyclass import MANY_CLASS_CONFIG, build_many_class  # noqa: E402
+from repro.core.engine import E2EProfEngine  # noqa: E402
+from repro.obs.ledger import KERNEL_RLE, STAGE_INGEST, LedgerRecorder  # noqa: E402
+
+#: Refreshes discarded from the front of every run (correlator warmup).
+WARMUP_REFRESHES = 4
+
+
+def run_mode(
+    ledger: bool,
+    classes: int,
+    quiet_fraction: float,
+    seed: int,
+    end_time: float,
+    request_rate: float = 8.0,
+) -> dict:
+    """One deployment + engine run; returns per-refresh latency stats."""
+    deployment = build_many_class(
+        classes=classes,
+        quiet_fraction=quiet_fraction,
+        seed=seed,
+        request_rate=request_rate,
+        quiet_after=5.0,
+        config=MANY_CLASS_CONFIG,
+    )
+    engine = E2EProfEngine(deployment.config, ledger=ledger)
+    costs = []
+    engine.subscribe(
+        lambda now, result: costs.append(engine.last_refresh_seconds)
+    )
+    started = time.perf_counter()
+    engine.attach(deployment.topology)
+    deployment.run_until(end_time)
+    engine.detach()
+    wall = time.perf_counter() - started
+    measured = sorted(costs[WARMUP_REFRESHES:])
+    if not measured:
+        raise RuntimeError(
+            f"no refreshes past warmup (end_time={end_time} too short)"
+        )
+    return {
+        "refreshes": len(measured),
+        "p50_seconds": statistics.median(measured),
+        "p95_seconds": measured[min(len(measured) - 1, int(0.95 * len(measured)))],
+        "mean_seconds": statistics.fmean(measured),
+        "wall_seconds": wall,
+    }
+
+
+def price_recorder_ops(ops: int = 200_000) -> dict:
+    """Per-call wall cost of the enabled recorder's hot operations."""
+    recorder = LedgerRecorder()
+    recorder.begin_refresh()
+    timings = {}
+    for name, call in (
+        ("record_stage", lambda: recorder.record_stage(STAGE_INGEST, 1e-6, items=1)),
+        ("record_kernel", lambda: recorder.record_kernel(
+            KERNEL_RLE, rows=10, seconds=1e-6, work_units=40.0, bytes_touched=240)),
+    ):
+        started = time.perf_counter()
+        for _ in range(ops):
+            call()
+        timings[f"{name}_ns"] = (time.perf_counter() - started) / ops * 1e9
+    return timings
+
+
+def run_benchmark(
+    classes: int,
+    quiet_fraction: float,
+    seed: int,
+    end_time: float,
+    repeats: int,
+) -> dict:
+    results = {}
+    for name, enabled in (("ledger_on", True), ("ledger_off", False)):
+        runs = [
+            run_mode(enabled, classes, quiet_fraction, seed, end_time)
+            for _ in range(repeats)
+        ]
+        results[name] = min(runs, key=lambda r: r["p50_seconds"])
+        print(
+            f"{name:11s} p50={results[name]['p50_seconds'] * 1000:7.2f}ms "
+            f"p95={results[name]['p95_seconds'] * 1000:7.2f}ms "
+            f"({results[name]['refreshes']} refreshes)",
+            flush=True,
+        )
+    on = results["ledger_on"]["p50_seconds"]
+    off = results["ledger_off"]["p50_seconds"]
+    return {
+        "workload": {
+            "classes": classes,
+            "quiet_fraction": quiet_fraction,
+            "seed": seed,
+            "end_time": end_time,
+            "repeats": repeats,
+            "config": {
+                "window": MANY_CLASS_CONFIG.window,
+                "refresh_interval": MANY_CLASS_CONFIG.refresh_interval,
+                "quantum": MANY_CLASS_CONFIG.quantum,
+            },
+        },
+        "modes": results,
+        "priced_ops": price_recorder_ops(),
+        "overhead_ratio": on / off if off else float("inf"),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized workload: fewer classes, one repeat per mode",
+    )
+    parser.add_argument("--classes", type=int, default=None)
+    parser.add_argument("--quiet-fraction", type=float, default=0.5)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=pathlib.Path("BENCH_overhead.json"),
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        classes = args.classes or 16
+        repeats = args.repeats or 1
+        end_time = 20.0
+    else:
+        classes = args.classes or 40
+        repeats = args.repeats or 2
+        end_time = 30.0
+    doc = run_benchmark(
+        classes=classes,
+        quiet_fraction=args.quiet_fraction,
+        seed=args.seed,
+        end_time=end_time,
+        repeats=repeats,
+    )
+    args.output.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    print(f"ledger on/off p50 ratio: {doc['overhead_ratio']:.3f}")
+    print(f"[written to {args.output}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
