@@ -76,6 +76,14 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=int, default=1,
                         help="worker threads for per-class analysis "
                              "(default 1 = serial; results are identical)")
+    parser.add_argument("--parallel", default="auto",
+                        choices=["auto", "serial", "threads", "processes"],
+                        help="refresh execution mode (default auto: threads "
+                             "when --workers > 1, serial otherwise; results "
+                             "are bit-identical in every mode)")
+    parser.add_argument("--shards", type=int, default=0,
+                        help="correlator shard processes for "
+                             "--parallel processes (default 0 = --workers)")
 
 
 def _config_from(args: argparse.Namespace) -> PathmapConfig:
@@ -91,6 +99,8 @@ def _config_from(args: argparse.Namespace) -> PathmapConfig:
         spike_sigma=args.spike_sigma,
         min_spike_height=args.min_spike_height,
         workers=getattr(args, "workers", 1),
+        parallel=getattr(args, "parallel", "auto"),
+        shards=getattr(args, "shards", 0),
     )
 
 

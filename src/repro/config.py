@@ -85,6 +85,17 @@ class PathmapConfig:
     #: engine's reference-grouped correlator updates across a thread pool.
     #: Results are identical to serial either way.
     workers: int = 1
+    #: Refresh parallelism mode: ``"serial"`` (one thread), ``"threads"``
+    #: (a ``workers``-wide thread pool; GIL-bound outside the numpy
+    #: kernels), ``"processes"`` (consistent-hash sharded worker
+    #: *processes* reading blocks over shared memory -- see
+    #: :mod:`repro.core.shards`) or ``"auto"`` (the default:
+    #: ``threads`` when ``workers > 1``, else ``serial``). Every mode is
+    #: bit-identical to serial; only the wall-clock cost changes.
+    parallel: str = "auto"
+    #: Worker-process count for ``parallel="processes"``. 0 (the
+    #: default) falls back to ``workers``.
+    shards: int = 0
     #: Trace retention horizon in seconds for bounded-memory collectors
     #: (see :attr:`retention_horizon`). None picks the analysis-safe
     #: default ``3 * window + max_transaction_delay``; an explicit value
@@ -143,6 +154,13 @@ class PathmapConfig:
             )
         if self.workers < 1:
             raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.parallel not in ("auto", "serial", "threads", "processes"):
+            raise ConfigError(
+                "parallel must be one of auto/serial/threads/processes, "
+                f"got {self.parallel!r}"
+            )
+        if self.shards < 0:
+            raise ConfigError(f"shards must be >= 0, got {self.shards}")
         if self.retention is not None:
             floor = self.window + self.max_transaction_delay
             if self.retention < floor:

@@ -202,6 +202,26 @@ def rle_dispatch_units(x_runs: int, y_runs: int) -> float:
     return float(x_runs * y_runs)
 
 
+def choose_sparse_kernel(
+    sparse_units: float,
+    rle_units: float,
+    ns_sparse: "float | None" = None,
+    ns_rle: "float | None" = None,
+) -> bool:
+    """The density dispatch rule: sparse batch (True) or RLE (False).
+
+    A pure function of the unit estimates (and, when both are given, the
+    measured per-unit costs from the refresh ledger's EWMAs), so every
+    caller -- grouped appends, history replays, thread workers and shard
+    worker processes -- makes the identical choice for identical blocks.
+    Both kernels produce bitwise-identical lag products, so the choice
+    never changes analysis output, only where the time goes.
+    """
+    if ns_sparse is not None and ns_rle is not None:
+        return sparse_units * ns_sparse <= rle_units * ns_rle
+    return sparse_units <= MODELED_RLE_COST_RATIO * rle_units
+
+
 def sparse_lag_products(
     x: DensityTimeSeries, y: DensityTimeSeries, max_lag: int
 ) -> np.ndarray:

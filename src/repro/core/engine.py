@@ -22,14 +22,11 @@ settings), which is negligible against ``dW``.
 
 from __future__ import annotations
 
-import collections
 import concurrent.futures
 import logging
 import threading
 import time
 from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
-
-import numpy as np
 
 from repro.config import PathmapConfig, TransportConfig
 from repro.core.confidence import (
@@ -37,22 +34,15 @@ from repro.core.confidence import (
     ConfidenceReport,
     window_confidence,
 )
-from repro.core.correlation import (
-    MODELED_RLE_COST_RATIO,
-    CorrelationSeries,
-    SeriesLike,
-    batch_lag_products,
-    rle_dispatch_units,
-    sparse_dispatch_units,
-)
-from repro.core.incremental import IncrementalCorrelator, _pair_products, block_is_quiet
-from repro.core.pathmap import Pathmap, PathmapResult, TraceWindow
+from repro.core.incremental import IncrementalCorrelator
+from repro.core.pathmap import Pathmap, PathmapResult, PathmapStats, class_pairs
 from repro.core.rle import RunLengthSeries
-from repro.core.timeseries import DensityTimeSeries
+from repro.core.stages import HostWindow, PipelineCore
 from repro.errors import AnalysisError
 from repro.obs.events import (
     EVENT_DEGRADED_REFRESH,
     EVENT_LOW_CONFIDENCE,
+    EVENT_SHARD_LOST,
     EVENT_SUBSCRIBER_ERROR,
     EVENT_TRACER_STALE,
     EVENT_TRANSPORT_GAP,
@@ -62,9 +52,6 @@ from repro.obs.flight import DEFAULT_FLIGHT_CAPACITY, FlightRecorder, RefreshFra
 from repro.obs.instruments import DEFAULT_STAGE_BUCKETS
 from repro.obs.ledger import (
     CORRELATION_KERNELS,
-    KERNEL_LEGACY,
-    KERNEL_RLE,
-    KERNEL_SPARSE_BATCH,
     PIPELINE_STAGES,
     STAGE_CORRELATE,
     STAGE_DFS,
@@ -104,8 +91,26 @@ Subscriber = Callable[[float, PathmapResult], None]
 MetricsSubscriber = Callable[[float, PathmapResult, MetricsSample], None]
 
 
-class E2EProfEngine:
-    """Online sliding-window service-path analysis over streamed blocks."""
+class E2EProfEngine(PipelineCore):
+    """Online sliding-window service-path analysis over streamed blocks.
+
+    The refresh is an explicit four-stage pipeline -- **ingest ->
+    correlate -> DFS -> publish**, the exact stage names of the refresh
+    ledger -- and the middle stages run in one of three execution modes
+    (``parallel``), every one of which produces bit-identical results:
+
+    ``"serial"``
+        Everything on the calling thread.
+    ``"threads"``
+        Correlator append groups and the per-class DFS fan out over a
+        ``workers``-wide thread pool (GIL-bound outside the numpy
+        kernels).
+    ``"processes"``
+        Service classes are partitioned across ``shards`` worker
+        *processes* by a consistent-hash shard map; fresh blocks ship
+        zero-copy via shared memory and per-shard partial pathmaps merge
+        deterministically (:mod:`repro.core.shards`).
+    """
 
     def __init__(
         self,
@@ -124,6 +129,8 @@ class E2EProfEngine:
         adaptive: bool = False,
         ledger: bool = True,
         measured_dispatch: Optional[bool] = None,
+        parallel: Optional[str] = None,
+        shards: Optional[int] = None,
     ) -> None:
         self.config = config
         self._clients: Set[NodeId] = set(clients or ())
@@ -133,6 +140,34 @@ class E2EProfEngine:
         self.workers = int(workers) if workers is not None else config.workers
         if self.workers < 1:
             raise AnalysisError(f"workers must be >= 1, got {self.workers}")
+        #: Execution mode of the correlate/DFS stages (see class
+        #: docstring). ``"auto"`` resolves to threads when ``workers > 1``
+        #: and serial otherwise, preserving the pre-``parallel`` behavior.
+        self.parallel = parallel if parallel is not None else config.parallel
+        if self.parallel == "auto":
+            self.parallel = "threads" if self.workers > 1 else "serial"
+        if self.parallel not in ("serial", "threads", "processes"):
+            raise AnalysisError(
+                "parallel must be one of serial/threads/processes, "
+                f"got {self.parallel!r}"
+            )
+        #: Worker process count for ``parallel="processes"``. Defaults to
+        #: ``config.shards``, falling back to ``workers``.
+        self.shards = int(shards) if shards is not None else (config.shards or self.workers)
+        if self.shards < 1:
+            raise AnalysisError(f"shards must be >= 1, got {self.shards}")
+        # Thread fan-out inside this process: only the threads mode
+        # shards refresh work across the pool.
+        self._thread_workers = self.workers if self.parallel == "threads" else 1
+        # Parent-side shard fleet (processes mode; created at attach).
+        self._sharded = None
+        # (shard, owned class pairs) dropped from the latest refresh
+        # because the shard's worker died mid-refresh.
+        self._lost_shards: List[Tuple[int, List[RefKey]]] = []
+        # The latest refresh's class pairs, in canonical analysis order,
+        # and their per-shard partition (processes mode bookkeeping).
+        self._dispatch_pair_order: List[RefKey] = []
+        self._dispatch_pairs: Dict[int, List[RefKey]] = {}
         #: When True (default), correlator updates use reference-grouped
         #: :func:`~repro.core.correlation.batch_lag_products` kernels with
         #: quiet-edge skipping and correlation memoization. False restores
@@ -416,12 +451,18 @@ class E2EProfEngine:
         # Anchor block boundaries one sampling window behind the wall
         # clock so flushed blocks are complete (see module docstring).
         self._base_quantum = int(round(begin / tau)) - self.config.sampling_quanta
-        if self.workers > 1 and self._pool is None:
+        if self._thread_workers > 1 and self._pool is None:
             # One pool for the engine's whole attached lifetime: spawning
             # threads per refresh would dwarf the work they shard.
             self._pool = concurrent.futures.ThreadPoolExecutor(
-                max_workers=self.workers, thread_name_prefix="e2eprof-refresh"
+                max_workers=self._thread_workers, thread_name_prefix="e2eprof-refresh"
             )
+        if self.parallel == "processes" and self._sharded is None:
+            # The fleet manager spawns/respawns workers lazily at the top
+            # of each refresh's correlate stage (ensure_workers).
+            from repro.core.shards import ShardedAnalysis
+
+            self._sharded = ShardedAnalysis(self, self.shards)
         self._task = PeriodicTask(
             topology.sim,
             self.config.refresh_interval,
@@ -437,6 +478,29 @@ class E2EProfEngine:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._sharded is not None:
+            self._sharded.close()
+            self._sharded = None
+
+    def close(self) -> None:
+        """Release every runtime resource the engine holds: the refresh
+        task, the thread pool, the shard worker processes and all
+        shared-memory segments. Idempotent; safe to call whether or not
+        the engine was ever attached (``detach`` already is both, this
+        alias just names the teardown contract explicitly)."""
+        self.detach()
+
+    def reshard(self, shards: int) -> None:
+        """Rebalance the process fleet to ``shards`` workers at the next
+        refresh boundary (``parallel="processes"`` only; a no-op count
+        change otherwise). Consistent hashing moves only ~1/N of the
+        service classes per step, and moved classes rebuild their
+        correlators bit-identically from mirrored block history."""
+        if shards < 1:
+            raise AnalysisError(f"shards must be >= 1, got {shards}")
+        self.shards = int(shards)
+        if self._sharded is not None:
+            self._sharded.reshard(self.shards)
 
     # -- refresh ------------------------------------------------------------------------
 
@@ -461,6 +525,9 @@ class E2EProfEngine:
         return result
 
     def _do_refresh(self, now: float) -> PathmapResult:
+        """One refresh as the explicit pipeline: ``_stage_ingest`` ->
+        ``_stage_correlate`` -> ``_stage_dfs`` -> ``_stage_publish``
+        (stage boundaries match the refresh ledger's samples)."""
         started = time.perf_counter()
         if self._topology is None:
             raise AnalysisError("engine is not attached to a topology")
@@ -475,10 +542,30 @@ class E2EProfEngine:
         self._refresh_corr_cache_hits = 0
         self._refresh_capture_batches = 0
         self._refresh_low_confidence = 0
+        self._lost_shards = []
         self.ledger.begin_refresh()
-        wire_metrics = self.metrics if self.metrics.enabled else None
         wire_bytes_before = self.wire_bytes_received
+        fresh, late_frames = self._stage_ingest(now, block_start)
+        self._stage_correlate(fresh, late_frames, block_start, now)
+        result, pathmap_seconds = self._stage_dfs(now)
+        return self._stage_publish(
+            result,
+            now,
+            block_start,
+            started,
+            pathmap_seconds,
+            len(fresh),
+            wire_bytes_before,
+        )
 
+    def _stage_ingest(
+        self, now: float, block_start: int
+    ) -> Tuple[Dict[EdgeKey, RunLengthSeries], List[BlockFrame]]:
+        """**Stage 1 -- ingest**: pull one block per edge from every
+        tracer (directly, or through the fault-tolerant transport) and
+        drain capture batches. Returns the fresh blocks plus any
+        re-sequenced late frames for history patching."""
+        wire_metrics = self.metrics if self.metrics.enabled else None
         fresh: Dict[EdgeKey, RunLengthSeries] = {}
         late_frames: List[BlockFrame] = []
         ingest_started = time.perf_counter()
@@ -514,33 +601,162 @@ class E2EProfEngine:
         self.ledger.record_stage(
             STAGE_INGEST, time.perf_counter() - ingest_started, len(fresh)
         )
+        return fresh, late_frames
 
+    def _stage_correlate(
+        self,
+        fresh: Dict[EdgeKey, RunLengthSeries],
+        late_frames: List[BlockFrame],
+        block_start: int,
+        now: float,
+    ) -> None:
+        """**Stage 2 -- correlate**: store/patch block history and bring
+        every incremental correlator up to date.
+
+        Serial and thread modes append in-process (the thread pool fans
+        out per reference group). Processes mode first heals the fleet
+        -- dead shards respawn from the *pre-store* mirrored history, so
+        they ingest this refresh like everyone else -- then stores
+        locally (the parent's mirror feeds confidence/quality grading
+        and future respawns) and ships the refresh to every worker,
+        which appends and analyzes concurrently; their timings land in
+        this stage's ledger sample when collected."""
         correlate_started = time.perf_counter()
+        if self._sharded is not None:
+            self._sharded.ensure_workers()
         self._refreshes += 1
         self._store_blocks(fresh, block_start)
         if late_frames:
             self._patch_late_blocks(late_frames, block_start)
-        with self.tracer.span(
-            "engine.correlators", correlators=len(self._correlators)
-        ):
-            self._append_to_correlators()
+        if self._sharded is not None:
+            from repro.core.shards import block_tuple
+
+            pairs = class_pairs(HostWindow(self))
+            self._dispatch_pair_order = pairs
+            self._dispatch_pairs = self._sharded.partition(pairs)
+            late_payload = [
+                (frame.edge, block_tuple(frame.block))
+                for frame in late_frames
+                if frame.block is not None
+            ]
+            with self.tracer.span(
+                "engine.shards.dispatch", shards=self._sharded.num_shards
+            ):
+                self._sharded.dispatch(
+                    fresh,
+                    late_payload,
+                    block_start,
+                    now,
+                    self._dispatch_pairs,
+                    clients=self._clients,
+                    refreshes=self._refreshes,
+                )
+        else:
+            with self.tracer.span(
+                "engine.correlators", correlators=len(self._correlators)
+            ):
+                self._append_to_correlators()
         self.ledger.record_stage(
             STAGE_CORRELATE, time.perf_counter() - correlate_started, len(self._blocks)
         )
 
-        window = _EngineWindow(self)
+    def _stage_dfs(self, now: float) -> Tuple[PathmapResult, float]:
+        """**Stage 3 -- DFS**: recompute every service class's graph.
+
+        Serial/thread modes run the pathmap DFS in-process. Processes
+        mode collects each shard's partial pathmap and merges the
+        disjoint per-class results deterministically."""
         pathmap_started = time.perf_counter()
         with self.tracer.span("engine.pathmap"):
-            result = self._pathmap.analyze(
-                window, workers=self.workers, executor=self._pool
-            )
+            if self._sharded is not None:
+                result = self._merge_shard_partials(now)
+            else:
+                window = HostWindow(self)
+                result = self._pathmap.analyze(
+                    window, workers=self._thread_workers, executor=self._pool
+                )
         pathmap_seconds = time.perf_counter() - pathmap_started
         self.ledger.record_stage(
             STAGE_DFS, pathmap_seconds, result.stats.correlations
         )
+        return result, pathmap_seconds
+
+    def _merge_shard_partials(self, now: float) -> PathmapResult:
+        """Collect every shard worker's partial and merge: graphs are a
+        disjoint union re-ordered to the canonical pair order, stats and
+        tallies are sums, worker counter deltas fold into the parent
+        registry, and worker kernel/shard timings replay into the
+        parent's ledger. Shards lost mid-refresh are recorded for the
+        publish stage's degraded-quality annotation."""
+        merge_started = time.perf_counter()
+        partials, lost = self._sharded.collect()
+        stats = PathmapStats()
+        by_pair: Dict[RefKey, "object"] = {}
+        worker_correlate = 0.0
+        for partial in partials:
+            by_pair.update(partial.graphs)
+            stats.correlations += partial.correlations
+            stats.spikes += partial.spikes
+            stats.edges_discovered += partial.edges_discovered
+            stats.graphs += partial.graph_count
+            stats.nodes_visited += partial.nodes_visited
+            self._refresh_cache_hits += partial.cache_hits
+            self._refresh_cache_misses += partial.cache_misses
+            self._refresh_skips += partial.skips
+            self._refresh_corr_cache_hits += partial.corr_cache_hits
+            worker_correlate = max(worker_correlate, partial.correlate_seconds)
+            for kernel in sorted(partial.kernels):
+                rows, seconds, units, nbytes = partial.kernels[kernel]
+                self.ledger.record_kernel(
+                    kernel,
+                    rows=rows,
+                    seconds=seconds,
+                    work_units=units,
+                    bytes_touched=nbytes,
+                )
+            self.ledger.record_shard(
+                partial.shard,
+                partial.correlate_seconds,
+                partial.dfs_seconds,
+                classes=partial.classes,
+                correlators=partial.correlators,
+            )
+            # Worker counters (pathmap_*, correlator_*, engine cache
+            # hit/miss...) fold in as deltas, so enabled-registry runs
+            # read integer-identical totals to a serial run.
+            for name, labels, help_, delta in partial.counters:
+                self.metrics.counter(name, help_, labels=dict(labels)).inc(delta)
+        # Workers correlate concurrently with each other; the refresh's
+        # wall-clock correlate cost extends by the slowest shard.
+        self.ledger.record_stage(STAGE_CORRELATE, worker_correlate)
+        graphs: Dict[RefKey, "object"] = {}
+        for pair in self._dispatch_pair_order:
+            if pair in by_pair:
+                graphs[pair] = by_pair[pair]
+        stats.elapsed_seconds = time.perf_counter() - merge_started
+        self._lost_shards = [
+            (shard, self._dispatch_pairs.get(shard, [])) for shard in lost
+        ]
+        return PathmapResult(graphs, stats)
+
+    def _stage_publish(
+        self,
+        result: PathmapResult,
+        now: float,
+        block_start: int,
+        started: float,
+        pathmap_seconds: float,
+        blocks_ingested: int,
+        wire_bytes_before: int,
+    ) -> PathmapResult:
+        """**Stage 4 -- publish**: annotate the result (quality,
+        shard-loss degradation, confidence, recommendations, ledger),
+        observe the engine metrics, and fan out to every subscriber."""
         annotate_started = time.perf_counter()
         if self._receiver is not None:
             self._apply_quality(result, now, block_start)
+        if self._lost_shards:
+            self._apply_shard_loss(result, now)
         self._apply_confidence(result, now)
         if self.adaptive:
             self._update_recommendations(result)
@@ -565,10 +781,10 @@ class E2EProfEngine:
         self._m_refresh.observe(self.last_refresh_seconds)
         self._m_pathmap.observe(pathmap_seconds)
         self._m_refreshes.inc()
-        self._m_blocks.inc(len(fresh))
+        self._m_blocks.inc(blocks_ingested)
         wire_bytes = self.wire_bytes_received - wire_bytes_before
         self._m_wire_bytes.inc(wire_bytes)
-        self._m_correlators.set(len(self._correlators))
+        self._m_correlators.set(self._correlator_total())
         self._m_edges.set(len(self._blocks))
         fanout_started = time.perf_counter()
         with self.tracer.span(
@@ -583,9 +799,9 @@ class E2EProfEngine:
             refresh_seconds=self.last_refresh_seconds,
             pathmap_seconds=pathmap_seconds,
             fanout_seconds=fanout_seconds,
-            blocks_ingested=len(fresh),
+            blocks_ingested=blocks_ingested,
             wire_bytes=wire_bytes,
-            correlators=len(self._correlators),
+            correlators=self._correlator_total(),
             cache_hits=self._refresh_cache_hits,
             cache_misses=self._refresh_cache_misses,
             correlations=result.stats.correlations,
@@ -627,12 +843,74 @@ class E2EProfEngine:
                 "%d spikes, %.1f ms",
                 self._refreshes,
                 now,
-                len(fresh),
-                len(self._correlators),
+                blocks_ingested,
+                self._correlator_total(),
                 result.stats.spikes,
                 self.last_refresh_seconds * 1e3,
             )
         return result
+
+    def _correlator_total(self) -> int:
+        """Live correlators across the analysis, whichever process holds
+        them (the fleet's last reported counts in processes mode)."""
+        if self._sharded is not None:
+            return self._sharded.correlator_total()
+        return len(self._correlators)
+
+    @property
+    def correlator_count(self) -> int:
+        return self._correlator_total()
+
+    def _apply_shard_loss(self, result: PathmapResult, now: float) -> None:
+        """Degrade, never drop: a shard lost mid-refresh leaves its
+        service classes out of this result, so their reference edges --
+        and every edge their previous graphs had discovered -- are
+        marked :data:`QUALITY_DEGRADED` through the same DataQuality
+        machinery transport faults use, and a ``shard_lost`` event is
+        published per lost shard. The fleet respawns the shard from
+        mirrored history at the next refresh."""
+        previous = self.latest_result
+        dark_edges: Set[EdgeKey] = set()
+        for _, pairs in self._lost_shards:
+            for pair in pairs:
+                dark_edges.add(pair)
+                if previous is not None:
+                    graph = previous.graphs.get(pair)
+                    if graph is not None:
+                        dark_edges.update(edge.key for edge in graph.edges)
+        if self._receiver is not None:
+            # Start from this refresh's transport verdicts (already
+            # annotated) and only ever worsen them.
+            edge_quality = dict(self.latest_edge_quality)
+        else:
+            edge_quality = {edge: FRESH_QUALITY for edge in self._blocks}
+        for edge in sorted(dark_edges):
+            current = edge_quality.get(edge)
+            if current is None or current.ok:
+                edge_quality[edge] = DataQuality(QUALITY_DEGRADED, 1.0)
+        score = overall_quality(edge_quality.values())
+        result.annotate_quality(edge_quality, score)
+        self.quality_score = score
+        self.latest_edge_quality = edge_quality
+        self._m_quality.set(score)
+        for shard, pairs in self._lost_shards:
+            self.events.publish(
+                EVENT_SHARD_LOST,
+                now,
+                shard=shard,
+                classes=len(pairs),
+                degraded_edges=len(dark_edges),
+            )
+        if self._receiver is None and score < 1.0:
+            # With transport on, _apply_quality owns the degraded-refresh
+            # event; without it, shard loss is the only degradation source.
+            self.events.publish(
+                EVENT_DEGRADED_REFRESH,
+                now,
+                quality=score,
+                degraded_edges=sum(1 for q in edge_quality.values() if not q.ok),
+                stale_tracers=0,
+            )
 
     def _notify(self, callback: Callable, now: float, args: Tuple) -> None:
         """Call one subscriber, isolated: a raising callback is logged,
@@ -685,32 +963,6 @@ class E2EProfEngine:
         """JSON-able dump of the last recorded refreshes (see
         :class:`repro.obs.flight.FlightRecorder`)."""
         return self.flight.dump(last)
-
-    def _store_blocks(self, fresh: Dict[EdgeKey, RunLengthSeries], block_start: int) -> None:
-        empty = RunLengthSeries.empty(block_start, self._block_quanta, self.config.quantum)
-        for edge in set(self._blocks) | set(fresh):
-            deque_ = self._blocks.get(edge)
-            if deque_ is None:
-                # Newly seen edge: backfill silence so every deque is
-                # aligned on the same block boundaries.
-                deque_ = self._backfilled_deque(
-                    block_start - self._block_quanta,
-                    min(self._refreshes - 1, self._num_blocks),
-                )
-                self._blocks[edge] = deque_
-            deque_.append(fresh.get(edge, empty))
-
-    def _backfilled_deque(
-        self, last_start: int, rounds: int
-    ) -> Deque[RunLengthSeries]:
-        """An aligned deque of ``rounds`` empty blocks ending at
-        ``last_start`` (inclusive)."""
-        tau = self.config.quantum
-        deque_: Deque[RunLengthSeries] = collections.deque(maxlen=self._num_blocks)
-        for k in range(rounds - 1, -1, -1):
-            start = last_start - k * self._block_quanta
-            deque_.append(RunLengthSeries.empty(start, self._block_quanta, tau))
-        return deque_
 
     # -- fault-tolerant transport -------------------------------------------------
 
@@ -851,40 +1103,15 @@ class E2EProfEngine:
             block = frame.block
             assert block is not None
             edge = frame.edge
-            deque_ = self._blocks.get(edge)
-            if deque_ is None:
-                # First-ever block of an edge arrived late: materialize
-                # an aligned, silence-filled history to patch into.
-                deque_ = self._backfilled_deque(
-                    block_start, min(self._refreshes, self._num_blocks)
-                )
-                self._blocks[edge] = deque_
-            oldest = deque_[0].start if deque_ else None
-            if oldest is None:
+            if not self._splice_block(edge, block, block_start):
                 continue
-            index = (block.start - oldest) // self._block_quanta
-            if index < 0 or index >= len(deque_):
-                continue  # already rotated out of the window
-            if deque_[index].start != block.start:
-                continue
-            deque_[index] = block
             patched += 1
             gaps = self._gap_blocks.get(edge)
             if gaps:
                 gaps.discard(block.start)
-            self._invalidate_correlators(edge)
         if patched:
             self._m_t_late.inc(patched)
         return patched
-
-    def _invalidate_correlators(self, edge: EdgeKey) -> None:
-        stale = [
-            key
-            for key in self._correlators
-            if key[0] == edge or key[1] == edge
-        ]
-        for key in stale:
-            del self._correlators[key]
 
     def _apply_quality(
         self, result: PathmapResult, now: float, block_start: int
@@ -1061,22 +1288,12 @@ class E2EProfEngine:
         """
         if self._base_quantum is None:
             raise AnalysisError("engine was never attached")
-        tau = self.config.quantum
-        cutoff_quantum = int(round(cutoff / tau))
-        blanked = 0
-        for edge, deque_ in self._blocks.items():
-            touched = False
-            for index, block in enumerate(deque_):
-                if block.start + self._block_quanta > cutoff_quantum:
-                    break
-                if block.num_runs:
-                    deque_[index] = RunLengthSeries.empty(
-                        block.start, self._block_quanta, tau
-                    )
-                    blanked += 1
-                    touched = True
-            if touched:
-                self._invalidate_correlators(edge)
+        cutoff_quantum = int(round(cutoff / self.config.quantum))
+        blanked = self._blank_history(cutoff_quantum)
+        if self._sharded is not None:
+            # Mirror the blanking into every shard worker's history (an
+            # ordered control message, applied before the next refresh).
+            self._sharded.rewindow(cutoff_quantum)
         if blanked:
             self.rewindows += 1
             self._m_rewindows.inc()
@@ -1126,367 +1343,7 @@ class E2EProfEngine:
             },
         }
 
-    def _append_to_correlators(self) -> None:
-        if not self.batched:
-            self._append_per_pair()
-            return
-        started = time.perf_counter()
-        # Reference-grouped batch path: correlators sharing one reference
-        # edge hold identical x-side windows (they replay the same block
-        # history), so all their new pair products can come from one
-        # batch_lag_products call per pending x block.
-        groups: Dict[RefKey, List[Tuple[EdgeKey, IncrementalCorrelator]]] = {}
-        for (ref_edge, edge), correlator in self._correlators.items():
-            groups.setdefault(ref_edge, []).append((edge, correlator))
-        if self._pool is not None and len(groups) > 1:
-            skipped = sum(self._pool.map(self._append_group, groups.items()))
-        else:
-            skipped = sum(self._append_group(item) for item in groups.items())
-        self._refresh_skips = skipped
-        self._m_batch.observe(time.perf_counter() - started)
 
-    def _append_per_pair(self) -> None:
-        """Legacy refresh: one kernel invocation per (reference, edge) pair.
-
-        The whole loop is ledgered as one ``legacy_pair`` kernel sample
-        (rows = correlator appends) -- per-append timing would cost more
-        than the appends themselves on quiet windows.
-        """
-        kernel_started = time.perf_counter()
-        try:
-            if self.tracer.enabled:
-                # Traced path: one span per correlator update, labelled by the
-                # (reference, edge) pair it maintains.
-                for (ref_edge, edge), correlator in self._correlators.items():
-                    with self.tracer.span(
-                        "correlator.append",
-                        ref=f"{ref_edge[0]}->{ref_edge[1]}",
-                        edge=f"{edge[0]}->{edge[1]}",
-                    ):
-                        correlator.append(self._blocks[ref_edge][-1], self._blocks[edge][-1])
-                return
-            # Untraced hot path: kept span-free so the disabled-tracing
-            # overhead stays at one attribute check per refresh, not per edge.
-            for (ref_edge, edge), correlator in self._correlators.items():
-                ref_block = self._blocks[ref_edge][-1]
-                edge_block = self._blocks[edge][-1]
-                correlator.append(ref_block, edge_block)
-        finally:
-            self.ledger.record_kernel(
-                KERNEL_LEGACY,
-                rows=len(self._correlators),
-                seconds=time.perf_counter() - kernel_started,
-            )
-
-    def _group_vectors(
-        self,
-        x_block: RunLengthSeries,
-        y_blocks: List[RunLengthSeries],
-        ys_sparse: List[SeriesLike],
-        max_lag: int,
-    ) -> Optional[np.ndarray]:
-        """Pair-product rows of one pending x block against every batched
-        group member, dispatched by a density cost model.
-
-        The sparse batch kernel touches every (x sample, y sample) pair
-        within ``max_lag``, so its cost explodes on smeared (near-dense)
-        blocks, where the run-length kernel -- whose cost scales with run
-        counts, not sample counts -- stays flat. Spike trains are the
-        opposite regime. Both estimates are pure functions of the blocks,
-        so grouped appends, history replays and parallel shards all make
-        the identical choice and stay bit-for-bit reproducible.
-
-        With ``measured_dispatch`` on (and both kernel EWMAs warmed), the
-        comparison weighs each side's dispatch units by the ledger's
-        *measured* ns/unit instead of the modeled constant. Both kernels
-        produce bitwise-identical lag products, so the choice never
-        changes the output -- only where the time goes.
-
-        Kernel timing is recorded per dispatch group (a handful of
-        ``perf_counter`` calls per pending x block), never per row.
-        """
-        if block_is_quiet(x_block):
-            return None
-        xs = x_block.to_sparse()
-        rows: List[Optional[np.ndarray]] = [None] * len(y_blocks)
-        batched_rows: List[int] = []
-        rle_rows: List[int] = []
-        sparse_units_total = 0.0
-        rle_units_total = 0.0
-        ns_sparse = ns_rle = None
-        if self.measured_dispatch:
-            ns_sparse = self.ledger.ns_per_unit(KERNEL_SPARSE_BATCH)
-            ns_rle = self.ledger.ns_per_unit(KERNEL_RLE)
-        measured = ns_sparse is not None and ns_rle is not None
-        for i, (y_block, ys) in enumerate(zip(y_blocks, ys_sparse)):
-            span = max(int(ys.indices[-1]) - int(ys.indices[0]) + 1, 1)
-            sparse_units = sparse_dispatch_units(
-                xs.indices.size, ys.indices.size, span, max_lag
-            )
-            rle_units = rle_dispatch_units(x_block.num_runs, y_block.num_runs)
-            if measured:
-                choose_sparse = sparse_units * ns_sparse <= rle_units * ns_rle
-            else:
-                choose_sparse = sparse_units <= MODELED_RLE_COST_RATIO * rle_units
-            if choose_sparse:
-                batched_rows.append(i)
-                sparse_units_total += sparse_units
-            else:
-                rle_rows.append(i)
-                rle_units_total += rle_units
-        record = self.ledger.record_kernel if self.ledger.enabled else None
-        if rle_rows:
-            rle_started = time.perf_counter()
-            for i in rle_rows:
-                rows[i] = _pair_products(x_block, y_blocks[i], max_lag)
-            if record is not None:
-                # RunLengthSeries data: starts + counts (int64) + values
-                # (float64) = 24 bytes per run.
-                record(
-                    KERNEL_RLE,
-                    rows=len(rle_rows),
-                    seconds=time.perf_counter() - rle_started,
-                    work_units=rle_units_total,
-                    bytes_touched=24 * (
-                        x_block.num_runs * len(rle_rows)
-                        + sum(y_blocks[i].num_runs for i in rle_rows)
-                    ),
-                )
-        if not batched_rows:
-            return np.stack(rows)
-        batch_started = time.perf_counter()
-        if len(batched_rows) == len(y_blocks):
-            mat = batch_lag_products(xs, ys_sparse, max_lag)
-            out: Optional[np.ndarray] = mat
-        else:
-            mat = batch_lag_products(
-                xs, [ys_sparse[i] for i in batched_rows], max_lag
-            )
-            for r, i in enumerate(batched_rows):
-                rows[i] = mat[r]
-            out = None
-        if record is not None:
-            # DensityTimeSeries data: indices (int64) + values (float64)
-            # = 16 bytes per nonzero.
-            record(
-                KERNEL_SPARSE_BATCH,
-                rows=len(batched_rows),
-                seconds=time.perf_counter() - batch_started,
-                work_units=sparse_units_total,
-                bytes_touched=16 * (
-                    xs.indices.size
-                    + sum(ys_sparse[i].indices.size for i in batched_rows)
-                ),
-            )
-        return out if out is not None else np.stack(rows)
-
-    def _append_group(
-        self,
-        group: Tuple[RefKey, List[Tuple[EdgeKey, IncrementalCorrelator]]],
-    ) -> int:
-        """Append the newest blocks to every correlator of one reference
-        group, batching all non-quiet edges into shared kernels. Returns
-        the number of pair products skipped as quiet."""
-        ref_edge, members = group
-        x_new = self._blocks[ref_edge][-1]
-        traced = self.tracer.enabled
-        skipped = 0
-        # Split the group: quiet newest edge blocks produce zero vectors
-        # only (the plain optimized append skips every kernel for them);
-        # the rest share one batch per pending x block. A member whose
-        # window disagrees with the group's (cannot happen through the
-        # normal refresh cycle, but cheap to guard) also takes the plain
-        # path, which computes its own kernels.
-        batch: List[Tuple[EdgeKey, IncrementalCorrelator, RunLengthSeries]] = []
-        plain: List[Tuple[EdgeKey, IncrementalCorrelator, RunLengthSeries]] = []
-        canonical: Optional[List[SeriesLike]] = None
-        for edge, correlator in members:
-            y_new = self._blocks[edge][-1]
-            if block_is_quiet(y_new):
-                plain.append((edge, correlator, y_new))
-                continue
-            pending = correlator.pending_pair_blocks()
-            if canonical is None:
-                canonical = pending
-            elif len(pending) != len(canonical) or any(
-                a is not b for a, b in zip(pending, canonical)
-            ):
-                plain.append((edge, correlator, y_new))
-                continue
-            batch.append((edge, correlator, y_new))
-        if batch:
-            max_lag = self.config.max_lag_quanta
-            y_blocks = [y for _, _, y in batch]
-            ys = [
-                y.to_sparse() if isinstance(y, RunLengthSeries) else y
-                for y in y_blocks
-            ]
-            mats = [
-                self._group_vectors(x_p, y_blocks, ys, max_lag)
-                for x_p in list(canonical or []) + [x_new]
-            ]
-            for row, (edge, correlator, y_new) in enumerate(batch):
-                vectors = [None if m is None else m[row].copy() for m in mats]
-                if traced:
-                    with self.tracer.span(
-                        "correlator.append",
-                        ref=f"{ref_edge[0]}->{ref_edge[1]}",
-                        edge=f"{edge[0]}->{edge[1]}",
-                    ):
-                        skipped += correlator.append(x_new, y_new, pair_vectors=vectors)
-                else:
-                    skipped += correlator.append(x_new, y_new, pair_vectors=vectors)
-        if plain:
-            # Quiet / mismatched members take the per-pair append path
-            # (which computes its own kernels); ledger them as one
-            # legacy_pair sample per group.
-            plain_started = time.perf_counter()
-            for edge, correlator, y_new in plain:
-                if traced:
-                    with self.tracer.span(
-                        "correlator.append",
-                        ref=f"{ref_edge[0]}->{ref_edge[1]}",
-                        edge=f"{edge[0]}->{edge[1]}",
-                    ):
-                        skipped += correlator.append(x_new, y_new)
-                else:
-                    skipped += correlator.append(x_new, y_new)
-            self.ledger.record_kernel(
-                KERNEL_LEGACY,
-                rows=len(plain),
-                seconds=time.perf_counter() - plain_started,
-            )
-        return skipped
-
-    # -- correlation provider (plugged into pathmap) ----------------------------------------
-
-    def _provide_correlation(
-        self,
-        reference: SeriesLike,
-        signal: SeriesLike,
-        ref_key: RefKey,
-        edge_key: EdgeKey,
-    ) -> CorrelationSeries:
-        correlator = self._correlators.get((ref_key, edge_key))
-        if correlator is None:
-            with self._tally_lock:
-                self._refresh_cache_misses += 1
-            self._m_cache_misses.inc()
-            correlator = self._create_correlator(ref_key, edge_key)
-        else:
-            with self._tally_lock:
-                self._refresh_cache_hits += 1
-            self._m_cache_hits.inc()
-        series = correlator.correlation()
-        if correlator.last_served_from_cache:
-            with self._tally_lock:
-                self._refresh_corr_cache_hits += 1
-        return series
-
-    def _create_correlator(self, ref_key: RefKey, edge_key: EdgeKey) -> IncrementalCorrelator:
-        ref_blocks = self._blocks.get(ref_key)
-        edge_blocks = self._blocks.get(edge_key)
-        if ref_blocks is None or edge_blocks is None:
-            raise AnalysisError(
-                f"no block history for correlator {ref_key} x {edge_key}"
-            )
-        correlator = IncrementalCorrelator(
-            max_lag=self.config.max_lag_quanta,
-            num_blocks=self._num_blocks,
-            quantum=self.config.quantum,
-            metrics=self.metrics,
-            optimized=self.batched,
-        )
-        for ref_block, edge_block in zip(ref_blocks, edge_blocks):
-            if self.batched:
-                # Replay through the same batch kernel the grouped append
-                # uses, so a correlator rebuilt from history (new service
-                # class, transport late-block invalidation) is bit-identical
-                # to one maintained incrementally across refreshes.
-                self._batched_replay(correlator, ref_block, edge_block)
-            else:
-                correlator.append(ref_block, edge_block)
-        self._correlators[(ref_key, edge_key)] = correlator
-        return correlator
-
-    def _batched_replay(
-        self,
-        correlator: IncrementalCorrelator,
-        x_block: RunLengthSeries,
-        y_block: RunLengthSeries,
-    ) -> int:
-        """One append computed via single-row :meth:`_group_vectors` calls
-        (the quiet-skip and kernel-dispatch structure mirrors the grouped
-        path exactly, so a replayed correlator is bit-identical to a
-        maintained one)."""
-        if block_is_quiet(y_block):
-            return correlator.append(x_block, y_block)
-        max_lag = self.config.max_lag_quanta
-        y_blocks = [y_block]
-        ys = [y_block.to_sparse() if isinstance(y_block, RunLengthSeries) else y_block]
-        vectors: List[Optional[np.ndarray]] = []
-        for x_p in correlator.pending_pair_blocks() + [x_block]:
-            mat = self._group_vectors(x_p, y_blocks, ys, max_lag)
-            vectors.append(None if mat is None else mat[0])
-        return correlator.append(x_block, y_block, pair_vectors=vectors)
-
-    # -- window state queried by the pathmap DFS ----------------------------------------------
-
-    def _active_edges(self) -> Set[EdgeKey]:
-        return {
-            edge
-            for edge, blocks in self._blocks.items()
-            if any(block.num_runs for block in blocks)
-        }
-
-    def _edge_series(self, edge: EdgeKey) -> DensityTimeSeries:
-        blocks = self._blocks.get(edge)
-        if not blocks:
-            raise AnalysisError(f"no blocks for edge {edge}")
-        # Single-pass concatenation (mirrors IncrementalCorrelator._concat):
-        # the pairwise concatenated() chain re-copied the growing prefix
-        # for every block, i.e. quadratic in the window depth.
-        sparse = [block.to_sparse() for block in blocks]
-        return DensityTimeSeries(
-            np.concatenate([s.indices for s in sparse]),
-            np.concatenate([s.values for s in sparse]),
-            sparse[0].start,
-            sum(s.length for s in sparse),
-            sparse[0].quantum,
-        )
-
-    @property
-    def correlator_count(self) -> int:
-        return len(self._correlators)
-
-
-class _EngineWindow(TraceWindow):
-    """TraceWindow view over the engine's current block history."""
-
-    def __init__(self, engine: E2EProfEngine) -> None:
-        self._engine = engine
-        self._active = engine._active_edges()
-        self._clients = engine._clients
-
-    def front_end_nodes(self) -> List[NodeId]:
-        return sorted(
-            {
-                dst
-                for (src, dst) in self._active
-                if src in self._clients and dst not in self._clients
-            }
-        )
-
-    def clients_of(self, node: NodeId) -> List[NodeId]:
-        return sorted(
-            src for (src, dst) in self._active if dst == node and src in self._clients
-        )
-
-    def destinations_of(self, node: NodeId) -> List[NodeId]:
-        return sorted(dst for (src, dst) in self._active if src == node)
-
-    def is_client(self, node: NodeId) -> bool:
-        return node in self._clients
-
-    def edge_series(self, src: NodeId, dst: NodeId) -> DensityTimeSeries:
-        return self._engine._edge_series((src, dst))
+#: Backwards-compatible alias: the engine's TraceWindow view now
+#: lives in :mod:`repro.core.stages` and serves shard workers too.
+_EngineWindow = HostWindow

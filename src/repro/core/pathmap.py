@@ -74,6 +74,23 @@ class TraceWindow(abc.ABC):
         """True when ``node`` is a client node (never recursed into)."""
 
 
+def class_pairs(window: TraceWindow) -> List[Tuple[NodeId, NodeId]]:
+    """Every ``(client, front_end)`` service class, in analysis order.
+
+    The order is canonical (sorted, deterministic).
+
+    This is the unit both of the DFS loop and of consistent-hash
+    sharding: the engine partitions exactly this list across shard
+    worker processes, so the disjoint per-shard unions reconstruct the
+    serial pass bit-for-bit.
+    """
+    return [
+        (client, root)
+        for root in window.front_end_nodes()
+        for client in window.clients_of(root)
+    ]
+
+
 @dataclasses.dataclass
 class PathmapStats:
     """Work counters for one analysis pass (feeds the Figure 9 benchmark)."""
@@ -267,6 +284,7 @@ class Pathmap:
         window: TraceWindow,
         workers: int = 1,
         executor: Optional[concurrent.futures.Executor] = None,
+        pairs: Optional[List[Tuple[NodeId, NodeId]]] = None,
     ) -> PathmapResult:
         """Compute the service graphs of every service class in ``window``.
 
@@ -279,14 +297,17 @@ class Pathmap:
         persistent ``executor`` (the online engine keeps one across its
         whole attach/detach lifetime) avoids re-spawning a pool on every
         refresh.
+
+        ``pairs`` restricts the pass to an explicit subset of
+        ``(client, root)`` service classes -- how a shard worker process
+        computes only its owned partition. Defaults to every class in
+        the window (:func:`class_pairs`), so a partitioned union over
+        disjoint subsets merges to exactly the full result.
         """
         started = time.perf_counter()
         stats = PathmapStats()
-        pairs = [
-            (client, root)
-            for root in window.front_end_nodes()
-            for client in window.clients_of(root)
-        ]
+        if pairs is None:
+            pairs = class_pairs(window)
 
         def analyze_pair(pair: Tuple[NodeId, NodeId]) -> Tuple[Tuple[NodeId, NodeId], ServiceGraph, PathmapStats]:
             client, root = pair

@@ -42,6 +42,20 @@ FAST_CONFIG = PathmapConfig(
 )
 
 
+@pytest.fixture(autouse=True)
+def _pinned_global_seeds():
+    """Defense-in-depth determinism: every audited test passes explicit
+    seeds (``default_rng(N)``), but any future code path that falls back
+    to the *global* random state gets a fixed, per-test seed here rather
+    than entropy from the OS. Keeps back-to-back suite runs bit-identical.
+    """
+    import random
+
+    random.seed(0xE2EB0F)
+    np.random.seed(0xE2EB0F)
+    yield
+
+
 @pytest.fixture(scope="session")
 def rng():
     return np.random.default_rng(12345)

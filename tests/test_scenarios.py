@@ -171,3 +171,28 @@ class TestHarnessSmoke:
         score = run_scenario(run, adaptive=adaptive, config=config)
         assert score.cells, "harness produced no graded cells"
         assert score.aggregate_f1 >= floor, score.to_dict()
+
+
+class TestSuiteDeterminism:
+    """Tier-1 determinism audit backstop: running the harness smoke
+    twice back-to-back must reproduce every scorecard bit-for-bit (no
+    hidden global-random or ordering dependence anywhere in the
+    simulate -> analyze -> grade chain)."""
+
+    SMOKE = [
+        ("steady_state", False),
+        ("cache_stampede", True),
+        ("traffic_trough", True),
+    ]
+
+    def _scorecard(self) -> dict:
+        card = {}
+        for name, adaptive in self.SMOKE:
+            run = get_scenario(name).build(seed=0)
+            config = None if adaptive else grid_config(run, "fast")
+            score = run_scenario(run, adaptive=adaptive, config=config)
+            card[name] = score.to_dict(include_cells=True)
+        return card
+
+    def test_back_to_back_smoke_runs_are_identical(self):
+        assert self._scorecard() == self._scorecard()

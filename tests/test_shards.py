@@ -1,0 +1,176 @@
+"""Consistent-hash shard map invariants.
+
+The process-parallel correlate stage partitions (client, front_end)
+class keys across worker processes with :class:`repro.core.shards.ShardMap`.
+Correctness of the whole sharded refresh rests on a handful of map
+properties, checked here under hypothesis:
+
+* total coverage -- every key is owned by exactly one shard in range;
+* determinism -- assignment is a pure function of (key, num_shards),
+  stable across map instances (and therefore across processes);
+* minimal movement -- growing ``n -> n + 1`` moves keys **only** onto
+  the new shard (the structural guarantee behind "rebalance without
+  recompute"), and the number moved is roughly ``K / N``;
+* partition completeness -- ``partition()`` covers every key once,
+  lists every shard, and preserves input order.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.core.shards import ShardMap, pack_blocks, unpack_blocks
+from repro.errors import AnalysisError
+
+#: Class keys as they appear in the engine: tuples of node-id strings.
+node_ids = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789_-.", min_size=1, max_size=16
+)
+class_keys = st.tuples(node_ids, node_ids)
+key_lists = st.lists(class_keys, min_size=0, max_size=200, unique=True)
+shard_counts = st.integers(min_value=1, max_value=8)
+
+
+class TestOwnership:
+    @given(keys=key_lists, shards=shard_counts)
+    def test_every_key_owned_by_exactly_one_shard_in_range(self, keys, shards):
+        map_ = ShardMap(shards)
+        for key in keys:
+            owner = map_.owner(key)
+            assert 0 <= owner < shards
+
+    @given(keys=key_lists, shards=shard_counts)
+    def test_assignment_is_stable_and_idempotent(self, keys, shards):
+        first = ShardMap(shards)
+        second = ShardMap(shards)  # fresh instance: no per-process salt
+        for key in keys:
+            assert first.owner(key) == first.owner(key)
+            assert first.owner(key) == second.owner(key)
+
+    def test_single_shard_owns_everything(self):
+        map_ = ShardMap(1)
+        assert map_.owner(("client", "web")) == 0
+        assert map_.owner(("x", "y")) == 0
+
+    def test_invalid_shard_counts_rejected(self):
+        with pytest.raises(AnalysisError):
+            ShardMap(0)
+        with pytest.raises(AnalysisError):
+            ShardMap(-1)
+        with pytest.raises(AnalysisError):
+            ShardMap(2, vnodes=0)
+
+
+class TestMinimalMovement:
+    @given(keys=key_lists, shards=st.integers(min_value=1, max_value=7))
+    def test_growth_moves_keys_only_to_the_new_shard(self, keys, shards):
+        # Shard i's ring points depend only on i, so growing n -> n+1
+        # adds points without moving any existing one: a key either
+        # keeps its owner or lands on the new shard. Exact, not
+        # probabilistic.
+        before = ShardMap(shards)
+        after = ShardMap(shards + 1)
+        for key in keys:
+            old, new = before.owner(key), after.owner(key)
+            assert new == old or new == shards, key
+
+    @given(keys=key_lists, shards=st.integers(min_value=1, max_value=7))
+    def test_shrink_is_the_inverse_of_growth(self, keys, shards):
+        # Removing the highest shard returns every displaced key to the
+        # owner it had before that shard existed.
+        small = ShardMap(shards)
+        big = ShardMap(shards + 1)
+        for key in keys:
+            if big.owner(key) != shards:
+                assert big.owner(key) == small.owner(key)
+
+    @settings(max_examples=20)
+    @given(shards=st.integers(min_value=1, max_value=7))
+    def test_movement_fraction_is_about_k_over_n(self, shards):
+        # With a fixed large key population, the expected share moved by
+        # one growth step is K/(N+1); allow generous slack since 64
+        # vnodes only roughly balance the ring.
+        keys = [(f"client-{i}", f"svc-{i % 13}") for i in range(2000)]
+        before = ShardMap(shards)
+        after = ShardMap(shards + 1)
+        moved = sum(1 for key in keys if before.owner(key) != after.owner(key))
+        expected = len(keys) / (shards + 1)
+        assert moved <= 3.0 * expected
+        assert moved > 0  # the new shard takes ownership of something
+
+
+class TestPartition:
+    @given(keys=key_lists, shards=shard_counts)
+    def test_partition_covers_every_key_exactly_once(self, keys, shards):
+        map_ = ShardMap(shards)
+        parts = map_.partition(keys)
+        assert sorted(parts) == list(range(shards))  # every shard present
+        flat = [key for shard in sorted(parts) for key in parts[shard]]
+        assert sorted(flat) == sorted(keys)
+        for shard, owned in parts.items():
+            for key in owned:
+                assert map_.owner(key) == shard
+
+    @given(keys=key_lists, shards=shard_counts)
+    def test_partition_preserves_input_order_within_shards(self, keys, shards):
+        map_ = ShardMap(shards)
+        parts = map_.partition(keys)
+        for shard, owned in parts.items():
+            expected = [key for key in keys if map_.owner(key) == shard]
+            assert owned == expected
+
+
+class TestBlockShipment:
+    """pack/unpack must round-trip the columnar block arrays exactly."""
+
+    def test_roundtrip_is_exact_and_zero_copy(self):
+        import numpy as np
+
+        from repro.core.rle import RunLengthSeries
+
+        fresh = {
+            ("a", "b"): RunLengthSeries(
+                np.array([0, 5, 9], dtype=np.int64),
+                np.array([2, 1, 3], dtype=np.int64),
+                np.array([1.0, 2.5, 0.25]),
+                start=0,
+                length=20,
+                quantum=1e-3,
+            ),
+            ("b", "c"): RunLengthSeries(
+                np.array([3], dtype=np.int64),
+                np.array([4], dtype=np.int64),
+                np.array([7.0]),
+                start=0,
+                length=20,
+                quantum=1e-3,
+            ),
+        }
+        shm, header = pack_blocks(fresh)
+        assert shm is not None
+        try:
+            out = unpack_blocks(shm, header)
+            assert set(out) == set(fresh)
+            for edge, block in fresh.items():
+                got = out[edge]
+                assert np.array_equal(got.starts, block.starts)
+                assert np.array_equal(got.counts, block.counts)
+                assert np.array_equal(got.values, block.values)
+                assert (got.start, got.length, got.quantum) == (
+                    block.start,
+                    block.length,
+                    block.quantum,
+                )
+                # Zero-copy: the unpacked arrays alias the segment.
+                assert got.values.base is not None
+            del out, got
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_empty_shipment_skips_the_segment(self):
+        shm, header = pack_blocks({})
+        assert shm is None
+        assert header == []
+        assert unpack_blocks(None, header) == {}
