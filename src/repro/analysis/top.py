@@ -123,14 +123,19 @@ def render_top(
         )
     lines.append("")
 
-    # Kernel mix over the sampled window.
+    # Kernel mix over the sampled window. units/row is the dispatch
+    # model's density signal (pairs for sparse, run-pairs for RLE,
+    # size*log2(size) for FFT); bytes/row is the data each routed row
+    # actually touched -- together they show *why* the density dispatch
+    # sent rows where it did.
     rows_by_kernel = {
         name: sum(led.kernel(name).rows for led in ledgers)
         for name in CORRELATION_KERNELS
     }
     total_rows = sum(rows_by_kernel.values())
     lines.append(
-        f"{'kernel':<14} {'rows':>9} {'share':>7} {'ns/row ewma':>12} {'bytes':>12}"
+        f"{'kernel':<14} {'rows':>9} {'share':>7} {'ns/row ewma':>12}"
+        f" {'units/row':>11} {'bytes/row':>11} {'bytes':>12}"
     )
     for name in CORRELATION_KERNELS:
         rows = rows_by_kernel[name]
@@ -140,15 +145,23 @@ def render_top(
         else:
             ns = latest.kernel(name).ns_per_row_ewma
         nbytes = sum(led.kernel(name).bytes_touched for led in ledgers)
+        units = sum(led.kernel(name).work_units for led in ledgers)
+        units_row = f"{units / rows:,.0f}" if rows else "-"
+        bytes_row = f"{nbytes / rows:,.0f}" if rows else "-"
         lines.append(
-            f"{name:<14} {rows:>9} {share:>6.1%} {_fmt_ns(ns):>12} {nbytes:>12}"
+            f"{name:<14} {rows:>9} {share:>6.1%} {_fmt_ns(ns):>12}"
+            f" {units_row:>11} {bytes_row:>11} {nbytes:>12}"
         )
     lines.append("")
 
     # Optimization ratios (window totals).
     skips = sum(led.skips for led in ledgers)
     hits = sum(led.cache_hits for led in ledgers)
-    pair_rows = rows_by_kernel.get("sparse_batch", 0) + rows_by_kernel.get("rle", 0)
+    pair_rows = (
+        rows_by_kernel.get("sparse_batch", 0)
+        + rows_by_kernel.get("rle", 0)
+        + rows_by_kernel.get("fft_batch", 0)
+    )
     skip_ratio = skips / (skips + pair_rows) if skips + pair_rows else 0.0
     lines.append(
         f"quiet skips {skips} ({skip_ratio:.1%} of pair work)"

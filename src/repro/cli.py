@@ -521,6 +521,7 @@ def _demo_engine(args: argparse.Namespace):
         max_transaction_delay=args.max_delay,
         workers=getattr(args, "workers", 1),
         measured_dispatch=getattr(args, "measured_dispatch", False),
+        fft_dispatch=getattr(args, "fft_dispatch", "auto"),
     )
     rubis = build_rubis(dispatch="affinity", seed=args.seed)
     engine = E2EProfEngine(config, wire_fidelity=True)
@@ -592,15 +593,35 @@ def cmd_profile(args: argparse.Namespace) -> int:
     rubis.run_until(args.duration)
     _require_refresh(engine, args, config)
     if args.json:
+        from repro.obs.ledger import CORRELATION_KERNELS
+
         doc = engine.ledger.export(args.last)
         doc["workload"] = {
             "app": "rubis",
             "duration": args.duration,
+            "fft_dispatch": engine.fft_dispatch,
             "measured_dispatch": engine.measured_dispatch,
             "refresh_interval": config.refresh_interval,
             "seed": args.seed,
             "window": config.window,
         }
+        # Per-kernel row-density summary over the exported ledgers: how
+        # many rows the dispatch routed to each kernel and the average
+        # dispatch units / bytes behind each row -- the dense-vs-sparse
+        # regime signal the routing decisions were made on.
+        ledgers = engine.ledger.history(args.last)
+        doc["kernel_density"] = {}
+        for name in CORRELATION_KERNELS:
+            rows = sum(led.kernel(name).rows for led in ledgers)
+            units = sum(led.kernel(name).work_units for led in ledgers)
+            nbytes = sum(led.kernel(name).bytes_touched for led in ledgers)
+            doc["kernel_density"][name] = {
+                "rows": rows,
+                "work_units": units,
+                "bytes_touched": nbytes,
+                "units_per_row": units / rows if rows else None,
+                "bytes_per_row": nbytes / rows if rows else None,
+            }
         payload = json.dumps(doc, indent=2, sort_keys=True)
     else:
         payload = render_profile(
@@ -924,6 +945,11 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument("--measured-dispatch", action="store_true",
                      help="drive kernel dispatch from measured ns/unit "
                           "EWMAs instead of the modeled cost constant")
+    top.add_argument("--fft-dispatch", default="auto",
+                     choices=("auto", "off", "force"),
+                     help="FFT batch kernel routing: auto (cost model "
+                          "decides), off (direct kernels only), force "
+                          "(every batched row through the FFT kernel)")
     _add_config_arguments(top)
     top.set_defaults(func=cmd_top)
 
@@ -946,6 +972,11 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--measured-dispatch", action="store_true",
                          help="drive kernel dispatch from measured ns/unit "
                               "EWMAs instead of the modeled cost constant")
+    profile.add_argument("--fft-dispatch", default="auto",
+                         choices=("auto", "off", "force"),
+                         help="FFT batch kernel routing: auto (cost model "
+                              "decides), off (direct kernels only), force "
+                              "(every batched row through the FFT kernel)")
     _add_config_arguments(profile)
     profile.set_defaults(func=cmd_profile)
 

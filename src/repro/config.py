@@ -108,6 +108,17 @@ class PathmapConfig:
     #: the same lag products); only which kernel runs may differ. Falls
     #: back to the modeled rule until both kernel EWMAs have warmed up.
     measured_dispatch: bool = False
+    #: Dense-regime FFT batch kernel routing. ``"auto"`` (the default)
+    #: lets the density dispatch send rows whose direct-kernel cost
+    #: exceeds the FFT transform cost to the batched FFT kernel (modeled
+    #: frontier by default; measured ns/unit frontier once
+    #: ``measured_dispatch`` EWMAs warm). ``"off"`` never uses the FFT
+    #: kernel (every row keeps the bit-exact direct kernels -- also the
+    #: A/B baseline for benchmarks). ``"force"`` routes every batchable
+    #: row through the FFT kernel regardless of density (equivalence
+    #: testing). FFT lag products agree with the direct kernels to float
+    #: tolerance, not bitwise; see docs/PERFORMANCE.md.
+    fft_dispatch: str = "auto"
 
     def __post_init__(self) -> None:
         if self.quantum <= 0:
@@ -161,6 +172,11 @@ class PathmapConfig:
             )
         if self.shards < 0:
             raise ConfigError(f"shards must be >= 0, got {self.shards}")
+        if self.fft_dispatch not in ("auto", "off", "force"):
+            raise ConfigError(
+                "fft_dispatch must be one of auto/off/force, "
+                f"got {self.fft_dispatch!r}"
+            )
         if self.retention is not None:
             floor = self.window + self.max_transaction_delay
             if self.retention < floor:

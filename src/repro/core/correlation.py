@@ -36,6 +36,7 @@ Four interchangeable implementations are provided:
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import Optional, Union
 
 import numpy as np
@@ -202,6 +203,15 @@ def rle_dispatch_units(x_runs: int, y_runs: int) -> float:
     return float(x_runs * y_runs)
 
 
+#: Modeled cost ratio of the FFT frontier: one FFT dispatch unit
+#: (roughly one butterfly of the row's transforms, ``size * log2(size)``
+#: units per row) is assumed to cost about the same as one expected
+#: sparse sample pair.  Calibrated against this container's measured
+#: ns/unit EWMAs; the refresh ledger replaces it under
+#: ``PathmapConfig.measured_dispatch`` once the FFT EWMA warms up.
+MODELED_FFT_COST_RATIO = 1.0
+
+
 def choose_sparse_kernel(
     sparse_units: float,
     rle_units: float,
@@ -220,6 +230,37 @@ def choose_sparse_kernel(
     if ns_sparse is not None and ns_rle is not None:
         return sparse_units * ns_sparse <= rle_units * ns_rle
     return sparse_units <= MODELED_RLE_COST_RATIO * rle_units
+
+
+def choose_batch_kernel(
+    sparse_units: float,
+    rle_units: float,
+    fft_units: "float | None" = None,
+    ns_sparse: "float | None" = None,
+    ns_rle: "float | None" = None,
+    ns_fft: "float | None" = None,
+) -> str:
+    """Three-way density dispatch: ``"sparse"``, ``"rle"`` or ``"fft"``.
+
+    Extends :func:`choose_sparse_kernel` with the dense-regime FFT batch
+    kernel.  Like the two-way rule it is a pure function of its inputs,
+    so every host (serial engine, thread workers, shard processes) routes
+    identical blocks to the identical kernel.  The measured FFT frontier
+    is used only when all three per-unit EWMAs are warm; until then the
+    modeled constants (:data:`MODELED_RLE_COST_RATIO`,
+    :data:`MODELED_FFT_COST_RATIO`) decide.  Ties go to the direct
+    kernels: their lag products are bit-exact, the FFT kernel's agree
+    only to float tolerance (see ``docs/PERFORMANCE.md``).
+    """
+    sparse_wins = choose_sparse_kernel(sparse_units, rle_units, ns_sparse, ns_rle)
+    direct = "sparse" if sparse_wins else "rle"
+    if fft_units is None:
+        return direct
+    if ns_sparse is not None and ns_rle is not None and ns_fft is not None:
+        direct_cost = sparse_units * ns_sparse if sparse_wins else rle_units * ns_rle
+        return "fft" if fft_units * ns_fft < direct_cost else direct
+    direct_cost = min(sparse_units, MODELED_RLE_COST_RATIO * rle_units)
+    return "fft" if MODELED_FFT_COST_RATIO * fft_units < direct_cost else direct
 
 
 def sparse_lag_products(
@@ -540,16 +581,258 @@ def correlate_rle(
 # ---------------------------------------------------------------------------
 
 
-def fft_lag_products(xd: np.ndarray, yd: np.ndarray, max_lag: int) -> np.ndarray:
-    """Raw lag products via FFT (zero-padded, i.e. linear correlation)."""
-    n = xd.size
-    size = 1
-    while size < 2 * n:
-        size <<= 1
+def fft_length(n: int) -> int:
+    """Smallest 5-smooth integer ``>= n`` (a fast FFT plan size).
+
+    numpy's pocketfft is O(n log n) only when ``n`` factors into small
+    primes; padding to the next 5-smooth ("regular") length costs at most
+    ~6% extra samples versus up to 2x for next-power-of-two padding, so
+    every FFT kernel in this module plans its transforms with this size.
+    """
+    n = int(n)
+    if n <= 1:
+        return 1
+    best = 1 << (n - 1).bit_length()
+    p5 = 1
+    while p5 < best:
+        p35 = p5
+        while p35 < best:
+            quotient = -(-n // p35)
+            candidate = p35 * (1 << (quotient - 1).bit_length())
+            if candidate == n:
+                return n
+            if candidate < best:
+                best = candidate
+            p35 *= 3
+        p5 *= 5
+    return best
+
+
+def fft_dispatch_units(n_quanta: int, size: Optional[int] = None) -> float:
+    """Dispatch cost units of the FFT batch kernel for one row.
+
+    Proportional to ``size * log2(size)``: each row pays one forward
+    transform of its block plus its share of the batched inverse.  Unlike
+    the sparse/RLE unit estimates this is independent of density -- the
+    FFT cost is fixed by the window, which is exactly why it wins once
+    rows go dense.
+    """
+    if size is None:
+        size = fft_length(max(2 * int(n_quanta) - 1, 1))
+    size = max(int(size), 2)
+    return float(size) * math.log2(size)
+
+
+def fft_lag_products(
+    xd: np.ndarray, yd: np.ndarray, max_lag: int, size: Optional[int] = None
+) -> np.ndarray:
+    """Raw lag products via FFT (zero-padded, i.e. linear correlation).
+
+    Returns exactly ``max_lag + 1`` values; lags beyond ``yd.size - 1``
+    (where no sample pair can exist) are exact zeros rather than FFT
+    roundoff noise.  The transform length is the smallest 5-smooth size
+    that holds the full linear correlation (``len(xd) + len(yd) - 1``);
+    pass ``size`` to share one precomputed plan length across a batch of
+    same-shape calls.
+    """
+    if max_lag < 0:
+        raise CorrelationError(f"max_lag must be non-negative, got {max_lag}")
+    n = int(xd.size)
+    m = int(yd.size)
+    out = np.zeros(max_lag + 1, dtype=np.float64)
+    if n == 0 or m == 0:
+        return out
+    full = n + m - 1
+    if size is None:
+        size = fft_length(full)
+    elif size < full:
+        raise CorrelationError(
+            f"fft size {size} aliases a length-{full} linear correlation"
+        )
     fx = np.fft.rfft(xd, size)
     fy = np.fft.rfft(yd, size)
     prod = np.fft.irfft(np.conj(fx) * fy, size)
-    return prod[: max_lag + 1]
+    top = min(max_lag, m - 1)
+    out[: top + 1] = prod[: top + 1]
+    return out
+
+
+class SpectrumCache:
+    """Per-host cache of block ``rfft`` spectra, keyed by block identity.
+
+    The online FFT kernel correlates the same reference block against
+    many signal blocks and the same blocks again on the next refresh
+    (overlap-add: only the newest dW block is new work), so spectra are
+    cached across calls and across refreshes.  Keys are
+    ``(id(block), transform size)`` and every entry keeps a strong
+    reference to its block, so a block's ``id`` can never be recycled
+    while its spectrum is alive.  Spectra are always computed by a single
+    1-D ``rfft`` -- a pure function of (block contents, size) -- so a hit
+    returns the bitwise-identical array a recompute would produce and
+    caching can never change analysis output.  Under the thread-pooled
+    engine two workers may race to fill the same entry; the loser's
+    write replaces the winner's with a bitwise-equal array, so the race
+    is benign.
+
+    ``evict_before`` drops entries whose block slid out of the retained
+    window; the engine calls it once per refresh, bounding resident
+    spectra to the live block history (~``(size/2 + 1) * 16`` bytes per
+    cached block).
+    """
+
+    __slots__ = ("hits", "misses", "_entries")
+
+    def __init__(self) -> None:
+        self._entries: "dict[tuple[int, int], tuple[object, np.ndarray]]" = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes across all cached spectra."""
+        return sum(spec.nbytes for _, spec in self._entries.values())
+
+    def spectrum(self, block: SeriesLike, size: int) -> np.ndarray:
+        """The length-``size`` ``rfft`` of ``block``'s dense samples."""
+        key = (id(block), int(size))
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            return entry[1]
+        spec = np.fft.rfft(block.to_dense(), int(size))
+        self._entries[key] = (block, spec)
+        self.misses += 1
+        return spec
+
+    def evict_before(self, start: int) -> int:
+        """Drop entries whose block starts before quantum ``start``."""
+        stale = [
+            key
+            for key, (block, _) in self._entries.items()
+            if block.start < start
+        ]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+def fft_batch_lag_products(
+    x: SeriesLike,
+    ys: "list[SeriesLike]",
+    max_lag: int,
+    size: Optional[int] = None,
+    cache: Optional[SpectrumCache] = None,
+) -> np.ndarray:
+    """Raw lag products of one ``x`` block against ``F`` blocks sharing a
+    window, via one batched 2-D inverse FFT.
+
+    Row ``r`` equals ``sparse_lag_products(x, ys[r], max_lag)`` up to
+    float roundoff (documented tolerance: relative ~1e-12 of the block
+    mass scale; see ``docs/PERFORMANCE.md``).  Like the sparse primitive
+    this works on **absolute** indices -- ``x`` need not share the ys'
+    window -- which is what the incremental correlator's cross-block
+    products require.  Lags outside the blocks' overlap support are exact
+    zeros, never FFT roundoff read from the padded transform.
+
+    Per-block forward spectra come from ``cache`` when given (each a
+    single 1-D ``rfft``, so cached and fresh spectra are bitwise equal);
+    the inverse transform runs once over the stacked rows.  ``size``
+    shares a precomputed 5-smooth plan length across calls.
+    """
+    if max_lag < 0:
+        raise CorrelationError(f"max_lag must be non-negative, got {max_lag}")
+    num_rows = len(ys)
+    out = np.zeros((num_rows, max_lag + 1), dtype=np.float64)
+    if num_rows == 0:
+        return out
+    head = ys[0]
+    for y in ys[1:]:
+        if (
+            y.start != head.start
+            or y.length != head.length
+            or y.quantum != head.quantum
+        ):
+            raise CorrelationError(
+                "fft_batch_lag_products requires all ys to share one window"
+            )
+    if x.quantum != head.quantum:
+        raise SeriesError(f"quantum mismatch: {x.quantum} vs {head.quantum}")
+    lx = int(x.length)
+    ly = int(head.length)
+    if lx == 0 or ly == 0:
+        return out
+    # Absolute-lag support of this block pair: a sample pair at lag d
+    # exists iff some x index i and y index j = i + d - (head.start -
+    # x.start relative shift) both fall inside their blocks.
+    delta = int(head.start) - int(x.start)
+    d0 = max(0, delta - (lx - 1))
+    d1 = min(max_lag, delta + ly - 1)
+    if d1 < d0:
+        return out
+    full = lx + ly - 1
+    if size is None:
+        size = fft_length(full)
+    elif size < full:
+        raise CorrelationError(
+            f"fft size {size} aliases a length-{full} linear correlation"
+        )
+    size = int(size)
+    local_cache = cache if cache is not None else SpectrumCache()
+    fx = local_cache.spectrum(x, size)
+    spectra = np.empty((num_rows, size // 2 + 1), dtype=np.complex128)
+    for row, y in enumerate(ys):
+        spectra[row] = local_cache.spectrum(y, size)
+    prod = np.fft.irfft(np.conj(fx)[None, :] * spectra, size, axis=1)
+    # Relative lag r = d - delta may be negative (x block newer than y);
+    # circular correlation parks negative lags at the tail of the
+    # transform, so gather modulo size.
+    idx = (np.arange(d0, d1 + 1) - delta) % size
+    out[:, d0 : d1 + 1] = prod[:, idx]
+    return out
+
+
+def correlate_fft_batch(
+    x: SeriesLike,
+    ys: "list[SeriesLike]",
+    max_lag: Optional[int] = None,
+    cache: Optional[SpectrumCache] = None,
+) -> "list[CorrelationSeries]":
+    """Normalized correlation of one ``x`` against many ``ys`` via FFT.
+
+    The FFT analogue of :func:`correlate_batch`: all inputs must share
+    one window, and per-row results equal ``correlate_sparse`` up to the
+    documented float tolerance.
+    """
+    xs = _as_sparse(x)
+    for y in ys:
+        if y.start != xs.start or y.length != xs.length:
+            raise SeriesError(
+                "correlate_fft_batch requires x and every y to share one window"
+            )
+        if y.quantum != xs.quantum:
+            raise SeriesError(f"quantum mismatch: {xs.quantum} vs {y.quantum}")
+    n = xs.length
+    d_max = _effective_max_lag(n, max_lag)
+    mats = fft_batch_lag_products(x, list(ys), d_max, cache=cache)
+    lags = np.arange(d_max + 1, dtype=np.int64)
+    x_prefix = _sparse_prefix_mass(xs, n - lags)
+    mx, sx = xs.mean(), xs.std()
+    results = []
+    for row, y in enumerate(ys):
+        ysp = _as_sparse(y)
+        y_suffix = ysp.total() - _sparse_prefix_mass(ysp, lags)
+        results.append(
+            _normalize(
+                mats[row], x_prefix, y_suffix, n, mx, ysp.mean(), sx, ysp.std(), xs.quantum
+            )
+        )
+    return results
 
 
 def correlate_fft(

@@ -34,6 +34,7 @@ from repro.core.confidence import (
     ConfidenceReport,
     window_confidence,
 )
+from repro.core.correlation import SpectrumCache
 from repro.core.incremental import IncrementalCorrelator
 from repro.core.pathmap import Pathmap, PathmapResult, PathmapStats, class_pairs
 from repro.core.rle import RunLengthSeries
@@ -129,6 +130,7 @@ class E2EProfEngine(PipelineCore):
         adaptive: bool = False,
         ledger: bool = True,
         measured_dispatch: Optional[bool] = None,
+        fft_dispatch: Optional[str] = None,
         parallel: Optional[str] = None,
         shards: Optional[int] = None,
     ) -> None:
@@ -190,6 +192,20 @@ class E2EProfEngine(PipelineCore):
             if measured_dispatch is not None
             else config.measured_dispatch
         )
+        #: Dense-regime FFT batch kernel routing (``"auto"`` / ``"off"``
+        #: / ``"force"``; see :attr:`PathmapConfig.fft_dispatch`).
+        #: Defaults to ``config.fft_dispatch``.
+        self.fft_dispatch = (
+            fft_dispatch if fft_dispatch is not None else config.fft_dispatch
+        )
+        if self.fft_dispatch not in ("auto", "off", "force"):
+            raise AnalysisError(
+                "fft_dispatch must be one of auto/off/force, "
+                f"got {self.fft_dispatch!r}"
+            )
+        # Cross-refresh cache of block FFT spectra (the overlap-add
+        # increment: only the newest dW block needs a fresh transform).
+        self._spectra = SpectrumCache()
         self._pool: Optional[concurrent.futures.ThreadPoolExecutor] = None
         # Guards the plain-int per-refresh tallies below when provider
         # callbacks run on pool threads (workers > 1).

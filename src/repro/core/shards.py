@@ -52,6 +52,7 @@ import numpy as np
 
 from repro.config import PathmapConfig
 from repro.core.pathmap import Pathmap, class_pairs
+from repro.core.correlation import SpectrumCache
 from repro.core.rle import RunLengthSeries
 from repro.core.stages import EdgeKey, HostWindow, PipelineCore, RefKey
 from repro.errors import AnalysisError
@@ -269,6 +270,8 @@ class ShardWorkerState(PipelineCore):
         self._clients: Set[object] = set(spec["clients"])
         self.batched: bool = spec["batched"]
         self.measured_dispatch: bool = spec["measured_dispatch"]
+        self.fft_dispatch: str = spec["fft_dispatch"]
+        self._spectra = SpectrumCache()
         self.metrics = MetricsRegistry(enabled=spec["metrics_enabled"])
         self.tracer = SpanTracer()
         self.ledger = LedgerRecorder(enabled=spec["ledger_enabled"])
@@ -560,6 +563,7 @@ class ShardedAnalysis:
             "clients": set(engine._clients),
             "batched": engine.batched,
             "measured_dispatch": engine.measured_dispatch,
+            "fft_dispatch": engine.fft_dispatch,
             "metrics_enabled": engine.metrics.enabled,
             "ledger_enabled": engine.ledger.enabled,
             "shard": shard,

@@ -29,12 +29,14 @@ Host contract (attributes every :class:`PipelineCore` host provides):
 (:class:`~repro.obs.registry.MetricsRegistry`), ``tracer``
 (:class:`~repro.obs.spans.SpanTracer`), ``ledger``
 (:class:`~repro.obs.ledger.LedgerRecorder`), ``batched`` /
-``measured_dispatch`` (bools), ``_pool`` (optional thread executor),
-``_clients`` (set of client node ids), ``_blocks`` / ``_correlators``
-(the window state), ``_num_blocks`` / ``_block_quanta`` /
-``_refreshes`` (window geometry), ``_tally_lock`` plus the per-refresh
-``_refresh_*`` tallies, and the ``_m_batch`` / ``_m_cache_hits`` /
-``_m_cache_misses`` instruments.
+``measured_dispatch`` (bools), ``fft_dispatch`` (``"auto"`` / ``"off"``
+/ ``"force"``), ``_spectra`` (a
+:class:`~repro.core.correlation.SpectrumCache` of block FFT spectra),
+``_pool`` (optional thread executor), ``_clients`` (set of client node
+ids), ``_blocks`` / ``_correlators`` (the window state),
+``_num_blocks`` / ``_block_quanta`` / ``_refreshes`` (window geometry),
+``_tally_lock`` plus the per-refresh ``_refresh_*`` tallies, and the
+``_m_batch`` / ``_m_cache_hits`` / ``_m_cache_misses`` instruments.
 """
 
 from __future__ import annotations
@@ -49,7 +51,10 @@ from repro.core.correlation import (
     CorrelationSeries,
     SeriesLike,
     batch_lag_products,
-    choose_sparse_kernel,
+    choose_batch_kernel,
+    fft_batch_lag_products,
+    fft_dispatch_units,
+    fft_length,
     rle_dispatch_units,
     sparse_dispatch_units,
 )
@@ -59,6 +64,7 @@ from repro.core.rle import RunLengthSeries
 from repro.core.timeseries import DensityTimeSeries
 from repro.errors import AnalysisError
 from repro.obs.ledger import (
+    KERNEL_FFT_BATCH,
     KERNEL_LEGACY,
     KERNEL_RLE,
     KERNEL_SPARSE_BATCH,
@@ -95,6 +101,11 @@ class PipelineCore:
                 )
                 self._blocks[edge] = deque_
             deque_.append(fresh.get(edge, empty))
+        # Blocks older than the window floor have rotated out of every
+        # deque; their cached FFT spectra can never be used again.
+        self._spectra.evict_before(
+            block_start - (self._num_blocks - 1) * self._block_quanta
+        )
 
     def _backfilled_deque(
         self, last_start: int, rounds: int
@@ -238,15 +249,21 @@ class PipelineCore:
         within ``max_lag``, so its cost explodes on smeared (near-dense)
         blocks, where the run-length kernel -- whose cost scales with run
         counts, not sample counts -- stays flat. Spike trains are the
-        opposite regime. Both estimates are pure functions of the blocks,
-        so grouped appends, history replays and parallel shards all make
-        the identical choice and stay bit-for-bit reproducible.
+        opposite regime. Once rows go genuinely dense (flash crowd, batch
+        surge) even the RLE kernel's run-pair count blows up, and the
+        batched FFT kernel -- whose ``size * log2(size)`` cost is fixed
+        by the window, independent of density -- takes over. All three
+        estimates are pure functions of the blocks, so grouped appends,
+        history replays and parallel shards all make the identical choice
+        and stay bit-for-bit reproducible.
 
-        With ``measured_dispatch`` on (and both kernel EWMAs warmed), the
+        With ``measured_dispatch`` on (and the kernel EWMAs warmed), the
         comparison weighs each side's dispatch units by the ledger's
-        *measured* ns/unit instead of the modeled constant. Both kernels
-        produce bitwise-identical lag products, so the choice never
-        changes the output -- only where the time goes.
+        *measured* ns/unit instead of the modeled constants. The sparse
+        and RLE kernels produce bitwise-identical lag products, so their
+        choice never changes the output; FFT rows agree to the documented
+        float tolerance (``fft_dispatch="off"`` keeps everything
+        bit-exact).
 
         Kernel timing is recorded per dispatch group (a handful of
         ``perf_counter`` calls per pending x block), never per row.
@@ -257,25 +274,74 @@ class PipelineCore:
         rows: List[Optional[np.ndarray]] = [None] * len(y_blocks)
         batched_rows: List[int] = []
         rle_rows: List[int] = []
+        fft_rows: List[int] = []
         sparse_units_total = 0.0
         rle_units_total = 0.0
-        ns_sparse = ns_rle = None
+        ns_sparse = ns_rle = ns_fft = None
         if self.measured_dispatch:
             ns_sparse = self.ledger.ns_per_unit(KERNEL_SPARSE_BATCH)
             ns_rle = self.ledger.ns_per_unit(KERNEL_RLE)
+            ns_fft = self.ledger.ns_per_unit(KERNEL_FFT_BATCH)
+        fft_mode = self.fft_dispatch
+        fft_size = 0
+        fft_units_row: Optional[float] = None
+        if fft_mode != "off" and y_blocks:
+            # One shared 5-smooth plan length for the whole group: every
+            # member block covers the same window as the head block.
+            fft_size = fft_length(int(x_block.length) + int(y_blocks[0].length) - 1)
+            fft_units_row = fft_dispatch_units(int(y_blocks[0].length), fft_size)
         for i, (y_block, ys) in enumerate(zip(y_blocks, ys_sparse)):
+            if fft_mode == "force":
+                fft_rows.append(i)
+                continue
             span = max(int(ys.indices[-1]) - int(ys.indices[0]) + 1, 1)
             sparse_units = sparse_dispatch_units(
                 xs.indices.size, ys.indices.size, span, max_lag
             )
             rle_units = rle_dispatch_units(x_block.num_runs, y_block.num_runs)
-            if choose_sparse_kernel(sparse_units, rle_units, ns_sparse, ns_rle):
+            kernel = choose_batch_kernel(
+                sparse_units, rle_units, fft_units_row, ns_sparse, ns_rle, ns_fft
+            )
+            if kernel == "fft":
+                fft_rows.append(i)
+            elif kernel == "sparse":
                 batched_rows.append(i)
                 sparse_units_total += sparse_units
             else:
                 rle_rows.append(i)
                 rle_units_total += rle_units
         record = self.ledger.record_kernel if self.ledger.enabled else None
+        if fft_rows:
+            fft_started = time.perf_counter()
+            mat_fft = fft_batch_lag_products(
+                x_block,
+                [y_blocks[i] for i in fft_rows],
+                max_lag,
+                size=fft_size or None,
+                cache=self._spectra,
+            )
+            full_fft: Optional[np.ndarray] = None
+            if len(fft_rows) == len(y_blocks):
+                full_fft = mat_fft
+            else:
+                for r, i in enumerate(fft_rows):
+                    rows[i] = mat_fft[r]
+            if record is not None:
+                # Dense samples transformed: 8 bytes per quantum of the x
+                # block plus every routed y block (spectra cache hits skip
+                # the transform but still read the padded product row).
+                record(
+                    KERNEL_FFT_BATCH,
+                    rows=len(fft_rows),
+                    seconds=time.perf_counter() - fft_started,
+                    work_units=(fft_units_row or 0.0) * len(fft_rows),
+                    bytes_touched=8 * (
+                        int(x_block.length)
+                        + int(y_blocks[0].length) * len(fft_rows)
+                    ),
+                )
+            if full_fft is not None:
+                return full_fft
         if rle_rows:
             rle_started = time.perf_counter()
             for i in rle_rows:

@@ -40,15 +40,18 @@ STAGE_PUBLISH = "publish"
 #: All pipeline stages, in order.
 PIPELINE_STAGES = (STAGE_INGEST, STAGE_CORRELATE, STAGE_DFS, STAGE_PUBLISH)
 
-#: Correlation kernel names: the grouped sparse FFT-free batch kernel,
-#: the run-length pair-product kernel, and the legacy per-pair correlator
-#: append path (non-batched engines, and quiet/mismatched group members).
+#: Correlation kernel names: the grouped sparse batch kernel, the
+#: run-length pair-product kernel, the dense-regime batched FFT kernel
+#: (cached spectra + one 2-D inverse transform per group), and the
+#: legacy per-pair correlator append path (non-batched engines, and
+#: quiet/mismatched group members).
 KERNEL_SPARSE_BATCH = "sparse_batch"
 KERNEL_RLE = "rle"
+KERNEL_FFT_BATCH = "fft_batch"
 KERNEL_LEGACY = "legacy_pair"
 
 #: All correlation kernels a refresh can dispatch rows to.
-CORRELATION_KERNELS = (KERNEL_SPARSE_BATCH, KERNEL_RLE, KERNEL_LEGACY)
+CORRELATION_KERNELS = (KERNEL_SPARSE_BATCH, KERNEL_RLE, KERNEL_FFT_BATCH, KERNEL_LEGACY)
 
 #: Default smoothing factor for kernel cost EWMAs: heavy enough to adapt
 #: within ~10 refreshes, light enough to ride out one noisy measurement.

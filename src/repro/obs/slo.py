@@ -364,13 +364,27 @@ class RegressionWatch:
 # -- committed-baseline loaders ------------------------------------------------
 
 
-def refresh_baseline(doc: dict) -> Dict[str, float]:
+def refresh_baseline(doc: dict, mode: str = "batched") -> Dict[str, float]:
     """Regression baselines from a loaded ``BENCH_refresh.json`` document.
 
-    Uses the batched-mode refresh p50 -- the number the PR 4 CI gate
-    already pins -- as the whole-refresh baseline.
+    Uses the refresh p50 of ``mode`` -- by default the batched mode the
+    PR 4 CI gate already pins -- as the whole-refresh baseline. Modes
+    from the dense-regime FFT A/B section are addressed with a
+    ``dense/`` prefix: ``refresh_baseline(doc, "dense/fft")`` pins the
+    dense 40-class workload on the FFT batch kernel, ``"dense/direct"``
+    the same workload on the sparse/RLE kernels only.
     """
-    p50 = doc["modes"]["batched"]["p50_seconds"]
+    if mode.startswith("dense/"):
+        modes = doc["dense"]["modes"]
+        mode = mode[len("dense/"):]
+    else:
+        modes = doc["modes"]
+    if mode not in modes:
+        raise KeyError(
+            f"mode {mode!r} not in benchmark document "
+            f"(have: {', '.join(sorted(modes))})"
+        )
+    p50 = modes[mode]["p50_seconds"]
     return {"refresh_seconds": float(p50)}
 
 

@@ -357,13 +357,25 @@ class TestProfileCli:
                      "-o", str(path)]) == 0
         assert "wrote profile" in capsys.readouterr().err
         doc = json.loads(path.read_text())
-        assert sorted(doc) == ["ewma", "ledgers", "workload"]
+        assert sorted(doc) == ["ewma", "kernel_density", "ledgers", "workload"]
         assert doc["workload"]["app"] == "rubis"
+        assert doc["workload"]["fft_dispatch"] == "auto"
         assert doc["ledgers"]
         for entry in doc["ledgers"]:
             ledger = RefreshLedger.from_dict(entry)
             assert ledger.to_dict() == entry
-        assert set(doc["ewma"]) == {"sparse_batch", "rle", "legacy_pair"}
+        assert set(doc["ewma"]) == {
+            "sparse_batch", "rle", "fft_batch", "legacy_pair"
+        }
+        density = doc["kernel_density"]
+        assert set(density) == set(doc["ewma"])
+        routed = [k for k, d in density.items() if d["rows"] > 0]
+        assert routed
+        for kernel in routed:
+            assert density[kernel]["units_per_row"] is None or (
+                density[kernel]["units_per_row"] >= 0.0
+            )
+            assert density[kernel]["bytes_per_row"] >= 0.0
 
     def test_json_keys_deterministically_ordered(self, capsys):
         assert main(["profile", "--json", "--duration", "125",

@@ -171,6 +171,69 @@ class TestBinaryStorageRoundTrip:
         assert list(read_capture_binary(path)) == []
 
 
+class TestBinaryStorageMmap:
+    """The zero-copy ``.rtb`` replay path (``mmap=True``)."""
+
+    @given(batches=st.lists(capture_batches, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_mmap_is_bit_identical_to_copying_read(self, batches):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "trace.rtb")
+            write_capture_binary(path, batches)
+            assert list(read_capture_binary(path, mmap=True)) == list(
+                read_capture_binary(path)
+            )
+
+    def test_timestamp_arrays_are_zero_copy_views(self, tmp_path):
+        path = tmp_path / "trace.rtb"
+        stamps = np.array([1.0, 2.5, 3.25, 1e9])
+        write_capture_binary(path, [TimestampBatch("WS", "DB", True, stamps)])
+        (batch,) = read_capture_binary(path, mmap=True)
+        array = batch.timestamps
+        # A view into the mapping, not a heap copy: numpy marks borrowed
+        # buffers as non-owning and the read-only mapping as immutable.
+        assert not array.flags.owndata
+        assert not array.flags.writeable
+        base = array.base
+        while getattr(base, "base", None) is not None:
+            base = base.base
+        assert isinstance(base, memoryview) or type(base).__name__ == "mmap"
+        np.testing.assert_array_equal(array, stamps)
+
+    def test_arrays_outlive_the_reader(self, tmp_path):
+        # Lifetime is by refcount: array -> memoryview -> mapping, so
+        # consuming the generator and dropping every other reference
+        # must leave the data readable.
+        import gc
+
+        path = tmp_path / "trace.rtb"
+        write_capture_binary(
+            path,
+            [
+                TimestampBatch("WS", "DB", True, [1.0, 2.0]),
+                TimestampBatch("C1", "WS", False, [0.5]),
+            ],
+        )
+        arrays = [b.timestamps for b in read_capture_binary(path, mmap=True)]
+        gc.collect()
+        assert [a.sum() for a in arrays] == [3.0, 0.5]
+
+    def test_empty_and_magic_only_files(self, tmp_path):
+        empty = tmp_path / "empty.rtb"
+        empty.write_bytes(b"")
+        with pytest.raises(TraceError):
+            list(read_capture_binary(empty, mmap=True))
+        magic_only = tmp_path / "magic.rtb"
+        write_capture_binary(magic_only, [])
+        assert list(read_capture_binary(magic_only, mmap=True)) == []
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.rtb"
+        path.write_bytes(b"XXXX")
+        with pytest.raises(TraceError):
+            list(read_capture_binary(path, mmap=True))
+
+
 class TestBinaryStorageCorruption:
     def _payload(self, tmp_path):
         path = tmp_path / "trace.rtb"
@@ -215,6 +278,17 @@ class TestBinaryStorageCorruption:
         path.write_bytes(b"XXXX")
         with pytest.raises(TraceError):
             list(read_capture_binary(path))
+
+    def test_every_single_byte_flip_raises_under_mmap(self, tmp_path):
+        # The zero-copy reader shares the copy path's corruption
+        # contract: decode the exact payload or raise TraceError.
+        path, payload = self._payload(tmp_path)
+        for pos in range(len(payload)):
+            mutated = bytearray(payload)
+            mutated[pos] ^= 0x55
+            path.write_bytes(bytes(mutated))
+            with pytest.raises(TraceError):
+                list(read_capture_binary(path, mmap=True))
 
     def test_payload_length_mismatch_with_valid_crc(self, tmp_path):
         # A section whose declared count disagrees with its body length

@@ -125,9 +125,9 @@ def ingest_batched(batch_rounds) -> TraceCollector:
     return collector
 
 
-def ingest_binary_replay(path) -> TraceCollector:
+def ingest_binary_replay(path, mmap: bool = False) -> TraceCollector:
     collector = TraceCollector()
-    for batch in read_capture_binary(path):
+    for batch in read_capture_binary(path, mmap=mmap):
         collector.ingest_batch(
             batch.src, batch.dst, batch.timestamps, batch.observed_at_destination
         )
@@ -229,6 +229,23 @@ def run_benchmark(classes: int, seed: int, duration: float, repeats: int,
             f"({file_bytes} bytes on disk)",
             flush=True,
         )
+        # Same replay with the file memory-mapped: timestamp arrays are
+        # zero-copy views into the page cache (read_capture_binary
+        # mmap=True), bit-identical to the copying read.
+        results["binary_replay_mmap"] = timed_rate(
+            lambda: ingest_binary_replay(path, mmap=True), count, repeats
+        )
+        results["binary_replay_mmap"]["file_bytes"] = file_bytes
+        print(
+            f"{'binary_replay_mmap':20s} "
+            f"{results['binary_replay_mmap']['records_per_second']:12,.0f} records/s",
+            flush=True,
+        )
+        mmap_identical = identical_windows(
+            ingest_binary_replay(path),
+            ingest_binary_replay(path, mmap=True),
+            end_time=duration,
+        )
 
     equivalent = identical_windows(
         ingest_per_record(records, columnar=False),
@@ -255,6 +272,7 @@ def run_benchmark(classes: int, seed: int, duration: float, repeats: int,
         "modes": results,
         "batched_speedup": batched / per_record if per_record else float("inf"),
         "identical_analysis_windows": equivalent,
+        "mmap_identical_analysis_windows": mmap_identical,
         "retention_soak": soak,
     }
 

@@ -19,12 +19,15 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import statistics
 import sys
 import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
 
 from repro.apps.manyclass import build_many_class  # noqa: E402
 from repro.config import PathmapConfig  # noqa: E402
@@ -37,6 +40,20 @@ BENCH_REFRESH_CONFIG = PathmapConfig(
     refresh_interval=2.0,
     quantum=1e-3,
     sampling_window=1e-3,
+    max_transaction_delay=2.0,
+    min_spike_height=0.10,
+)
+
+#: The dense-regime variant: every class stays active at a high request
+#: rate and each message is smeared over a 5 ms sampling window, so
+#: blocks approach full occupancy -- the flash-crowd / batch-surge shape
+#: where the direct kernels' pair counts explode and the FFT batch
+#: kernel's fixed ``size * log2(size)`` cost wins.
+DENSE_REFRESH_CONFIG = PathmapConfig(
+    window=6.0,
+    refresh_interval=2.0,
+    quantum=1e-3,
+    sampling_window=5e-3,
     max_transaction_delay=2.0,
     min_spike_height=0.10,
 )
@@ -54,6 +71,8 @@ def run_mode(
     seed: int,
     end_time: float,
     request_rate: float = 20.0,
+    config: PathmapConfig = BENCH_REFRESH_CONFIG,
+    fft_dispatch: str = "auto",
 ) -> dict:
     """One deployment + engine run; returns per-refresh latency stats."""
     deployment = build_many_class(
@@ -62,9 +81,14 @@ def run_mode(
         seed=seed,
         request_rate=request_rate,
         quiet_after=5.0,
-        config=BENCH_REFRESH_CONFIG,
+        config=config,
     )
-    engine = E2EProfEngine(deployment.config, batched=batched, workers=workers)
+    engine = E2EProfEngine(
+        deployment.config,
+        batched=batched,
+        workers=workers,
+        fft_dispatch=fft_dispatch,
+    )
     samples = []
     engine.subscribe_metrics(lambda now, result, sample: samples.append(sample))
     started = time.perf_counter()
@@ -80,8 +104,15 @@ def run_mode(
     latencies = sorted(s.refresh_seconds for s in measured)
     skips = sum(s.correlator_skips for s in measured)
     last = measured[-1]
+    ledger = engine.latest_ledger
+    kernel_rows = (
+        {name: sample.rows for name, sample in sorted(ledger.kernels.items())}
+        if ledger is not None
+        else {}
+    )
     return {
         "refreshes": len(measured),
+        "kernel_rows_last_refresh": kernel_rows,
         "p50_seconds": statistics.median(latencies),
         "p95_seconds": latencies[min(len(latencies) - 1, int(0.95 * len(latencies)))],
         "max_seconds": latencies[-1],
@@ -153,6 +184,76 @@ def run_benchmark(
     }
 
 
+def run_dense_benchmark(
+    classes: int,
+    request_rate: float,
+    seed: int,
+    end_time: float,
+    repeats: int,
+) -> dict:
+    """The dense-regime A/B: batched refresh with the FFT kernel off
+    (``direct`` -- every row on the sparse/RLE kernels, the pre-FFT
+    baseline) versus on (``fft`` -- the density dispatch routes dense
+    rows to the batched FFT kernel with cached spectra)."""
+    modes = {
+        "direct": dict(fft_dispatch="off"),
+        "fft": dict(fft_dispatch="auto"),
+    }
+    results = {}
+    for name, mode in modes.items():
+        results[name] = best_of(
+            repeats,
+            batched=True,
+            workers=1,
+            classes=classes,
+            quiet_fraction=0.0,
+            seed=seed,
+            end_time=end_time,
+            request_rate=request_rate,
+            config=DENSE_REFRESH_CONFIG,
+            **mode,
+        )
+        print(
+            f"dense/{name:6s} p50={results[name]['p50_seconds'] * 1000:7.1f}ms "
+            f"p95={results[name]['p95_seconds'] * 1000:7.1f}ms "
+            f"kernel_rows={results[name]['kernel_rows_last_refresh']}",
+            flush=True,
+        )
+    direct = results["direct"]["p50_seconds"]
+    fft = results["fft"]["p50_seconds"]
+    return {
+        "workload": {
+            "classes": classes,
+            "quiet_fraction": 0.0,
+            "seed": seed,
+            "end_time": end_time,
+            "request_rate": request_rate,
+            "repeats": repeats,
+            "config": {
+                "window": DENSE_REFRESH_CONFIG.window,
+                "refresh_interval": DENSE_REFRESH_CONFIG.refresh_interval,
+                "quantum": DENSE_REFRESH_CONFIG.quantum,
+                "sampling_window": DENSE_REFRESH_CONFIG.sampling_window,
+                "max_transaction_delay": DENSE_REFRESH_CONFIG.max_transaction_delay,
+            },
+        },
+        "modes": results,
+        "fft_speedup": direct / fft if fft else float("inf"),
+    }
+
+
+def environment_stamp() -> dict:
+    """Hardware/library context the numbers depend on, stamped into the
+    JSON so committed results are self-explaining (a 1-core container
+    shows worker parity, not speedup; numpy's pocketfft version sets the
+    FFT kernel's constant factors)."""
+    return {
+        "cores": os.cpu_count(),
+        "numpy": np.__version__,
+        "python": sys.version.split()[0],
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -170,17 +271,24 @@ def main(argv=None) -> int:
         type=pathlib.Path,
         default=pathlib.Path("BENCH_refresh.json"),
     )
+    parser.add_argument(
+        "--skip-dense",
+        action="store_true",
+        help="skip the dense-regime FFT A/B section",
+    )
     args = parser.parse_args(argv)
     if args.quick:
         classes = args.classes or 16
         quiet_fraction = args.quiet_fraction or 0.75
         repeats = args.repeats or 1
         end_time = 24.0
+        dense_classes, dense_rate, dense_end = 12, 120.0, 16.0
     else:
         classes = args.classes or 40
         quiet_fraction = args.quiet_fraction or 0.9
         repeats = args.repeats or 2
         end_time = 40.0
+        dense_classes, dense_rate, dense_end = 40, 120.0, 20.0
     doc = run_benchmark(
         classes=classes,
         quiet_fraction=quiet_fraction,
@@ -189,8 +297,28 @@ def main(argv=None) -> int:
         workers=args.workers,
         repeats=repeats,
     )
-    args.output.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    if not args.skip_dense:
+        doc["dense"] = run_dense_benchmark(
+            classes=dense_classes,
+            request_rate=dense_rate,
+            seed=args.seed,
+            end_time=dense_end,
+            repeats=repeats,
+        )
+    doc["environment"] = environment_stamp()
+    # Merge into an existing results file (other tools own sections of
+    # the same JSON -- bench_shards.py writes the "shards" key).
+    merged = {}
+    if args.output.exists():
+        try:
+            merged = json.loads(args.output.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            merged = {}
+    merged.update(doc)
+    args.output.write_text(json.dumps(merged, indent=2) + "\n", encoding="utf-8")
     print(f"batched speedup over serial: {doc['batched_speedup']:.2f}x")
+    if "dense" in doc:
+        print(f"dense fft speedup over direct kernels: {doc['dense']['fft_speedup']:.2f}x")
     print(f"[written to {args.output}]")
     return 0
 
