@@ -28,6 +28,16 @@ The workflows the paper's operators would run, without writing Python::
     python -m repro top --interval 0.5
     python -m repro profile --json -o ledger.json
 
+    # tiered trace lake: spill evicted captures to disk during an
+    # ingest run, then inspect/query the lake and fold its materialized
+    # correlation summaries into long-horizon delay estimates
+    python -m repro stats --ingest --lake ./lake --duration 600
+    python -m repro lake ls ./lake
+    python -m repro lake compact ./lake
+    python -m repro lake query ./lake --src AP --dst DB --start 0 --end 60
+    python -m repro history ./lake --client C1 --front-end WS \
+        --src AP --dst DB --baseline 0 300 --current 300 600
+
 Pass ``--log-level debug`` (before the subcommand) to see the pipeline's
 stdlib-logging diagnostics on stderr.
 
@@ -324,11 +334,16 @@ def cmd_stats(args: argparse.Namespace) -> int:
                 )
 
         capture_sink = None
+        lake = None
         if args.ingest:
             from repro.tracing.collector import TraceCollector
 
+            if args.lake:
+                from repro.lake import TraceLake
+
+                lake = TraceLake(args.lake, metrics=registry)
             capture_sink = TraceCollector(
-                metrics=registry, retention=config.retention_horizon
+                metrics=registry, retention=config.retention_horizon, lake=lake
             )
         rubis = build_rubis(dispatch="affinity", seed=args.seed)
         engine = E2EProfEngine(
@@ -338,11 +353,22 @@ def cmd_stats(args: argparse.Namespace) -> int:
             transport=transport_config,
             channel_factory=channel_factory,
             capture_sink=capture_sink,
+            lake=lake,
         )
         engine.attach(rubis.topology)
         rubis.run_until(args.duration)
         if capture_sink is not None:
             capture_sink.evict_expired()
+            if lake is not None:
+                # Exercise the cache-aside read path over the full span
+                # (twice, so the mapping LRU's hit rate is meaningful in
+                # the report) before snapshotting lake stats.
+                lake.flush()
+                for src, dst, _side in lake.streams():
+                    for _ in range(2):
+                        capture_sink.edge_timestamps_range(
+                            src, dst, 0.0, args.duration
+                        )
             ingest_stats = capture_sink.ingest_stats()
         if engine.latest_sample is None:
             raise E2EProfError(
@@ -772,6 +798,164 @@ def cmd_simulate_delta(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_lake(root: str):
+    from repro.lake import TraceLake
+
+    return TraceLake(root)
+
+
+def cmd_lake_ls(args: argparse.Namespace) -> int:
+    lake = _open_lake(args.root)
+    segments = lake.segments()
+    summaries = lake.summary_files()
+    if args.format == "json":
+        doc = {
+            "root": args.root,
+            "segments": [
+                {
+                    "seq": m.seq,
+                    "path": m.path,
+                    "src": m.src,
+                    "dst": m.dst,
+                    "side": "dst" if m.observed_at_destination else "src",
+                    "t_min": m.t_min,
+                    "t_max": m.t_max,
+                    "count": m.count,
+                    "bytes": m.nbytes,
+                }
+                for m in segments
+            ],
+            "summary_files": [
+                {"seq": m.seq, "path": m.path, "count": m.count,
+                 "t_min": m.t_min, "t_max": m.t_max, "bytes": m.nbytes}
+                for m in summaries
+            ],
+            "stats": lake.stats(),
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    for m in segments:
+        side = "dst" if m.observed_at_destination else "src"
+        print(f"seg {m.seq:8d}  {m.src}->{m.dst} [{side}]  "
+              f"[{m.t_min:.3f}, {m.t_max:.3f}]  "
+              f"{m.count} records  {m.nbytes} bytes")
+    for m in summaries:
+        print(f"sum {m.seq:8d}  {m.count} rows  "
+              f"[{m.t_min:.3f}, {m.t_max:.3f}]  {m.nbytes} bytes")
+    total_bytes = sum(m.nbytes for m in segments)
+    total_records = sum(m.count for m in segments)
+    print(f"{len(segments)} segments ({total_records} records, "
+          f"{total_bytes} bytes), {len(summaries)} summary files")
+    return 0
+
+
+def cmd_lake_compact(args: argparse.Namespace) -> int:
+    lake = _open_lake(args.root)
+    before = len(lake.segments())
+    merged = lake.compact(target_bytes=args.target_bytes)
+    after = len(lake.segments())
+    print(f"compaction rewrote {merged} segment group(s): "
+          f"{before} -> {after} segments", file=sys.stderr)
+    return 0
+
+
+def cmd_lake_query(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    lake = _open_lake(args.root)
+    streams = set(lake.streams())
+    if args.side == "auto":
+        sides = [at_dst for at_dst in (True, False)
+                 if (args.src, args.dst, at_dst) in streams]
+        if not sides:
+            raise E2EProfError(
+                f"no spilled stream for edge ({args.src}, {args.dst})"
+            )
+        sides = sides[:1]
+    else:
+        sides = [args.side == "dst"]
+    stamps = np.sort(
+        lake.query(args.src, args.dst, sides[0],
+                   start=args.start, end=args.end)
+    )
+    if args.format == "json":
+        doc = {
+            "src": args.src,
+            "dst": args.dst,
+            "side": "dst" if sides[0] else "src",
+            "count": int(stamps.size),
+            "timestamps": [float(value) for value in stamps],
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    for value in stamps:
+        print(f"{value:.6f}")
+    print(f"{stamps.size} records", file=sys.stderr)
+    return 0
+
+
+def cmd_history(args: argparse.Namespace) -> int:
+    from repro.analysis.history import (
+        delay_drift,
+        raw_span_estimate,
+        span_estimate,
+    )
+
+    lake = _open_lake(args.root)
+    max_lag = args.max_lag
+    if args.baseline is not None or args.current is not None:
+        if args.baseline is None or args.current is None:
+            raise E2EProfError("--baseline and --current must be given together")
+        if args.raw:
+            raise E2EProfError("--raw does not support drift comparisons")
+        report = delay_drift(
+            lake, args.client, args.front_end, args.src, args.dst,
+            (args.baseline[0], args.baseline[1]),
+            (args.current[0], args.current[1]),
+            max_lag=max_lag,
+        )
+        if args.format == "json":
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+            return 0
+        b, c = report.baseline, report.current
+        print(f"edge ({args.src} -> {args.dst}) for class "
+              f"({args.client}, {args.front_end}):")
+        print(f"  baseline [{b.start:.1f}, {b.end:.1f}]: "
+              f"delay {b.delay:.3f}s (peak {b.peak:.3f}, {b.blocks} blocks)")
+        print(f"  current  [{c.start:.1f}, {c.end:.1f}]: "
+              f"delay {c.delay:.3f}s (peak {c.peak:.3f}, {c.blocks} blocks)")
+        if report.comparable:
+            print(f"  drift    {report.drift_seconds:+.3f}s "
+                  f"({report.drift_quanta:+d} quanta)")
+        else:
+            print("  drift    n/a (degenerate span)")
+        return 0
+    if args.raw:
+        config = _config_from(args)
+        estimate = raw_span_estimate(
+            lake, config, args.client, args.front_end, args.src, args.dst,
+            args.start, args.end, max_lag=max_lag,
+        )
+    else:
+        estimate = span_estimate(
+            lake, args.client, args.front_end, args.src, args.dst,
+            start=args.start, end=args.end, max_lag=max_lag,
+        )
+    if args.format == "json":
+        print(json.dumps(estimate.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"edge ({args.src} -> {args.dst}) for class "
+          f"({args.client}, {args.front_end}) over "
+          f"[{estimate.start:.1f}, {estimate.end:.1f}] "
+          f"({estimate.source}):")
+    if estimate.degenerate:
+        print("  delay    n/a (degenerate correlation)")
+    else:
+        print(f"  delay    {estimate.delay:.3f}s (peak {estimate.peak:.3f})")
+    print(f"  window   {estimate.n} quanta, {estimate.blocks} summary blocks")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -891,6 +1075,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "sink to the engine and report its ingest "
                             "statistics; trace mode: report the replay "
                             "collector's ingest statistics")
+    stats.add_argument("--lake", default=None, metavar="DIR",
+                       help="demo mode with --ingest: spill evicted capture "
+                            "chunks to a trace lake at DIR and report lake "
+                            "statistics (segments, bytes, mapping hit rate)")
     _add_config_arguments(stats)
     stats.set_defaults(func=cmd_stats)
 
@@ -1017,6 +1205,80 @@ def build_parser() -> argparse.ArgumentParser:
     scen_score.add_argument("-o", "--output", default=None,
                             help="write the scorecard to a file")
     scen_score.set_defaults(func=cmd_scenarios_score)
+
+    lake = sub.add_parser(
+        "lake",
+        help="inspect and maintain a write-behind trace lake",
+    )
+    lake_sub = lake.add_subparsers(dest="lake_command", required=True)
+    lake_ls = lake_sub.add_parser(
+        "ls", help="list a lake's segments and summary files"
+    )
+    lake_ls.add_argument("root", help="trace-lake directory")
+    lake_ls.add_argument("--format", default="table",
+                         choices=["table", "json"])
+    lake_ls.set_defaults(func=cmd_lake_ls)
+    lake_compact = lake_sub.add_parser(
+        "compact",
+        help="merge adjacent same-stream segments into larger ones",
+    )
+    lake_compact.add_argument("root", help="trace-lake directory")
+    lake_compact.add_argument("--target-bytes", type=int, default=None,
+                              help="target merged-segment size "
+                                   "(default 4x the lake's segment size)")
+    lake_compact.set_defaults(func=cmd_lake_compact)
+    lake_query = lake_sub.add_parser(
+        "query", help="read one edge's spilled timestamps from a lake"
+    )
+    lake_query.add_argument("root", help="trace-lake directory")
+    lake_query.add_argument("--src", required=True, help="edge source node")
+    lake_query.add_argument("--dst", required=True,
+                            help="edge destination node")
+    lake_query.add_argument("--side", default="auto",
+                            choices=["auto", "dst", "src"],
+                            help="capture side (default: destination when "
+                                 "present, else source)")
+    lake_query.add_argument("--start", type=float, default=float("-inf"),
+                            help="inclusive span start in seconds")
+    lake_query.add_argument("--end", type=float, default=float("inf"),
+                            help="exclusive span end in seconds")
+    lake_query.add_argument("--format", default="text",
+                            choices=["text", "json"])
+    lake_query.set_defaults(func=cmd_lake_query)
+
+    history = sub.add_parser(
+        "history",
+        help="long-horizon delay estimates from materialized lake summaries",
+    )
+    history.add_argument("root", help="trace-lake directory")
+    history.add_argument("--client", required=True,
+                         help="client node of the request class")
+    history.add_argument("--front-end", required=True,
+                         help="front-end (root) node of the request class")
+    history.add_argument("--src", required=True, help="edge source node")
+    history.add_argument("--dst", required=True, help="edge destination node")
+    history.add_argument("--start", type=float, default=float("-inf"),
+                         help="inclusive span start in seconds")
+    history.add_argument("--end", type=float, default=float("inf"),
+                         help="exclusive span end in seconds")
+    history.add_argument("--baseline", type=float, nargs=2, default=None,
+                         metavar=("START", "END"),
+                         help="baseline span for a drift comparison")
+    history.add_argument("--current", type=float, nargs=2, default=None,
+                         metavar=("START", "END"),
+                         help="current span for a drift comparison")
+    history.add_argument("--max-lag", type=int, default=None,
+                         help="truncate correlations to this many lag quanta "
+                              "(strongly recommended for --raw over long "
+                              "spans)")
+    history.add_argument("--raw", action="store_true",
+                         help="re-correlate the raw spilled timestamps "
+                              "instead of folding summaries (exact, slow; "
+                              "needs a finite --start/--end)")
+    history.add_argument("--format", default="text",
+                         choices=["text", "json"])
+    _add_config_arguments(history)
+    history.set_defaults(func=cmd_history)
 
     rubis = sub.add_parser("simulate-rubis", help="generate a RUBiS packet trace")
     rubis.add_argument("-o", "--output", required=True)

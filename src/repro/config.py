@@ -320,6 +320,42 @@ class TransportConfig:
             )
 
 
+@dataclasses.dataclass(frozen=True)
+class LakeConfig:
+    """Parameters of the tiered trace lake (:mod:`repro.lake`).
+
+    A lake turns the collector's retention eviction into a write-behind
+    spill tier: evicted timestamp arrays land in time-indexed ``.rtb``
+    segments under ``root`` with an atomic JSON manifest, historical
+    window reads stitch segments back in through an mmap LRU, and (when
+    ``summaries`` is on) correlator evictions persist materialized
+    correlation summaries for ``repro history`` drift queries.
+    """
+
+    #: Lake directory (created if missing). None disables the lake.
+    root: str | None = None
+    #: Per-stream write-behind buffer threshold in payload bytes; a
+    #: stream's buffered evictions are cut into one segment once they
+    #: cross it.
+    segment_bytes: int = 256 * 1024
+    #: Open segment mappings kept by the read path's LRU.
+    mapping_cache: int = 64
+    #: Persist materialized correlation summaries at correlator-eviction
+    #: time (serial/threads engines only; the raw spill tier is
+    #: mode-independent).
+    summaries: bool = True
+
+    def __post_init__(self) -> None:
+        if self.segment_bytes < 8:
+            raise ConfigError(
+                f"segment_bytes must be >= 8, got {self.segment_bytes}"
+            )
+        if self.mapping_cache < 1:
+            raise ConfigError(
+                f"mapping_cache must be >= 1, got {self.mapping_cache}"
+            )
+
+
 #: Configuration used for the RUBiS experiments in Section 4.1.
 RUBIS_CONFIG = PathmapConfig(
     window=180.0,

@@ -144,6 +144,38 @@ def _normalize(
     return CorrelationSeries(num / denom, quantum, n)
 
 
+def fold_correlation(
+    lag_products: np.ndarray,
+    n: int,
+    x_total: float,
+    x_energy: float,
+    y_total: float,
+    y_energy: float,
+    quantum: float,
+) -> CorrelationSeries:
+    """Normalize a folded lag-product aggregate from span statistics.
+
+    The materialized-summary fold: the lake accumulates per-block
+    lag-product rows and marginal sums over an arbitrary past span, and
+    this turns them into a normalized correlation without touching raw
+    data.  Compared to :func:`_normalize` the per-lag boundary masses
+    (``x_prefix``/``y_suffix``) are replaced by the whole-span totals --
+    a relative ``O(max_lag / n)`` approximation that vanishes for the
+    long spans summaries exist for (see ``repro.lake.summaries``).
+    Deterministic: a pure function of the folded sums.
+    """
+    if n <= 0:
+        raise CorrelationError(f"fold span must be positive, got {n} quanta")
+    lag_products = np.asarray(lag_products, dtype=np.float64)
+    mx = x_total / n
+    my = y_total / n
+    sx = float(np.sqrt(max(0.0, x_energy / n - mx * mx)))
+    sy = float(np.sqrt(max(0.0, y_energy / n - my * my)))
+    return _normalize(
+        lag_products, x_total, y_total, n, mx, my, sx, sy, quantum
+    )
+
+
 # ---------------------------------------------------------------------------
 # Dense reference implementation
 # ---------------------------------------------------------------------------
@@ -706,6 +738,27 @@ class SpectrumCache:
         self._entries[key] = (block, spec)
         self.misses += 1
         return spec
+
+    def peek(self, block: SeriesLike, size: int) -> Optional[np.ndarray]:
+        """The cached spectrum for ``(block, size)``, or None; never
+        computes and never moves the hit/miss counters (used by the lake
+        to persist warm spectra at block-eviction time)."""
+        entry = self._entries.get((id(block), int(size)))
+        return entry[1] if entry is not None else None
+
+    def seed(self, block: SeriesLike, size: int, spectrum: np.ndarray) -> None:
+        """Insert an externally computed spectrum for ``(block, size)``.
+
+        The shard dispatch path ships the parent's per-block ``rfft``
+        results to every worker so process shards stop recomputing them.
+        The seeded array must be what :meth:`spectrum` would compute --
+        ``np.fft.rfft(block.to_dense(), size)`` -- which the shipper
+        guarantees by computing it with exactly that expression; a wrong
+        seed would change analysis output, so this is not a public
+        tuning knob.  Counters are untouched: a later lookup records the
+        hit it is.
+        """
+        self._entries[(id(block), int(size))] = (block, spectrum)
 
     def evict_before(self, start: int) -> int:
         """Drop entries whose block starts before quantum ``start``."""

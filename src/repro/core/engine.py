@@ -26,7 +26,7 @@ import concurrent.futures
 import logging
 import threading
 import time
-from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.config import PathmapConfig, TransportConfig
 from repro.core.confidence import (
@@ -34,8 +34,9 @@ from repro.core.confidence import (
     ConfidenceReport,
     window_confidence,
 )
-from repro.core.correlation import SpectrumCache
-from repro.core.incremental import IncrementalCorrelator
+from repro.core.correlation import SpectrumCache, fft_length
+from repro.core.incremental import IncrementalCorrelator, block_is_quiet
+from repro.lake.summaries import BlockSummary
 from repro.core.pathmap import Pathmap, PathmapResult, PathmapStats, class_pairs
 from repro.core.rle import RunLengthSeries
 from repro.core.stages import HostWindow, PipelineCore
@@ -58,6 +59,7 @@ from repro.obs.ledger import (
     STAGE_DFS,
     STAGE_INGEST,
     STAGE_PUBLISH,
+    STAGE_SPILL,
     LedgerRecorder,
     RefreshLedger,
 )
@@ -83,6 +85,9 @@ from repro.tracing.transport import (
     overall_quality,
 )
 from repro.tracing.wire import BlockFrame, decode_block, encode_block
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lake import TraceLake
 
 logger = logging.getLogger(__name__)
 
@@ -127,6 +132,7 @@ class E2EProfEngine(PipelineCore):
         workers: Optional[int] = None,
         batched: bool = True,
         capture_sink: Optional[TraceCollector] = None,
+        lake: Optional["TraceLake"] = None,
         adaptive: bool = False,
         ledger: bool = True,
         measured_dispatch: Optional[bool] = None,
@@ -352,6 +358,20 @@ class E2EProfEngine(PipelineCore):
         #: otherwise -- without materializing per-record objects.
         self.capture_sink = capture_sink
         self._refresh_capture_batches = 0
+        #: Optional trace lake (:class:`~repro.lake.TraceLake`). When set,
+        #: the capture sink's evictions spill to it (write-behind), the
+        #: manifest is checkpointed once per refresh under the ledger's
+        #: ``spill`` stage, and correlator evictions persist materialized
+        #: per-(class, edge) correlation summaries for ``repro history``.
+        self.lake = lake
+        if lake is not None and capture_sink is not None and capture_sink.lake is None:
+            capture_sink.lake = lake
+        # Summaries ride the in-process correlators' eviction hooks;
+        # processes-mode correlators live in shard workers without lake
+        # access, so summary capture is serial/threads-only (the raw
+        # spill path is mode-independent).
+        self._lake_summaries = lake is not None and self.parallel != "processes"
+        self._lake_segments_synced = 0 if lake is None else lake.segments_written
         #: Fault-tolerant transport (None = legacy direct pull). When set,
         #: every block travels tracer -> TransportLink -> channel ->
         #: TransportReceiver, gaining epoch/sequence framing, reordering
@@ -505,6 +525,8 @@ class E2EProfEngine(PipelineCore):
         the engine was ever attached (``detach`` already is both, this
         alias just names the teardown contract explicitly)."""
         self.detach()
+        if self.lake is not None:
+            self.lake.flush()
 
     def reshard(self, shards: int) -> None:
         """Rebalance the process fleet to ``shards`` workers at the next
@@ -564,7 +586,7 @@ class E2EProfEngine(PipelineCore):
         fresh, late_frames = self._stage_ingest(now, block_start)
         self._stage_correlate(fresh, late_frames, block_start, now)
         result, pathmap_seconds = self._stage_dfs(now)
-        return self._stage_publish(
+        result = self._stage_publish(
             result,
             now,
             block_start,
@@ -573,6 +595,64 @@ class E2EProfEngine(PipelineCore):
             len(fresh),
             wire_bytes_before,
         )
+        if self.lake is not None:
+            self._maintain_lake()
+        return result
+
+    def _maintain_lake(self) -> None:
+        """Per-refresh trace-lake maintenance: force the capture sink's
+        retention eviction (so spills track the refresh cadence, not just
+        the ingest stride), checkpoint pending summaries + the manifest,
+        and account the accumulated spill time as the ledger's optional
+        ``spill`` stage. Runs after publish: the stage lands in the
+        just-completed ledger in place (same contract as the post-fanout
+        publish sample)."""
+        lake = self.lake
+        if self.capture_sink is not None and self.capture_sink.retention is not None:
+            self.capture_sink.evict_expired()
+        lake.checkpoint()
+        segments = lake.segments_written - self._lake_segments_synced
+        self._lake_segments_synced = lake.segments_written
+        self.ledger.record_stage(STAGE_SPILL, lake.drain_spill_seconds(), segments)
+
+    def _summary_hook(self, ref_key, edge_key):
+        """Correlator eviction hook persisting materialized summaries.
+
+        Returns None unless a lake is attached and the correlators live
+        in this process; otherwise a closure that turns each evicted
+        ``(reference block, signal block, summed pair-product row)`` into
+        a :class:`~repro.lake.BlockSummary`, grabbing the reference
+        block's cached FFT spectrum when the dense kernel left one warm.
+        """
+        if not self._lake_summaries:
+            return None
+        lake = self.lake
+        client, root = ref_key
+        src, dst = edge_key
+        size = fft_length(2 * self._block_quanta - 1)
+
+        def hook(old_x, old_y, contribution):
+            spectrum = self._spectra.peek(old_x, size)
+            lake.record_summary(
+                BlockSummary(
+                    client=client,
+                    root=root,
+                    src=src,
+                    dst=dst,
+                    block_start=int(old_y.start),
+                    block_length=int(old_y.length),
+                    quantum=float(old_y.quantum),
+                    x_total=float(old_x.total()),
+                    x_energy=float(old_x.energy()),
+                    y_total=float(old_y.total()),
+                    y_energy=float(old_y.energy()),
+                    lag_products=contribution,
+                    spectrum=spectrum,
+                    spectrum_size=size if spectrum is not None else None,
+                )
+            )
+
+        return hook
 
     def _stage_ingest(
         self, now: float, block_start: int
@@ -655,6 +735,19 @@ class E2EProfEngine(PipelineCore):
                 for frame in late_frames
                 if frame.block is not None
             ]
+            spectra = None
+            if self.fft_dispatch != "off":
+                # Compute each fresh block's rfft once in the parent and
+                # ship it with the blocks: workers seed their caches
+                # instead of re-transforming per shard. spectrum() is a
+                # pure function of (block, size), so seeded entries are
+                # bitwise what the worker would have computed.
+                size = fft_length(2 * self._block_quanta - 1)
+                spectra = {
+                    edge: (size, self._spectra.spectrum(block, size))
+                    for edge, block in fresh.items()
+                    if not block_is_quiet(block)
+                }
             with self.tracer.span(
                 "engine.shards.dispatch", shards=self._sharded.num_shards
             ):
@@ -666,6 +759,7 @@ class E2EProfEngine(PipelineCore):
                     self._dispatch_pairs,
                     clients=self._clients,
                     refreshes=self._refreshes,
+                    spectra=spectra,
                 )
         else:
             with self.tracer.span(

@@ -115,6 +115,9 @@ class IncrementalCorrelator:
         quantum: float,
         metrics: Optional["MetricsRegistry"] = None,
         optimized: bool = True,
+        evict_hook: Optional[
+            "collections.abc.Callable[[Block, Block, Optional[np.ndarray]], None]"
+        ] = None,
     ) -> None:
         if max_lag < 0:
             raise CorrelationError(f"max_lag must be non-negative, got {max_lag}")
@@ -142,6 +145,12 @@ class IncrementalCorrelator:
         self._y_total = 0.0
         self._y_energy = 0.0
         self.optimized = bool(optimized)
+        # Eviction callback: called as hook(old_x, old_y, contribution)
+        # whenever a block pair leaves the window, where contribution is
+        # the summed lag-product vector being subtracted (None when the
+        # evicted pair contributed identically zero).  The engine uses it
+        # to materialize correlation summaries into the trace lake.
+        self._evict_hook = evict_hook
         # Dirty-flag result cache: when an append provably leaves the
         # normalized correlation unchanged (see append()), _dirty stays
         # False and correlation() re-serves _corr_cache as-is.
@@ -409,8 +418,12 @@ class IncrementalCorrelator:
         skipped = min(self.block_reach, len(self._x_blocks)) + 1
         self._x_blocks.append((block_id, x_block))
         self._y_blocks.append((block_id, y_block))
-        self._x_blocks.popleft()
-        self._y_blocks.popleft()
+        _, old_x = self._x_blocks.popleft()
+        _, old_y = self._y_blocks.popleft()
+        if self._evict_hook is not None:
+            # Quiet pair: zero products, zero mass -- but its length still
+            # counts toward a summary fold's normalization span.
+            self._evict_hook(old_x, old_y, None)
         if self._m_pairs is not None:
             self._m_skips.inc(skipped)
             self._m_depth.set(len(self._x_blocks))
@@ -429,8 +442,16 @@ class IncrementalCorrelator:
         # live id, so it can only appear as the x side (x_old paired with
         # same-or-newer y) or as the diagonal.
         stale = [key for key in self._pair_cache if old_id in key]
+        contribution: Optional[np.ndarray] = None
         for key in stale:
-            self._lag_products -= self._pair_cache.pop(key)
+            vec = self._pair_cache.pop(key)
+            self._lag_products -= vec
+            if self._evict_hook is not None:
+                contribution = (
+                    vec.copy() if contribution is None else contribution + vec
+                )
+        if self._evict_hook is not None:
+            self._evict_hook(old_x, old_y, contribution)
         if self._m_evictions is not None:
             self._m_evictions.inc()
 

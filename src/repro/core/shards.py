@@ -142,12 +142,16 @@ class ShardMap:
 
 # -- shared-memory block shipment ----------------------------------------------
 
-#: Per-edge shipment header: (edge, start, length, quantum, num_runs, offset).
-BlockHeader = Tuple[EdgeKey, int, int, float, int, int]
+#: Per-edge shipment header:
+#: (edge, start, length, quantum, num_runs, offset, spec_offset, spec_size).
+#: ``spec_offset`` is -1 (and ``spec_size`` 0) when no warm FFT spectrum
+#: rides along for the edge's block.
+BlockHeader = Tuple[EdgeKey, int, int, float, int, int, int, int]
 
 
 def pack_blocks(
     fresh: Dict[EdgeKey, RunLengthSeries],
+    spectra: Optional[Dict[EdgeKey, Tuple[int, np.ndarray]]] = None,
 ) -> Tuple[Optional[shared_memory.SharedMemory], List[BlockHeader]]:
     """Lay one refresh's fresh blocks into a single shared-memory segment.
 
@@ -156,7 +160,14 @@ def pack_blocks(
     tiny header travels over the control pipe; only the columnar arrays
     go through shared memory. Returns ``(None, header)`` when there are
     no runs to ship (workers then rebuild every block as empty).
+
+    ``spectra`` optionally maps edges to ``(fft_size, rfft spectrum)``
+    pairs (complex128). They are appended after the run payload and the
+    header records where, so every shard worker can seed its
+    :class:`~repro.core.correlation.SpectrumCache` instead of
+    re-transforming the same fresh block once per shard.
     """
+    spectra = spectra or {}
     header: List[BlockHeader] = []
     offset = 0
     for edge in sorted(fresh):
@@ -167,9 +178,24 @@ def pack_blocks(
         )
         offset += 24 * runs
     if offset == 0:
-        return None, header
+        return None, [entry + (-1, 0) for entry in header]
+    # Spectrum payload rides after the runs, 16-byte aligned for the
+    # complex128 views.
+    full_header: List[BlockHeader] = []
+    spec_plan: List[Tuple[EdgeKey, int, int, np.ndarray]] = []
+    for entry in header:
+        edge = entry[0]
+        shipped = spectra.get(edge)
+        if shipped is None:
+            full_header.append(entry + (-1, 0))
+            continue
+        size, spec = shipped
+        offset = (offset + 15) & ~15
+        full_header.append(entry + (offset, int(size)))
+        spec_plan.append((edge, offset, int(spec.size), spec))
+        offset += 16 * spec.size
     shm = shared_memory.SharedMemory(create=True, size=offset)
-    for (edge, _, _, _, runs, off) in header:
+    for (edge, _, _, _, runs, off, _, _) in full_header:
         if not runs:
             continue
         block = fresh[edge]
@@ -180,7 +206,11 @@ def pack_blocks(
         out = np.frombuffer(shm.buf, dtype=np.float64, count=runs, offset=off + 16 * runs)
         out[:] = block.values
         del out  # drop the buffer export before the segment is ever closed
-    return shm, header
+    for (_, off, count, spec) in spec_plan:
+        out = np.frombuffer(shm.buf, dtype=np.complex128, count=count, offset=off)
+        out[:] = spec
+        del out
+    return shm, full_header
 
 
 def unpack_blocks(
@@ -193,7 +223,7 @@ def unpack_blocks(
     never copies block data it only reads.
     """
     fresh: Dict[EdgeKey, RunLengthSeries] = {}
-    for (edge, start, length, quantum, runs, off) in header:
+    for (edge, start, length, quantum, runs, off, *_rest) in header:
         if runs and shm is not None:
             starts = np.frombuffer(shm.buf, dtype=np.int64, count=runs, offset=off)
             counts = np.frombuffer(shm.buf, dtype=np.int64, count=runs, offset=off + 8 * runs)
@@ -204,6 +234,40 @@ def unpack_blocks(
             values = np.empty(0, dtype=np.float64)
         fresh[tuple(edge)] = RunLengthSeries(starts, counts, values, start, length, quantum)
     return fresh
+
+
+def seed_spectra(
+    shm: Optional[shared_memory.SharedMemory],
+    header: List[BlockHeader],
+    fresh: Dict[EdgeKey, RunLengthSeries],
+    cache: SpectrumCache,
+) -> int:
+    """Seed a worker's spectrum cache from a shipment's spectra payload.
+
+    Copies each shipped spectrum out of the segment (a memcpy, versus
+    the ``rfft`` it replaces) so the cache never pins the mapping, and
+    seeds it against the *unpacked block object* -- the same object that
+    lands in block history and reaches the batch kernels, which is what
+    the cache's identity keying requires. Returns how many spectra were
+    seeded.
+    """
+    if shm is None:
+        return 0
+    seeded = 0
+    for entry in header:
+        if len(entry) < 8:
+            continue
+        edge, _, _, _, _, _, spec_off, spec_size = entry
+        if spec_off < 0:
+            continue
+        count = spec_size // 2 + 1
+        view = np.frombuffer(
+            shm.buf, dtype=np.complex128, count=count, offset=spec_off
+        )
+        cache.seed(fresh[tuple(edge)], int(spec_size), view.copy())
+        del view
+        seeded += 1
+    return seeded
 
 
 def block_tuple(block: RunLengthSeries) -> tuple:
@@ -340,6 +404,10 @@ class ShardWorkerState(PipelineCore):
                     self._segments.append(segment)
                     break
         fresh = unpack_blocks(shm, msg["header"])
+        if self.fft_dispatch != "off":
+            # Warm spectra shipped by the parent: one rfft per block per
+            # refresh fleet-wide instead of one per block per shard.
+            seed_spectra(shm, msg["header"], fresh, self._spectra)
         pairs = msg["pairs"]
         self._refresh_cache_hits = 0
         self._refresh_cache_misses = 0
@@ -620,11 +688,12 @@ class ShardedAnalysis:
         pairs_by_shard: Dict[int, List[RefKey]],
         clients: Set[object],
         refreshes: int,
+        spectra: Optional[Dict[EdgeKey, Tuple[int, np.ndarray]]] = None,
     ) -> None:
         """Ship one refresh (blocks via shared memory, control via pipe)
         to every worker. A send failure just marks the shard dead; the
         collect pass accounts for it."""
-        shm, header = pack_blocks(fresh)
+        shm, header = pack_blocks(fresh, spectra)
         if shm is not None:
             self._segments.append(shm)
             while len(self._segments) > self._engine._num_blocks + 2:

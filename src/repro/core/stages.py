@@ -490,6 +490,12 @@ class PipelineCore:
                 self._refresh_corr_cache_hits += 1
         return series
 
+    def _summary_hook(self, ref_key: RefKey, edge_key: EdgeKey):
+        """Optional eviction hook for new correlators. The engine
+        overrides this to materialize trace-lake summaries; the shared
+        core (and shard workers) have no lake, so the default is None."""
+        return None
+
     def _create_correlator(self, ref_key: RefKey, edge_key: EdgeKey) -> IncrementalCorrelator:
         ref_blocks = self._blocks.get(ref_key)
         edge_blocks = self._blocks.get(edge_key)
@@ -503,6 +509,7 @@ class PipelineCore:
             quantum=self.config.quantum,
             metrics=self.metrics,
             optimized=self.batched,
+            evict_hook=self._summary_hook(ref_key, edge_key),
         )
         for ref_block, edge_block in zip(ref_blocks, edge_blocks):
             if self.batched:

@@ -37,6 +37,12 @@ STAGE_CORRELATE = "correlate"
 STAGE_DFS = "dfs"
 STAGE_PUBLISH = "publish"
 
+#: Optional stage: trace-lake write-behind spill (segment cuts, summary
+#: persistence, manifest checkpoints). Not part of
+#: :data:`PIPELINE_STAGES` -- it only appears in ledgers of engines with
+#: a lake attached (``record_stage`` creates unknown stages on demand).
+STAGE_SPILL = "spill"
+
 #: All pipeline stages, in order.
 PIPELINE_STAGES = (STAGE_INGEST, STAGE_CORRELATE, STAGE_DFS, STAGE_PUBLISH)
 
@@ -546,4 +552,5 @@ _STAGE_UNITS = {
     STAGE_CORRELATE: "blocks",
     STAGE_DFS: "correlations",
     STAGE_PUBLISH: "subscribers",
+    STAGE_SPILL: "segments",
 }

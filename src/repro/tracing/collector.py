@@ -39,6 +39,7 @@ flat under sustained load (``collector_records_evicted_total`` counter,
 from __future__ import annotations
 
 import logging
+from functools import partial
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
@@ -51,6 +52,7 @@ from repro.errors import TraceError
 from repro.tracing.records import CaptureRecord, NodeId, TimestampBatch
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lake import TraceLake
     from repro.obs.registry import MetricsRegistry
 
 logger = logging.getLogger(__name__)
@@ -141,9 +143,17 @@ class _ColumnarStore:
                 self._cache = np.concatenate(self.chunks)
         return self._cache
 
-    def evict_before(self, cutoff: float) -> int:
+    def evict_before(self, cutoff: float, sink=None) -> int:
         """Drop timestamps ``< cutoff``; whole stale chunks in O(chunks),
-        plus one boundary-chunk slice. Returns how many were dropped."""
+        plus one boundary-chunk slice. Returns how many were dropped.
+
+        ``sink`` optionally receives every dropped array (whole chunks,
+        then the boundary prefix) before it leaves the store -- the trace
+        lake's write-behind hook. Dropped arrays are sorted and, across
+        successive evictions, non-overlapping: a value is handed to the
+        sink exactly once, which is what makes stitched lake + resident
+        reads bit-identical to an unbounded store.
+        """
         self.consolidate()
         dropped = 0
         keep = 0
@@ -153,11 +163,16 @@ class _ColumnarStore:
             dropped += chunk.size
             keep += 1
         if keep:
+            if sink is not None:
+                for chunk in self.chunks[:keep]:
+                    sink(chunk)
             del self.chunks[:keep]
         if self.chunks:
             first = self.chunks[0]
             idx = int(np.searchsorted(first, cutoff, side="left"))
             if idx:
+                if sink is not None:
+                    sink(first[:idx].copy())
                 # Copy, not a view: a view pins the stale prefix in memory.
                 self.chunks[0] = first[idx:].copy()
                 dropped += idx
@@ -216,11 +231,13 @@ class _ListStore:
             )
         return self._cache
 
-    def evict_before(self, cutoff: float) -> int:
+    def evict_before(self, cutoff: float, sink=None) -> int:
         self.consolidate()
         arr = self.array()
         idx = int(np.searchsorted(arr, cutoff, side="left"))
         if idx:
+            if sink is not None:
+                sink(arr[:idx].copy())
             del self.stamps[:idx]
             self._cache = None
         return idx
@@ -257,6 +274,12 @@ class TraceCollector:
         default) retains everything. See
         :attr:`~repro.config.PathmapConfig.retention_horizon` for the
         analysis-safe default horizon.
+    lake:
+        Optional :class:`~repro.lake.TraceLake`. When attached alongside
+        ``retention``, evicted arrays are spilled to the lake instead of
+        discarded, and historical reads (:meth:`window` with a start
+        before the resident horizon, :meth:`edge_timestamps_range`)
+        transparently stitch lake segments with resident chunks.
     """
 
     def __init__(
@@ -265,6 +288,7 @@ class TraceCollector:
         metrics: Optional["MetricsRegistry"] = None,
         columnar: bool = True,
         retention: Optional[float] = None,
+        lake: Optional["TraceLake"] = None,
     ) -> None:
         self._clients: Set[NodeId] = set(client_nodes)
         self.columnar = bool(columnar)
@@ -272,6 +296,7 @@ class TraceCollector:
         if retention is not None and not retention > 0:
             raise TraceError(f"retention must be positive, got {retention}")
         self.retention = retention
+        self.lake = lake
         # (src, dst) -> timestamp store, per observing side.
         self._at_src: Dict[EdgeKey, _Store] = {}
         self._at_dst: Dict[EdgeKey, _Store] = {}
@@ -434,9 +459,15 @@ class TraceCollector:
             return 0
         cutoff = self._max_seen - self.retention
         dropped = 0
-        for stores in (self._at_src, self._at_dst):
-            for store in stores.values():
-                dropped += store.evict_before(cutoff)
+        lake = self.lake
+        for stores, at_dst in ((self._at_src, False), (self._at_dst, True)):
+            for key, store in stores.items():
+                if lake is not None:
+                    src, dst = key
+                    sink = partial(lake.spill, src, dst, at_dst)
+                else:
+                    sink = None
+                dropped += store.evict_before(cutoff, sink)
         if dropped:
             self._records_evicted += dropped
             if self._m_evicted is not None:
@@ -476,6 +507,7 @@ class TraceCollector:
             "chunks": chunks,
             "pending": pending,
             "sort_operations": sorts,
+            "lake": self.lake.stats() if self.lake is not None else {"enabled": False},
         }
 
     def export_records(self) -> List[CaptureRecord]:
@@ -541,6 +573,58 @@ class TraceCollector:
             return _EMPTY
         return store.array()
 
+    def _side_present(self, key: EdgeKey, at_destination: bool) -> bool:
+        """True when the stream was ever captured on that side, counting
+        spilled lake segments (resident stores are never deleted, so this
+        matches an unbounded collector's store-existence test)."""
+        stores = self._at_dst if at_destination else self._at_src
+        if key in stores:
+            return True
+        if self.lake is not None:
+            return (key[0], key[1], at_destination) in self.lake.streams()
+        return False
+
+    def edge_timestamps_range(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        start: float,
+        end: float,
+        prefer_destination: bool = True,
+    ) -> np.ndarray:
+        """Sorted observation timestamps for an edge within ``[start, end)``.
+
+        Unlike :meth:`edge_timestamps`, this stitches spilled lake
+        segments with resident chunks, so the range may reach arbitrarily
+        far behind the retention horizon. Eviction drops strictly below
+        the cutoff and spills every dropped value exactly once, so the
+        stitched result is bit-identical to the same slice of an
+        unbounded collector.
+        """
+        if start > end:
+            raise TraceError(f"inverted range: start {start} > end {end}")
+        key = (src, dst)
+        order = (True, False)
+        if not prefer_destination or dst in self._clients:
+            order = (False, True)
+        at_dst = next((s for s in order if self._side_present(key, s)), None)
+        if at_dst is None:
+            return _EMPTY
+        stores = self._at_dst if at_dst else self._at_src
+        store = stores.get(key)
+        arr = store.array() if store is not None else _EMPTY
+        lo = int(np.searchsorted(arr, start, side="left"))
+        hi = int(np.searchsorted(arr, end, side="left"))
+        resident = arr[lo:hi]
+        if self.lake is None:
+            return resident
+        spilled = self.lake.query(src, dst, at_dst, start=start, end=end)
+        if spilled.size == 0:
+            return resident
+        if resident.size == 0:
+            return np.sort(spilled)
+        return np.sort(np.concatenate((spilled, resident)))
+
     # -- window materialization ------------------------------------------------------
 
     def window(
@@ -568,7 +652,22 @@ class TraceCollector:
             self.evict_expired()
         if self._m_windows is not None:
             self._m_windows.inc()
-        window = CollectedTraceWindow(self, config, start_time, end_time, use_rle)
+        source: "TraceCollector" = self
+        if (
+            self.lake is not None
+            and self.retention is not None
+            and self._max_seen != float("-inf")
+            and start_time < self._max_seen - self.retention
+        ):
+            # Historical range: part of it was evicted past the horizon.
+            # Stitch lake segments with resident chunks (cache-aside);
+            # the view is bit-identical to an unbounded collector. The
+            # lake query carries a sampling-window margin because the
+            # density boxcar at a boundary quantum reaches up to half a
+            # sampling window outside the range (see build_density_series).
+            margin = config.sampling_window + config.quantum
+            source = _StitchedTraceView(self, start_time - margin, end_time + margin)
+        window = CollectedTraceWindow(source, config, start_time, end_time, use_rle)
         if logger.isEnabledFor(logging.DEBUG):
             logger.debug(
                 "materialized window [%.3f, %.3f) with %d active edges",
@@ -577,6 +676,83 @@ class TraceCollector:
                 len(window.active_edges()),
             )
         return window
+
+
+class _StitchedTraceView:
+    """Duck-typed collector stitching lake segments with resident chunks.
+
+    Materialized by :meth:`TraceCollector.window` when the requested
+    range reaches behind the retention horizon. Exposes exactly the
+    surface :class:`CollectedTraceWindow` consumes (``clients``,
+    :meth:`edges`, :meth:`edge_timestamps`); each stream answers with
+    ``sort(spilled in [start, end) ++ resident)`` -- the bounds here are
+    the window range padded by a sampling-window margin, so boundary
+    quanta see the same out-of-range neighbours an unbounded collector
+    would feed the density boxcar. The result is bit-identical to an
+    unbounded collector's view of the window because eviction drops
+    strictly below the cutoff and hands every dropped value to the lake
+    exactly once. Side preference follows the collector's store-existence
+    rule (stores are never deleted by eviction), extended with the lake's
+    stream catalog; per-``(edge, side)`` results are cached so both
+    preference orders return the *same object* when only one side was
+    ever captured -- the identity contract clock-skew detection relies
+    on.
+    """
+
+    def __init__(
+        self, collector: TraceCollector, start_time: float, end_time: float
+    ) -> None:
+        self._collector = collector
+        self._lake = collector.lake
+        self._start = float(start_time)
+        self._end = float(end_time)
+        self._lake_sides: Dict[EdgeKey, Set[bool]] = {}
+        for src, dst, at_dst in self._lake.streams():
+            self._lake_sides.setdefault((src, dst), set()).add(at_dst)
+        self._cache: Dict[Tuple[EdgeKey, bool], np.ndarray] = {}
+
+    @property
+    def clients(self) -> Set[NodeId]:
+        return self._collector.clients
+
+    def edges(self) -> List[EdgeKey]:
+        return sorted(set(self._collector.edges()) | set(self._lake_sides))
+
+    def _has_side(self, key: EdgeKey, at_dst: bool) -> bool:
+        stores = self._collector._at_dst if at_dst else self._collector._at_src
+        return key in stores or at_dst in self._lake_sides.get(key, ())
+
+    def _stitched(self, key: EdgeKey, at_dst: bool) -> np.ndarray:
+        cache_key = (key, at_dst)
+        cached = self._cache.get(cache_key)
+        if cached is None:
+            src, dst = key
+            spilled = self._lake.query(
+                src, dst, at_dst, start=self._start, end=self._end
+            )
+            stores = self._collector._at_dst if at_dst else self._collector._at_src
+            store = stores.get(key)
+            resident = store.array() if store is not None else _EMPTY
+            if spilled.size == 0:
+                cached = resident
+            elif resident.size == 0:
+                cached = np.sort(spilled)
+            else:
+                cached = np.sort(np.concatenate((spilled, resident)))
+            self._cache[cache_key] = cached
+        return cached
+
+    def edge_timestamps(
+        self, src: NodeId, dst: NodeId, prefer_destination: bool = True
+    ) -> np.ndarray:
+        key = (src, dst)
+        order = (True, False)
+        if not prefer_destination or dst in self._collector.clients:
+            order = (False, True)
+        for at_dst in order:
+            if self._has_side(key, at_dst):
+                return self._stitched(key, at_dst)
+        return _EMPTY
 
 
 class CollectedTraceWindow(TraceWindow):

@@ -219,6 +219,18 @@ def _decode_section_body(
         raise fail(str(exc)) from exc
 
 
+def encode_capture_section(batch: TimestampBatch) -> "tuple[bytes, int]":
+    """One encoded ``.rtb`` section and its body CRC-32.
+
+    The trace lake writes single-section segment files and catalogs the
+    body CRC in its manifest, so corruption detected by the reader can be
+    cross-checked against the catalog without re-reading the segment.
+    """
+    section = _encode_section(batch)
+    crc, _ = _SECTION_HEADER.unpack_from(section)
+    return section, int(crc)
+
+
 def write_capture_binary(
     path: PathLike, batches: Iterable[TimestampBatch]
 ) -> int:

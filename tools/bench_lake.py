@@ -1,0 +1,290 @@
+"""Benchmark the tiered trace lake: week-scale soak + summary-fold speedup.
+
+Two sections, written as JSON into ``BENCH_lake.json``:
+
+* ``soak`` -- a week of simulated ingest (hour-sized numpy batches per
+  stream) through a retention-bounded collector spilling to a lake.
+  Reports the resident-record ceiling, the process RSS growth, the
+  lake's spill statistics, and a stitched-read bit-identity check
+  against the synthetic source stream: flat memory with zero data loss
+  is the tier's whole point.
+* ``query_speedup`` -- an engine run materializes per-block correlation
+  summaries into the lake, then a long-horizon delay query is answered
+  twice: by folding the materialized summaries
+  (:func:`repro.analysis.history.span_estimate`) and by re-correlating
+  the raw spilled timestamps (:func:`raw_span_estimate`).  The ratio is
+  the headline number ``benchmarks/test_lake_speedup.py`` gates (>= 5x).
+
+Run from the repository root:
+
+    PYTHONPATH=src python tools/bench_lake.py            # full workload
+    PYTHONPATH=src python tools/bench_lake.py --quick    # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import resource
+import statistics
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.analysis.history import raw_span_estimate, span_estimate  # noqa: E402
+from repro.config import PathmapConfig  # noqa: E402
+from repro.core.engine import E2EProfEngine  # noqa: E402
+from repro.lake import TraceLake  # noqa: E402
+from repro.simulation.distributions import Erlang  # noqa: E402
+from repro.simulation.nodes import StaticRouter  # noqa: E402
+from repro.simulation.topology import Topology  # noqa: E402
+from repro.tracing.collector import TraceCollector  # noqa: E402
+
+#: Analysis parameters for the speedup section: 5 s blocks, a two-block
+#: window, 1 ms quanta and a 1 s transaction-delay bound.
+BENCH_LAKE_CONFIG = PathmapConfig(
+    window=10.0,
+    refresh_interval=5.0,
+    quantum=1e-3,
+    sampling_window=10e-3,
+    max_transaction_delay=1.0,
+    retention=31.0,
+)
+
+#: Spans simulated by the soak: a full week, batched hour by hour.
+WEEK_SECONDS = 7 * 24 * 3600.0
+HOUR_SECONDS = 3600.0
+
+
+def run_soak(
+    simulated_seconds: float,
+    rate_per_stream: float,
+    streams: int,
+    seed: int,
+    retention: float = 61.0,
+) -> dict:
+    """Week-scale spill soak: flat residency, zero loss, bounded RSS."""
+    rss_start_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    rng = np.random.default_rng(seed)
+    edges = [(f"N{i}", f"N{i + 1}") for i in range(streams)]
+    source = {edge: [] for edge in edges}
+    with tempfile.TemporaryDirectory() as root:
+        lake = TraceLake(root, segment_bytes=1 << 20)
+        collector = TraceCollector(retention=retention, lake=lake)
+        peak_resident = 0
+        total = 0
+        started = time.perf_counter()
+        hours = int(round(simulated_seconds / HOUR_SECONDS))
+        for hour in range(hours):
+            base = hour * HOUR_SECONDS
+            for edge in edges:
+                count = rng.poisson(rate_per_stream * HOUR_SECONDS)
+                stamps = np.sort(rng.uniform(base, base + HOUR_SECONDS, count))
+                collector.ingest_batch(edge[0], edge[1], stamps)
+                source[edge].append(stamps)
+                total += count
+            collector.evict_expired()
+            peak_resident = max(peak_resident, collector.record_count())
+        wall = time.perf_counter() - started
+        # Bit-identity of a stitched read over a mid-week day against
+        # the synthetic source stream (every value spilled exactly once).
+        day_lo = simulated_seconds / 2.0
+        day_hi = day_lo + 24 * 3600.0
+        identical = True
+        for edge in edges:
+            reference = np.concatenate(source[edge])
+            reference = reference[(reference >= day_lo) & (reference < day_hi)]
+            got = collector.edge_timestamps_range(
+                edge[0], edge[1], day_lo, day_hi
+            )
+            identical = identical and np.array_equal(got, np.sort(reference))
+        stats = lake.stats()
+        lake.close()
+    rss_end_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # The collector may hold up to retention * rate resident per stream
+    # plus one in-flight hour batch; 4x slack keeps the bound meaningful
+    # without tripping on chunk granularity.
+    bound = int(4 * streams * rate_per_stream * (retention + HOUR_SECONDS))
+    return {
+        "simulated_seconds": simulated_seconds,
+        "streams": streams,
+        "rate_per_stream": rate_per_stream,
+        "retention_seconds": retention,
+        "records_ingested": total,
+        "resident_peak_records": peak_resident,
+        "resident_bound_records": bound,
+        "resident_flat": peak_resident <= bound,
+        "stitched_read_bit_identical": identical,
+        "ru_maxrss_start_kb": rss_start_kb,
+        "ru_maxrss_end_kb": rss_end_kb,
+        "spilled_records": stats["spilled_records"],
+        "spilled_bytes": stats["spilled_bytes"],
+        "segments": stats["segments"],
+        "ingest_wall_seconds": wall,
+        "records_per_second": total / wall if wall else float("inf"),
+    }
+
+
+def _chain_topology(seed: int, rate: float):
+    topo = Topology(seed=seed)
+    topo.add_service_node("DB", Erlang(0.010, k=8), workers=8)
+    topo.add_service_node(
+        "WS", Erlang(0.004, k=8), workers=8, router=StaticRouter({}, default="DB")
+    )
+    client = topo.add_client("C", "cls", front_end="WS")
+    topo.open_workload(client, rate=rate)
+    return topo
+
+
+def run_query_speedup(
+    duration: float,
+    rate: float,
+    seed: int,
+    repeats: int,
+) -> dict:
+    """Materialize summaries via an engine run, then time fold vs raw."""
+    config = BENCH_LAKE_CONFIG
+    with tempfile.TemporaryDirectory() as root:
+        lake = TraceLake(root)
+        sink = TraceCollector(client_nodes=["C"], retention=config.retention)
+        engine = E2EProfEngine(config, capture_sink=sink, lake=lake)
+        topo = _chain_topology(seed, rate)
+        engine.attach(topo)
+        topo.run_until(duration)
+        engine.close()
+
+        span = (10.0, duration - 30.0)
+        max_lag = int(round(config.max_transaction_delay / config.quantum))
+
+        def time_query(fn):
+            times = []
+            result = None
+            for _ in range(repeats):
+                started = time.perf_counter()
+                result = fn()
+                times.append(time.perf_counter() - started)
+            return statistics.median(times), result
+
+        fold_seconds, fold = time_query(
+            lambda: span_estimate(
+                lake, "C", "WS", "WS", "DB",
+                start=span[0], end=span[1], max_lag=max_lag,
+            )
+        )
+        raw_seconds, raw = time_query(
+            lambda: raw_span_estimate(
+                lake, config, "C", "WS", "WS", "DB",
+                span[0], span[1], max_lag=max_lag,
+            )
+        )
+        stats = lake.stats()
+    return {
+        "workload": {
+            "duration": duration,
+            "request_rate": rate,
+            "seed": seed,
+            "repeats": repeats,
+            "span": list(span),
+            "max_lag": max_lag,
+            "config": {
+                "window": config.window,
+                "refresh_interval": config.refresh_interval,
+                "quantum": config.quantum,
+                "sampling_window": config.sampling_window,
+                "retention": config.retention,
+            },
+        },
+        "summary_rows": stats["summary_rows"],
+        "summary_fold": {
+            "median_seconds": fold_seconds,
+            "blocks_folded": fold.blocks,
+            "delay_seconds": fold.delay,
+        },
+        "raw_replay": {
+            "median_seconds": raw_seconds,
+            "delay_seconds": raw.delay,
+        },
+        "delay_disagreement_seconds": abs(fold.delay - raw.delay),
+        "speedup": raw_seconds / fold_seconds if fold_seconds else float("inf"),
+    }
+
+
+def environment_stamp() -> dict:
+    return {
+        "cores": os.cpu_count(),
+        "numpy": np.__version__,
+        "python": sys.version.split()[0],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized: one simulated day, shorter engine run, one repeat",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=pathlib.Path("BENCH_lake.json"),
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        soak_seconds = 24 * 3600.0
+        streams, rate = 2, 5.0
+        duration, repeats = 150.0, args.repeats or 3
+    else:
+        soak_seconds = WEEK_SECONDS
+        streams, rate = 2, 5.0
+        duration, repeats = 480.0, args.repeats or 5
+    doc = {
+        "soak": run_soak(
+            simulated_seconds=soak_seconds,
+            rate_per_stream=rate,
+            streams=streams,
+            seed=args.seed,
+        )
+    }
+    soak = doc["soak"]
+    print(
+        f"soak: {soak['records_ingested']} records over "
+        f"{soak['simulated_seconds'] / 3600.0:.0f}h, resident peak "
+        f"{soak['resident_peak_records']} (bound {soak['resident_bound_records']}), "
+        f"bit-identical={soak['stitched_read_bit_identical']}",
+        flush=True,
+    )
+    doc["query_speedup"] = run_query_speedup(
+        duration=duration, rate=40.0, seed=args.seed, repeats=repeats
+    )
+    speed = doc["query_speedup"]
+    print(
+        f"query: fold {speed['summary_fold']['median_seconds'] * 1000:.2f}ms vs "
+        f"raw {speed['raw_replay']['median_seconds'] * 1000:.1f}ms -> "
+        f"{speed['speedup']:.1f}x "
+        f"(delay disagreement {speed['delay_disagreement_seconds'] * 1000:.1f}ms)",
+        flush=True,
+    )
+    doc["environment"] = environment_stamp()
+    merged = {}
+    if args.output.exists():
+        try:
+            merged = json.loads(args.output.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            merged = {}
+    merged.update(doc)
+    args.output.write_text(json.dumps(merged, indent=2) + "\n", encoding="utf-8")
+    print(f"[written to {args.output}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
